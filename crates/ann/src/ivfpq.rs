@@ -1,0 +1,213 @@
+//! IVF-PQ: inverted lists with product-quantized residual-free codes —
+//! FAISS's "IVFADC without residual encoding" variant, combining the two
+//! accelerations EmbLookup can plug in (§III-C/D): cluster pruning *and*
+//! compressed distance evaluation.
+
+use crate::flat::batch_search;
+use crate::kmeans::{KMeans, KMeansConfig};
+use crate::pq::{PqConfig, ProductQuantizer};
+use crate::topk::{Neighbor, TopK};
+use crate::vectors::{sq_l2, VectorSet};
+
+/// Configuration for [`IvfPqIndex::build`].
+#[derive(Debug, Clone, Copy)]
+pub struct IvfPqConfig {
+    /// Coarse clusters.
+    pub nlist: usize,
+    /// Clusters probed per query.
+    pub nprobe: usize,
+    /// Product-quantizer settings for the stored codes.
+    pub pq: PqConfig,
+    /// k-means iterations for the coarse quantizer.
+    pub kmeans_iters: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for IvfPqConfig {
+    fn default() -> Self {
+        IvfPqConfig {
+            nlist: 64,
+            nprobe: 8,
+            pq: PqConfig::default(),
+            kmeans_iters: 15,
+            seed: 0,
+        }
+    }
+}
+
+/// Inverted-file index storing PQ codes per list.
+pub struct IvfPqIndex {
+    coarse: KMeans,
+    quantizer: ProductQuantizer,
+    /// Per list: (original index, code) pairs, codes stored contiguously.
+    list_ids: Vec<Vec<u32>>,
+    list_codes: Vec<Vec<u8>>,
+    nprobe: usize,
+    n: usize,
+}
+
+impl IvfPqIndex {
+    /// Builds the index: trains the coarse quantizer and the PQ codebooks
+    /// on the data, then encodes every vector into its list.
+    ///
+    /// # Panics
+    /// Panics on empty data or invalid configuration.
+    pub fn build(vectors: &VectorSet, config: IvfPqConfig) -> Self {
+        assert!(!vectors.is_empty(), "IVF-PQ over empty data");
+        assert!(config.nprobe > 0, "nprobe must be positive");
+        let nlist = config.nlist.min(vectors.len()).max(1);
+        let coarse = KMeans::fit(
+            vectors,
+            KMeansConfig { k: nlist, max_iters: config.kmeans_iters, seed: config.seed },
+        );
+        let quantizer = ProductQuantizer::train(vectors, config.pq);
+        let m = quantizer.m();
+        let mut list_ids = vec![Vec::new(); nlist];
+        let mut list_codes = vec![Vec::new(); nlist];
+        for (i, v) in vectors.iter().enumerate() {
+            let (c, _) = coarse.assign(v);
+            list_ids[c].push(i as u32);
+            list_codes[c].extend_from_slice(&quantizer.encode(v));
+        }
+        debug_assert!(list_ids
+            .iter()
+            .zip(&list_codes)
+            .all(|(ids, codes)| codes.len() == ids.len() * m));
+        IvfPqIndex {
+            coarse,
+            quantizer,
+            list_ids,
+            list_codes,
+            nprobe: config.nprobe.min(nlist),
+            n: vectors.len(),
+        }
+    }
+
+    /// Number of indexed vectors.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Total bytes of codes plus codebooks (coarse centroids excluded,
+    /// they are `nlist × dim` floats).
+    pub fn nbytes(&self) -> usize {
+        self.list_codes.iter().map(Vec::len).sum::<usize>() + self.quantizer.codebook_nbytes()
+    }
+
+    /// Approximate `k` nearest neighbours via ADC over `nprobe` lists.
+    pub fn search(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
+        if self.n == 0 || k == 0 {
+            return Vec::new();
+        }
+        let mut order: Vec<(usize, f32)> = self
+            .coarse
+            .centroids()
+            .iter()
+            .enumerate()
+            .map(|(c, cent)| (c, sq_l2(query, cent)))
+            .collect();
+        order.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+
+        let table = self.quantizer.distance_table(query);
+        let m = self.quantizer.m();
+        let mut tk = TopK::new(k);
+        for &(list, _) in order.iter().take(self.nprobe) {
+            for (slot, &id) in self.list_ids[list].iter().enumerate() {
+                let code = &self.list_codes[list][slot * m..(slot + 1) * m];
+                tk.push(id as usize, self.quantizer.adc(&table, code));
+            }
+        }
+        tk.into_sorted()
+    }
+
+    /// Batch search across `threads` threads.
+    pub fn search_batch(&self, queries: &VectorSet, k: usize, threads: usize) -> Vec<Vec<Neighbor>> {
+        batch_search(queries, k, threads, |q, k| self.search(q, k))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flat::FlatIndex;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_set(n: usize, dim: usize, seed: u64) -> VectorSet {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut vs = VectorSet::new(dim);
+        for _ in 0..n {
+            let v: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            vs.push(&v);
+        }
+        vs
+    }
+
+    fn config_small() -> IvfPqConfig {
+        IvfPqConfig {
+            nlist: 16,
+            nprobe: 8,
+            pq: PqConfig { m: 4, ks: 32, kmeans_iters: 8, seed: 0 },
+            kmeans_iters: 8,
+            seed: 0,
+        }
+    }
+
+    #[test]
+    fn every_vector_is_reachable() {
+        let data = random_set(400, 16, 1);
+        let idx = IvfPqIndex::build(&data, config_small());
+        let total: usize = idx.list_ids.iter().map(Vec::len).sum();
+        assert_eq!(total, 400);
+    }
+
+    #[test]
+    fn recall_against_flat_is_reasonable() {
+        let data = random_set(600, 16, 2);
+        let flat = FlatIndex::new(data.clone());
+        let idx = IvfPqIndex::build(&data, config_small());
+        let queries = random_set(20, 16, 3);
+        let mut recall = 0.0;
+        for q in queries.iter() {
+            let truth: Vec<usize> = flat.search(q, 20).iter().map(|n| n.index).collect();
+            let got: Vec<usize> = idx.search(q, 20).iter().map(|n| n.index).collect();
+            recall += truth.iter().filter(|i| got.contains(i)).count() as f64 / 20.0;
+        }
+        recall /= 20.0;
+        assert!(recall > 0.5, "IVF-PQ recall@20 too low: {recall}");
+    }
+
+    #[test]
+    fn codes_are_much_smaller_than_raw() {
+        let data = random_set(500, 64, 4);
+        let idx = IvfPqIndex::build(
+            &data,
+            IvfPqConfig { pq: PqConfig { m: 8, ks: 256, kmeans_iters: 4, seed: 0 }, ..config_small() },
+        );
+        // per-vector storage: 8 B codes vs 256 B floats (codebooks are a
+        // fixed overhead that amortizes at scale)
+        let code_bytes: usize = idx.list_codes.iter().map(Vec::len).sum();
+        assert_eq!(code_bytes, 500 * 8);
+        assert!(code_bytes * 30 < data.nbytes());
+    }
+
+    #[test]
+    fn k_zero_and_sorted_contract() {
+        let data = random_set(100, 8, 5);
+        let idx = IvfPqIndex::build(
+            &data,
+            IvfPqConfig { pq: PqConfig { m: 2, ks: 16, kmeans_iters: 4, seed: 0 }, ..config_small() },
+        );
+        assert!(idx.search(data.get(0), 0).is_empty());
+        let hits = idx.search(data.get(0), 10);
+        for w in hits.windows(2) {
+            assert!(w[0].dist <= w[1].dist);
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! Lloyd's k-means with k-means++ seeding — the clustering engine behind
+//! product quantization (§III-D) and the IVF coarse quantizer.
+
+use crate::vectors::{sq_l2, VectorSet};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Result of a k-means run: `k` centroids of the input dimension.
+#[derive(Debug, Clone)]
+pub struct KMeans {
+    centroids: VectorSet,
+}
+
+/// Parameters for [`KMeans::fit`].
+#[derive(Debug, Clone, Copy)]
+pub struct KMeansConfig {
+    /// Number of clusters.
+    pub k: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iters: usize,
+    /// RNG seed for the k-means++ initialization.
+    pub seed: u64,
+}
+
+impl Default for KMeansConfig {
+    fn default() -> Self {
+        KMeansConfig { k: 256, max_iters: 20, seed: 0 }
+    }
+}
+
+impl KMeans {
+    /// Runs k-means over `data`.
+    ///
+    /// When `data.len() <= k`, every point becomes its own centroid and the
+    /// remaining centroids are duplicates of the first point, so encoding
+    /// degenerates gracefully on tiny inputs.
+    ///
+    /// # Panics
+    /// Panics if `data` is empty or `config.k` is zero.
+    pub fn fit(data: &VectorSet, config: KMeansConfig) -> Self {
+        assert!(config.k > 0, "k-means with k = 0");
+        assert!(!data.is_empty(), "k-means over empty data");
+        let dim = data.dim();
+        let n = data.len();
+        let mut rng = StdRng::seed_from_u64(config.seed);
+
+        let mut centroids = Self::plus_plus_init(data, config.k, &mut rng);
+        let mut assignment = vec![0usize; n];
+
+        for _ in 0..config.max_iters {
+            // assignment step
+            let mut changed = false;
+            for (i, v) in data.iter().enumerate() {
+                let c = nearest_centroid(&centroids, v).0;
+                if assignment[i] != c {
+                    assignment[i] = c;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+            // update step
+            let mut sums = vec![0.0f32; config.k * dim];
+            let mut counts = vec![0usize; config.k];
+            for (i, v) in data.iter().enumerate() {
+                let c = assignment[i];
+                counts[c] += 1;
+                for (s, &x) in sums[c * dim..(c + 1) * dim].iter_mut().zip(v) {
+                    *s += x;
+                }
+            }
+            let mut next = VectorSet::new(dim);
+            for c in 0..config.k {
+                if counts[c] == 0 {
+                    // dead centroid: reseed on a random point
+                    next.push(data.get(rng.gen_range(0..n)));
+                } else {
+                    let inv = 1.0 / counts[c] as f32;
+                    let row: Vec<f32> =
+                        sums[c * dim..(c + 1) * dim].iter().map(|s| s * inv).collect();
+                    next.push(&row);
+                }
+            }
+            centroids = next;
+        }
+        KMeans { centroids }
+    }
+
+    fn plus_plus_init(data: &VectorSet, k: usize, rng: &mut StdRng) -> VectorSet {
+        let n = data.len();
+        let mut centroids = VectorSet::new(data.dim());
+        centroids.push(data.get(rng.gen_range(0..n)));
+        let mut dist2: Vec<f32> = data
+            .iter()
+            .map(|v| sq_l2(v, centroids.get(0)))
+            .collect();
+        while centroids.len() < k {
+            let total: f32 = dist2.iter().sum();
+            let next = if total <= f32::EPSILON {
+                rng.gen_range(0..n)
+            } else {
+                // sample proportional to squared distance
+                let mut r = rng.gen_range(0.0..total);
+                let mut chosen = n - 1;
+                for (i, &d) in dist2.iter().enumerate() {
+                    if r < d {
+                        chosen = i;
+                        break;
+                    }
+                    r -= d;
+                }
+                chosen
+            };
+            centroids.push(data.get(next));
+            let newest = centroids.len() - 1;
+            for (i, v) in data.iter().enumerate() {
+                let d = sq_l2(v, centroids.get(newest));
+                if d < dist2[i] {
+                    dist2[i] = d;
+                }
+            }
+        }
+        centroids
+    }
+
+    /// The learned centroids.
+    pub fn centroids(&self) -> &VectorSet {
+        &self.centroids
+    }
+
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// Index and squared distance of the centroid nearest to `v`.
+    pub fn assign(&self, v: &[f32]) -> (usize, f32) {
+        nearest_centroid(&self.centroids, v)
+    }
+
+    /// Mean squared quantization error of `data` under this codebook.
+    pub fn distortion(&self, data: &VectorSet) -> f32 {
+        if data.is_empty() {
+            return 0.0;
+        }
+        data.iter().map(|v| self.assign(v).1).sum::<f32>() / data.len() as f32
+    }
+}
+
+fn nearest_centroid(centroids: &VectorSet, v: &[f32]) -> (usize, f32) {
+    let mut best = (0usize, f32::INFINITY);
+    for (c, cv) in centroids.iter().enumerate() {
+        let d = sq_l2(v, cv);
+        if d < best.1 {
+            best = (c, d);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three_blobs() -> VectorSet {
+        let mut vs = VectorSet::new(2);
+        let centers = [(0.0, 0.0), (10.0, 10.0), (-10.0, 10.0)];
+        let mut rng = StdRng::seed_from_u64(3);
+        for &(cx, cy) in &centers {
+            for _ in 0..30 {
+                vs.push(&[cx + rng.gen_range(-0.5..0.5), cy + rng.gen_range(-0.5..0.5)]);
+            }
+        }
+        vs
+    }
+
+    #[test]
+    fn recovers_three_blobs() {
+        let data = three_blobs();
+        let km = KMeans::fit(&data, KMeansConfig { k: 3, max_iters: 50, seed: 1 });
+        // every centroid should be within 1.0 of a true blob center
+        let truth = [(0.0, 0.0), (10.0, 10.0), (-10.0, 10.0)];
+        for c in km.centroids().iter() {
+            let close = truth
+                .iter()
+                .any(|&(x, y)| sq_l2(c, &[x, y]) < 1.0);
+            assert!(close, "centroid {c:?} far from all blobs");
+        }
+        assert!(km.distortion(&data) < 0.5);
+    }
+
+    #[test]
+    fn assignment_is_nearest() {
+        let data = three_blobs();
+        let km = KMeans::fit(&data, KMeansConfig { k: 3, max_iters: 50, seed: 2 });
+        let (c, d) = km.assign(&[10.0, 10.0]);
+        assert!(d < 1.0);
+        assert!(c < 3);
+    }
+
+    #[test]
+    fn fewer_points_than_k_degenerates_gracefully() {
+        let mut vs = VectorSet::new(2);
+        vs.push(&[1.0, 1.0]);
+        vs.push(&[2.0, 2.0]);
+        let km = KMeans::fit(&vs, KMeansConfig { k: 8, max_iters: 5, seed: 0 });
+        assert_eq!(km.k(), 8);
+        // quantizing the training points is exact
+        assert_eq!(km.assign(&[1.0, 1.0]).1, 0.0);
+        assert_eq!(km.assign(&[2.0, 2.0]).1, 0.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data = three_blobs();
+        let a = KMeans::fit(&data, KMeansConfig { k: 3, max_iters: 20, seed: 7 });
+        let b = KMeans::fit(&data, KMeansConfig { k: 3, max_iters: 20, seed: 7 });
+        assert_eq!(a.centroids(), b.centroids());
+    }
+
+    #[test]
+    fn identical_points_dont_crash() {
+        let mut vs = VectorSet::new(3);
+        for _ in 0..20 {
+            vs.push(&[1.0, 2.0, 3.0]);
+        }
+        let km = KMeans::fit(&vs, KMeansConfig { k: 4, max_iters: 10, seed: 0 });
+        assert_eq!(km.assign(&[1.0, 2.0, 3.0]).1, 0.0);
+    }
+}

@@ -1,0 +1,356 @@
+//! Product quantization (§III-D of the paper).
+//!
+//! A `D`-dimensional embedding is split into `m` contiguous sub-vectors;
+//! each sub-vector is quantized to the nearest of `ks` centroids learned by
+//! k-means, so a vector is stored as `m` small integers (8 bytes for the
+//! paper's default `D = 64`, `m = 8`, `ks = 256`). Queries use asymmetric
+//! distance computation (ADC): a per-query table of query-to-centroid
+//! distances turns each distance evaluation into `m` table lookups.
+
+use crate::flat::batch_search;
+use crate::kmeans::{KMeans, KMeansConfig};
+use crate::topk::{Neighbor, TopK};
+use crate::vectors::{sq_l2, VectorSet};
+
+/// Configuration for [`ProductQuantizer::train`].
+#[derive(Debug, Clone, Copy)]
+pub struct PqConfig {
+    /// Number of sub-quantizers (`m`); must divide the vector dimension.
+    pub m: usize,
+    /// Centroids per sub-quantizer (`ks`, ≤ 256 so codes fit in a byte).
+    pub ks: usize,
+    /// k-means iterations per sub-quantizer.
+    pub kmeans_iters: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for PqConfig {
+    /// The paper's default: 8 sub-quantizers × 256 centroids = 8 B/vector.
+    fn default() -> Self {
+        PqConfig { m: 8, ks: 256, kmeans_iters: 15, seed: 0 }
+    }
+}
+
+/// Trained product quantizer: `m` codebooks of `ks` sub-centroids each.
+#[derive(Debug, Clone)]
+pub struct ProductQuantizer {
+    m: usize,
+    dsub: usize,
+    ks: usize,
+    /// Codebook `j` holds `ks` centroids of dimension `dsub`.
+    codebooks: Vec<VectorSet>,
+}
+
+impl ProductQuantizer {
+    /// Trains the quantizer on `data`.
+    ///
+    /// # Panics
+    /// Panics if `data` is empty, `config.m` does not divide the dimension,
+    /// or `config.ks` exceeds 256.
+    pub fn train(data: &VectorSet, config: PqConfig) -> Self {
+        assert!(!data.is_empty(), "PQ training data is empty");
+        assert!(config.ks >= 1 && config.ks <= 256, "ks must be 1..=256, got {}", config.ks);
+        let dim = data.dim();
+        assert_eq!(
+            dim % config.m,
+            0,
+            "m = {} does not divide dimension {}",
+            config.m,
+            dim
+        );
+        let dsub = dim / config.m;
+        let mut codebooks = Vec::with_capacity(config.m);
+        for j in 0..config.m {
+            let mut sub = VectorSet::new(dsub);
+            for v in data.iter() {
+                sub.push(&v[j * dsub..(j + 1) * dsub]);
+            }
+            let km = KMeans::fit(
+                &sub,
+                KMeansConfig {
+                    k: config.ks,
+                    max_iters: config.kmeans_iters,
+                    seed: config.seed.wrapping_add(j as u64),
+                },
+            );
+            codebooks.push(km.centroids().clone());
+        }
+        ProductQuantizer { m: config.m, dsub, ks: config.ks, codebooks }
+    }
+
+    /// Number of sub-quantizers.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Centroids per sub-quantizer.
+    pub fn ks(&self) -> usize {
+        self.ks
+    }
+
+    /// Dimension handled by the quantizer.
+    pub fn dim(&self) -> usize {
+        self.m * self.dsub
+    }
+
+    /// Size of the codebooks in bytes.
+    pub fn codebook_nbytes(&self) -> usize {
+        self.codebooks.iter().map(VectorSet::nbytes).sum()
+    }
+
+    /// Encodes one vector into `m` bytes.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn encode(&self, v: &[f32]) -> Vec<u8> {
+        assert_eq!(v.len(), self.dim(), "encode dim {} != {}", v.len(), self.dim());
+        let mut code = Vec::with_capacity(self.m);
+        for j in 0..self.m {
+            let sub = &v[j * self.dsub..(j + 1) * self.dsub];
+            let mut best = (0usize, f32::INFINITY);
+            for (c, cent) in self.codebooks[j].iter().enumerate() {
+                let d = sq_l2(sub, cent);
+                if d < best.1 {
+                    best = (c, d);
+                }
+            }
+            code.push(best.0 as u8);
+        }
+        code
+    }
+
+    /// Reconstructs the approximate vector for a code.
+    ///
+    /// # Panics
+    /// Panics if the code length differs from `m`.
+    pub fn decode(&self, code: &[u8]) -> Vec<f32> {
+        assert_eq!(code.len(), self.m, "code length {} != m {}", code.len(), self.m);
+        let mut out = Vec::with_capacity(self.dim());
+        for (j, &c) in code.iter().enumerate() {
+            out.extend_from_slice(self.codebooks[j].get(c as usize));
+        }
+        out
+    }
+
+    /// ADC lookup table for `query`: entry `[j * ks + c]` holds the squared
+    /// distance between the query's `j`-th sub-vector and centroid `c`.
+    pub fn distance_table(&self, query: &[f32]) -> Vec<f32> {
+        assert_eq!(query.len(), self.dim(), "query dim {} != {}", query.len(), self.dim());
+        let mut table = vec![0.0f32; self.m * self.ks];
+        for j in 0..self.m {
+            let sub = &query[j * self.dsub..(j + 1) * self.dsub];
+            for (c, cent) in self.codebooks[j].iter().enumerate() {
+                table[j * self.ks + c] = sq_l2(sub, cent);
+            }
+        }
+        table
+    }
+
+    /// Approximate squared distance via the ADC table.
+    #[inline]
+    pub fn adc(&self, table: &[f32], code: &[u8]) -> f32 {
+        let mut acc = 0.0f32;
+        for (j, &c) in code.iter().enumerate() {
+            acc += table[j * self.ks + c as usize];
+        }
+        acc
+    }
+}
+
+/// Compressed index: one `m`-byte code per vector plus the codebooks — the
+/// paper's EL configuration (8 B/entity instead of 256 B).
+///
+/// ```
+/// use emblookup_ann::{PqConfig, PqIndex, VectorSet};
+/// let mut data = VectorSet::new(8);
+/// for i in 0..100 {
+///     data.push(&[i as f32, 0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+/// }
+/// let index = PqIndex::build(&data, PqConfig { m: 2, ks: 16, kmeans_iters: 5, seed: 0 });
+/// let hits = index.search(data.get(42), 3);
+/// assert_eq!(hits.len(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PqIndex {
+    quantizer: ProductQuantizer,
+    codes: Vec<u8>,
+    n: usize,
+}
+
+impl PqIndex {
+    /// Trains a quantizer on `data` and encodes every vector.
+    pub fn build(data: &VectorSet, config: PqConfig) -> Self {
+        let quantizer = ProductQuantizer::train(data, config);
+        Self::from_quantizer(quantizer, data)
+    }
+
+    /// Encodes `data` under an already-trained quantizer.
+    pub fn from_quantizer(quantizer: ProductQuantizer, data: &VectorSet) -> Self {
+        let mut codes = Vec::with_capacity(data.len() * quantizer.m());
+        for v in data.iter() {
+            codes.extend_from_slice(&quantizer.encode(v));
+        }
+        PqIndex { n: data.len(), quantizer, codes }
+    }
+
+    /// Number of indexed vectors.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The trained quantizer.
+    pub fn quantizer(&self) -> &ProductQuantizer {
+        &self.quantizer
+    }
+
+    /// Size of the stored codes in bytes (8 B/vector at paper defaults).
+    pub fn code_nbytes(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// Total index size: codes plus codebooks.
+    pub fn nbytes(&self) -> usize {
+        self.code_nbytes() + self.quantizer.codebook_nbytes()
+    }
+
+    /// Approximate `k` nearest neighbours of `query` via ADC, ascending.
+    pub fn search(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
+        if self.n == 0 || k == 0 {
+            return Vec::new();
+        }
+        let table = self.quantizer.distance_table(query);
+        let m = self.quantizer.m();
+        let mut tk = TopK::new(k);
+        for i in 0..self.n {
+            let code = &self.codes[i * m..(i + 1) * m];
+            tk.push(i, self.quantizer.adc(&table, code));
+        }
+        tk.into_sorted()
+    }
+
+    /// Batch search; `threads > 1` splits the queries across threads.
+    pub fn search_batch(&self, queries: &VectorSet, k: usize, threads: usize) -> Vec<Vec<Neighbor>> {
+        batch_search(queries, k, threads, |q, k| self.search(q, k))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flat::FlatIndex;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_set(n: usize, dim: usize, seed: u64) -> VectorSet {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut vs = VectorSet::new(dim);
+        for _ in 0..n {
+            let v: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            vs.push(&v);
+        }
+        vs
+    }
+
+    fn small_config() -> PqConfig {
+        PqConfig { m: 4, ks: 16, kmeans_iters: 10, seed: 0 }
+    }
+
+    #[test]
+    fn encode_decode_reduces_error_vs_random() {
+        let data = random_set(300, 16, 1);
+        let pq = ProductQuantizer::train(&data, small_config());
+        let mut total = 0.0f32;
+        for v in data.iter() {
+            let rec = pq.decode(&pq.encode(v));
+            total += sq_l2(v, &rec);
+        }
+        let avg = total / data.len() as f32;
+        // a random 16-d vector pair in [-1,1] has expected sq dist ~ 16 * 2/3
+        assert!(avg < 3.0, "quantization error too high: {avg}");
+    }
+
+    #[test]
+    fn adc_equals_decoded_distance() {
+        let data = random_set(100, 8, 2);
+        let pq = ProductQuantizer::train(&data, PqConfig { m: 2, ks: 8, kmeans_iters: 10, seed: 3 });
+        let q: Vec<f32> = (0..8).map(|i| i as f32 * 0.1).collect();
+        let table = pq.distance_table(&q);
+        for v in data.iter().take(10) {
+            let code = pq.encode(v);
+            let adc = pq.adc(&table, &code);
+            let exact = sq_l2(&q, &pq.decode(&code));
+            assert!((adc - exact).abs() < 1e-4, "adc {adc} vs exact {exact}");
+        }
+    }
+
+    #[test]
+    fn code_size_matches_paper_math() {
+        // 64-d vectors, m=8, ks=256 -> 8 bytes per vector (vs 256 raw)
+        let data = random_set(300, 64, 4);
+        let idx = PqIndex::build(&data, PqConfig { m: 8, ks: 256, kmeans_iters: 3, seed: 0 });
+        assert_eq!(idx.code_nbytes(), 300 * 8);
+        assert_eq!(data.nbytes(), 300 * 256);
+    }
+
+    #[test]
+    fn recall_at_large_k_is_high() {
+        // Figure 4's premise: PQ recall improves with k
+        let data = random_set(500, 16, 5);
+        let flat = FlatIndex::new(data.clone());
+        let idx = PqIndex::build(&data, small_config());
+        let queries = random_set(20, 16, 6);
+        let mut recall_small = 0.0;
+        let mut recall_large = 0.0;
+        for q in queries.iter() {
+            let truth_small: Vec<usize> = flat.search(q, 2).iter().map(|n| n.index).collect();
+            let got_small: Vec<usize> = idx.search(q, 2).iter().map(|n| n.index).collect();
+            recall_small += truth_small.iter().filter(|i| got_small.contains(i)).count() as f64 / 2.0;
+
+            let truth_large: Vec<usize> = flat.search(q, 50).iter().map(|n| n.index).collect();
+            let got_large: Vec<usize> = idx.search(q, 50).iter().map(|n| n.index).collect();
+            recall_large += truth_large.iter().filter(|i| got_large.contains(i)).count() as f64 / 50.0;
+        }
+        recall_small /= 20.0;
+        recall_large /= 20.0;
+        assert!(recall_large > 0.5, "recall@50 too low: {recall_large}");
+        assert!(recall_large >= recall_small - 0.05, "recall did not improve with k");
+    }
+
+    #[test]
+    fn search_is_sorted_and_sized() {
+        let data = random_set(100, 8, 7);
+        let idx = PqIndex::build(&data, PqConfig { m: 2, ks: 8, kmeans_iters: 5, seed: 0 });
+        let hits = idx.search(data.get(0), 10);
+        assert_eq!(hits.len(), 10);
+        for w in hits.windows(2) {
+            assert!(w[0].dist <= w[1].dist);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not divide")]
+    fn bad_m_panics() {
+        let data = random_set(10, 10, 8);
+        let _ = ProductQuantizer::train(&data, PqConfig { m: 3, ks: 4, kmeans_iters: 2, seed: 0 });
+    }
+
+    #[test]
+    fn duplicate_vectors_encode_identically() {
+        let mut vs = VectorSet::new(4);
+        for _ in 0..50 {
+            vs.push(&[1.0, 2.0, 3.0, 4.0]);
+        }
+        let pq = ProductQuantizer::train(&vs, PqConfig { m: 2, ks: 4, kmeans_iters: 5, seed: 0 });
+        let c1 = pq.encode(vs.get(0));
+        let c2 = pq.encode(vs.get(49));
+        assert_eq!(c1, c2);
+        let rec = pq.decode(&c1);
+        assert!(sq_l2(&rec, vs.get(0)) < 1e-6);
+    }
+}

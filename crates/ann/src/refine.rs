@@ -1,0 +1,119 @@
+//! Refined search: approximate candidate generation + exact re-ranking
+//! (FAISS's `IndexRefineFlat`). The compressed index over-fetches `r × k`
+//! candidates cheaply; exact distances on the raw vectors then fix the
+//! final order — recovering most of the recall PQ loses at small `k`
+//! (the Figure 4 effect) at a fraction of the flat-scan cost.
+
+use crate::pq::PqIndex;
+use crate::topk::{Neighbor, TopK};
+use crate::vectors::{sq_l2, VectorSet};
+
+/// PQ candidate generation with exact re-ranking against the raw vectors.
+pub struct RefinedPqIndex {
+    pq: PqIndex,
+    raw: VectorSet,
+    /// Over-fetch factor: the PQ stage retrieves `refine_factor * k`.
+    pub refine_factor: usize,
+}
+
+impl RefinedPqIndex {
+    /// Wraps a PQ index together with the raw vectors it was built from.
+    ///
+    /// # Panics
+    /// Panics if the vector count differs from the index size or
+    /// `refine_factor` is zero.
+    pub fn new(pq: PqIndex, raw: VectorSet, refine_factor: usize) -> Self {
+        assert_eq!(pq.len(), raw.len(), "PQ index and raw vectors disagree in size");
+        assert!(refine_factor >= 1, "refine_factor must be >= 1");
+        RefinedPqIndex { pq, raw, refine_factor }
+    }
+
+    /// Number of indexed vectors.
+    pub fn len(&self) -> usize {
+        self.raw.len()
+    }
+
+    /// True when the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.raw.is_empty()
+    }
+
+    /// `k` nearest neighbours: PQ over-fetch, then exact re-rank.
+    pub fn search(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
+        if k == 0 || self.raw.is_empty() {
+            return Vec::new();
+        }
+        let fetch = k.saturating_mul(self.refine_factor);
+        let candidates = self.pq.search(query, fetch);
+        let mut tk = TopK::new(k);
+        for c in candidates {
+            tk.push(c.index, sq_l2(query, self.raw.get(c.index)));
+        }
+        tk.into_sorted()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flat::FlatIndex;
+    use crate::pq::PqConfig;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_set(n: usize, dim: usize, seed: u64) -> VectorSet {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut vs = VectorSet::new(dim);
+        for _ in 0..n {
+            let v: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            vs.push(&v);
+        }
+        vs
+    }
+
+    #[test]
+    fn refinement_beats_raw_pq_at_small_k() {
+        let data = random_set(800, 16, 1);
+        let flat = FlatIndex::new(data.clone());
+        let cfg = PqConfig { m: 4, ks: 16, kmeans_iters: 8, seed: 0 };
+        let pq = PqIndex::build(&data, cfg);
+        let refined = RefinedPqIndex::new(PqIndex::build(&data, cfg), data.clone(), 8);
+        let queries = random_set(25, 16, 2);
+
+        let recall = |search: &dyn Fn(&[f32]) -> Vec<Neighbor>| -> f64 {
+            let mut acc = 0.0;
+            for q in queries.iter() {
+                let truth: Vec<usize> = flat.search(q, 3).iter().map(|n| n.index).collect();
+                let got: Vec<usize> = search(q).iter().map(|n| n.index).collect();
+                acc += truth.iter().filter(|i| got.contains(i)).count() as f64 / 3.0;
+            }
+            acc / queries.len() as f64
+        };
+        let r_pq = recall(&|q| pq.search(q, 3));
+        let r_ref = recall(&|q| refined.search(q, 3));
+        assert!(
+            r_ref >= r_pq,
+            "refinement did not help: {r_ref} < {r_pq}"
+        );
+        assert!(r_ref > 0.9, "refined recall@3 too low: {r_ref}");
+    }
+
+    #[test]
+    fn exact_distances_in_output() {
+        let data = random_set(100, 8, 3);
+        let cfg = PqConfig { m: 2, ks: 8, kmeans_iters: 5, seed: 0 };
+        let refined = RefinedPqIndex::new(PqIndex::build(&data, cfg), data.clone(), 4);
+        let hits = refined.search(data.get(7), 1);
+        assert_eq!(hits[0].index, 7);
+        assert_eq!(hits[0].dist, 0.0); // exact distance, not ADC estimate
+    }
+
+    #[test]
+    #[should_panic(expected = "disagree in size")]
+    fn size_mismatch_panics() {
+        let data = random_set(50, 8, 4);
+        let cfg = PqConfig { m: 2, ks: 8, kmeans_iters: 3, seed: 0 };
+        let pq = PqIndex::build(&data, cfg);
+        let _ = RefinedPqIndex::new(pq, random_set(10, 8, 5), 4);
+    }
+}

@@ -1,0 +1,158 @@
+//! Bounded top-k selection by distance.
+
+/// One search hit: index into the collection plus squared L2 distance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbor {
+    /// Index of the matched vector.
+    pub index: usize,
+    /// Squared Euclidean distance to the query.
+    pub dist: f32,
+}
+
+/// Collects the `k` smallest-distance candidates seen so far.
+///
+/// Implemented as a bounded binary max-heap keyed on distance, so a stream
+/// of `n` candidates costs `O(n log k)`. Ties broken by insertion order.
+#[derive(Debug)]
+pub struct TopK {
+    k: usize,
+    heap: Vec<Neighbor>, // max-heap on dist
+}
+
+impl TopK {
+    /// Creates a collector for the `k` nearest candidates.
+    ///
+    /// # Panics
+    /// Panics if `k` is zero.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "top-k with k = 0");
+        TopK { k, heap: Vec::with_capacity(k + 1) }
+    }
+
+    /// The current worst (largest) accepted distance, or `f32::INFINITY`
+    /// while fewer than `k` candidates are held. Useful for pruning.
+    pub fn threshold(&self) -> f32 {
+        if self.heap.len() < self.k {
+            f32::INFINITY
+        } else {
+            self.heap[0].dist
+        }
+    }
+
+    /// Offers a candidate; it is kept only if it beats the current top-k.
+    pub fn push(&mut self, index: usize, dist: f32) {
+        if self.heap.len() < self.k {
+            self.heap.push(Neighbor { index, dist });
+            self.sift_up(self.heap.len() - 1);
+        } else if dist < self.heap[0].dist {
+            self.heap[0] = Neighbor { index, dist };
+            self.sift_down(0);
+        }
+    }
+
+    /// Number of candidates currently held.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when nothing has been accepted yet.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Consumes the collector, returning hits sorted by ascending distance.
+    pub fn into_sorted(mut self) -> Vec<Neighbor> {
+        self.heap
+            .sort_by(|a, b| a.dist.partial_cmp(&b.dist).unwrap_or(std::cmp::Ordering::Equal));
+        self.heap
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.heap[i].dist > self.heap[parent].dist {
+                self.heap.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut largest = i;
+            if l < self.heap.len() && self.heap[l].dist > self.heap[largest].dist {
+                largest = l;
+            }
+            if r < self.heap.len() && self.heap[r].dist > self.heap[largest].dist {
+                largest = r;
+            }
+            if largest == i {
+                break;
+            }
+            self.heap.swap(i, largest);
+            i = largest;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_k_smallest() {
+        let mut tk = TopK::new(3);
+        for (i, d) in [5.0, 1.0, 4.0, 2.0, 3.0, 0.5].iter().enumerate() {
+            tk.push(i, *d);
+        }
+        let hits = tk.into_sorted();
+        assert_eq!(hits.len(), 3);
+        assert_eq!(hits[0].dist, 0.5);
+        assert_eq!(hits[1].dist, 1.0);
+        assert_eq!(hits[2].dist, 2.0);
+        assert_eq!(hits[0].index, 5);
+    }
+
+    #[test]
+    fn fewer_candidates_than_k() {
+        let mut tk = TopK::new(10);
+        tk.push(0, 1.0);
+        tk.push(1, 0.5);
+        let hits = tk.into_sorted();
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].index, 1);
+    }
+
+    #[test]
+    fn threshold_tracks_worst_kept() {
+        let mut tk = TopK::new(2);
+        assert_eq!(tk.threshold(), f32::INFINITY);
+        tk.push(0, 3.0);
+        assert_eq!(tk.threshold(), f32::INFINITY);
+        tk.push(1, 1.0);
+        assert_eq!(tk.threshold(), 3.0);
+        tk.push(2, 0.5);
+        assert_eq!(tk.threshold(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "k = 0")]
+    fn zero_k_panics() {
+        let _ = TopK::new(0);
+    }
+
+    #[test]
+    fn sorted_output_is_ascending() {
+        let mut tk = TopK::new(5);
+        for i in 0..100 {
+            tk.push(i, ((i * 37) % 100) as f32);
+        }
+        let hits = tk.into_sorted();
+        for w in hits.windows(2) {
+            assert!(w[0].dist <= w[1].dist);
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Criterion micro-benchmarks behind Table V: per-query latency of every
+//! local lookup service against the same catalog.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use emblookup_ann::lsh::LshConfig;
+use emblookup_baselines::{
+    ElasticLikeService, ElasticOp, ElasticOpService, ExactMatchService, FuzzyWuzzyService,
+    LevenshteinService, LshService, QGramService,
+};
+use emblookup_bench::harness::{Env, Scale};
+use emblookup_kg::{KgFlavor, LookupService};
+use std::hint::black_box;
+
+fn bench_services(c: &mut Criterion) {
+    let env = Env::build(KgFlavor::Wikidata, Scale::Smoke);
+    let kg = &env.synth.kg;
+    let queries: Vec<String> = env
+        .dataset
+        .tables
+        .iter()
+        .flat_map(|t| {
+            t.entity_cells()
+                .map(|(_, _, cell)| cell.text.clone())
+                .collect::<Vec<_>>()
+        })
+        .take(32)
+        .collect();
+
+    let services: Vec<Box<dyn LookupService>> = vec![
+        Box::new(ExactMatchService::new(kg, false)),
+        Box::new(LevenshteinService::new(kg, false, 3)),
+        Box::new(QGramService::new(kg, false, 3)),
+        Box::new(FuzzyWuzzyService::new(kg, false)),
+        Box::new(ElasticLikeService::new(kg, false)),
+        Box::new(LshService::new(kg, false, LshConfig::default())),
+        Box::new(ElasticOpService::new(kg, false, ElasticOp::Levenshtein)),
+    ];
+
+    let mut group = c.benchmark_group("table5_lookup_services");
+    group.sample_size(20);
+    for (i, svc) in services.iter().enumerate() {
+        // index prefix keeps IDs unique (two services are named
+        // "Levenshtein": the scan and the engine-hosted operation)
+        let id = format!("{}_{}", i, svc.name().replace(' ', "_"));
+        group.bench_function(id, |b| {
+            let mut i = 0usize;
+            b.iter_batched(
+                || {
+                    let q = queries[i % queries.len()].clone();
+                    i += 1;
+                    q
+                },
+                |q| black_box(svc.lookup(&q, 10)),
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.bench_function("EmbLookup_PQ", |b| {
+        let mut i = 0usize;
+        b.iter_batched(
+            || {
+                let q = queries[i % queries.len()].clone();
+                i += 1;
+                q
+            },
+            |q| black_box(env.el.lookup(&q, 10)),
+            BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("EmbLookup_flat", |b| {
+        let mut i = 0usize;
+        b.iter_batched(
+            || {
+                let q = queries[i % queries.len()].clone();
+                i += 1;
+                q
+            },
+            |q| black_box(env.el_nc.lookup(&q, 10)),
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_services);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Regenerates every table and figure of the EmbLookup paper.
+//!
+//! ```text
+//! cargo run --release -p emblookup-bench --bin repro              # all, full scale
+//! cargo run --release -p emblookup-bench --bin repro -- --smoke   # quick pass
+//! cargo run --release -p emblookup-bench --bin repro -- table5 fig4
+//! ```
+//!
+//! Experiment names: `table1` … `table8`, `fig3`, `fig4`, `fig5`, `sizes`.
+
+use emblookup_bench::experiments as exp;
+use emblookup_bench::harness::{Env, Scale};
+use emblookup_kg::KgFlavor;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = if args.iter().any(|a| a == "--smoke") {
+        Scale::Smoke
+    } else {
+        Scale::Full
+    };
+    let selected: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let want = |name: &str| selected.is_empty() || selected.contains(&name);
+
+    println!(
+        "# EmbLookup reproduction report ({})\n",
+        if scale == Scale::Smoke { "smoke scale" } else { "full scale" }
+    );
+
+    let needs_wd = ["table2", "table4", "table5", "table6", "table7", "fig4", "fig5", "sizes"]
+        .iter()
+        .any(|e| want(e));
+    let needs_db = ["table3", "table4", "table6"].iter().any(|e| want(e));
+
+    let t0 = Instant::now();
+    let env_wd = needs_wd.then(|| {
+        eprintln!("[setup] building ST-Wikidata environment…");
+        Env::build(KgFlavor::Wikidata, scale)
+    });
+    let env_db = needs_db.then(|| {
+        eprintln!("[setup] building ST-DBPedia environment…");
+        Env::build(KgFlavor::DbPedia, scale)
+    });
+    eprintln!("[setup] done in {:.1?}", t0.elapsed());
+
+    let run = |name: &str, f: &mut dyn FnMut() -> String| {
+        if !want(name) {
+            return;
+        }
+        let start = Instant::now();
+        let report = f();
+        println!("{report}");
+        eprintln!("[{name}] finished in {:.1?}", start.elapsed());
+    };
+
+    run("table1", &mut || exp::table1(scale));
+    if let Some(env) = &env_wd {
+        run("table2", &mut || exp::table2(env));
+    }
+    if let Some(env) = &env_db {
+        run("table3", &mut || exp::table3(env));
+    }
+    if let (Some(wd), Some(db)) = (&env_wd, &env_db) {
+        run("table4", &mut || exp::table4(wd, db, scale));
+        run("table6", &mut || exp::table6(wd, db, scale));
+    }
+    if let Some(env) = &env_wd {
+        run("table5", &mut || exp::table5(env, scale));
+        run("table7", &mut || exp::table7(env));
+    }
+    run("table8", &mut || exp::table8(scale));
+    run("ablation", &mut || exp::ablation(scale));
+    run("fig3", &mut || exp::fig3(scale));
+    if let Some(env) = &env_wd {
+        run("fig4", &mut || exp::fig4(env));
+        run("fig5", &mut || exp::fig5(env));
+        run("sizes", &mut || exp::index_sizes(env));
+    }
+    eprintln!("[repro] total {:.1?}", t0.elapsed());
+}

@@ -1,0 +1,10 @@
+//! # emblookup-bench
+//!
+//! Experiment harness regenerating every table and figure of the paper.
+//! See `src/bin/repro.rs` for the table/figure reproductions and
+//! `benches/` for the Criterion micro-benchmarks.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod harness;

@@ -1,0 +1,292 @@
+//! Configuration of the EmbLookup pipeline.
+
+use emblookup_ann::PqConfig;
+use serde::{Deserialize, Serialize};
+
+/// How entity embeddings are compressed before indexing (§III-D).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Compression {
+    /// No compression: full-precision flat index (the paper's EL-NC).
+    None,
+    /// Product quantization with `m` sub-quantizers of `ks` centroids
+    /// (the paper's EL; defaults give 8 bytes per entity).
+    Pq {
+        /// Sub-quantizer count.
+        m: usize,
+        /// Centroids per sub-quantizer (≤ 256).
+        ks: usize,
+    },
+    /// PCA to `k` dimensions, stored full precision — the weaker
+    /// alternative of Figure 5.
+    Pca {
+        /// Retained components.
+        k: usize,
+    },
+    /// IVF-Flat: approximate search over full-precision vectors (§III-C —
+    /// EmbLookup "could accommodate either exact or approximate similarity
+    /// search"). Not a compression scheme; index size equals the flat one.
+    Ivf {
+        /// Coarse clusters.
+        nlist: usize,
+        /// Clusters probed per query.
+        nprobe: usize,
+    },
+    /// HNSW graph search over full-precision vectors (the nmslib-style
+    /// alternative the paper's §III-C survey mentions). Index size grows
+    /// by the neighbour lists.
+    Hnsw {
+        /// Max neighbours per node per layer.
+        m: usize,
+        /// Beam width at query time.
+        ef_search: usize,
+    },
+}
+
+impl Compression {
+    /// The paper's default PQ setting (64-d → 8 bytes).
+    pub fn default_pq() -> Self {
+        Compression::Pq { m: 8, ks: 256 }
+    }
+
+    pub(crate) fn pq_config(m: usize, ks: usize, seed: u64) -> PqConfig {
+        PqConfig { m, ks, kmeans_iters: 15, seed }
+    }
+}
+
+/// Which metric-learning loss drives training. The paper uses triplet
+/// loss and lists "evaluating other loss functions" as future work;
+/// [`LossKind::Contrastive`] implements that extension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LossKind {
+    /// The paper's `max(0, d(a,p)² − d(a,n)² + margin)` (Equation 3).
+    Triplet,
+    /// Contrastive pull/push on both pairs of the triplet.
+    Contrastive,
+}
+
+/// Hyperparameters of the EmbLookup model and training procedure (§III).
+///
+/// Paper defaults: 64-d embeddings, 5 conv layers of 8 kernels of size 3,
+/// triplet margin, batch 128, Adam, 100 epochs (half offline, half online
+/// hard mining), 100 triplets per entity. [`EmbLookupConfig::fast`] scales
+/// the training budget down for the synthetic-KG reproduction while keeping
+/// the architecture identical.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EmbLookupConfig {
+    /// Output embedding dimension (paper default 64).
+    pub embedding_dim: usize,
+    /// Number of convolution layers (paper: 5).
+    pub conv_layers: usize,
+    /// Kernels (output channels) per conv layer (paper: 8).
+    pub kernels: usize,
+    /// Kernel width (paper: 3).
+    pub kernel_size: usize,
+    /// Maximum mention length `L` for one-hot encoding.
+    pub max_len: usize,
+    /// Hidden width of the two-layer fusion MLP.
+    pub fusion_hidden: usize,
+    /// Temporal segments for the CNN max-pooling aggregation. The paper
+    /// says "we use max-pooling to aggregate outputs" without fixing the
+    /// granularity; 4 segments preserve coarse positional information.
+    pub pool_segments: usize,
+    /// Triplet-loss margin.
+    pub margin: f32,
+    /// Loss function (paper: triplet; contrastive is the future-work
+    /// extension).
+    pub loss: LossKind,
+    /// Total training epochs; the first half trains offline on all
+    /// triplets, the second half online on hard/semi-hard triplets only.
+    pub epochs: usize,
+    /// Minibatch size (paper: 128).
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Triplets mined per entity (paper default 100).
+    pub triplets_per_entity: usize,
+    /// Compression applied to the entity index.
+    pub compression: Compression,
+    /// Dimension of the frozen fastText semantic features.
+    pub fasttext_dim: usize,
+    /// Training epochs for the frozen fastText semantic leg (cheap —
+    /// SGNS with analytic gradients).
+    pub fasttext_epochs: usize,
+    /// L2-normalize output embeddings (standard deep-metric-learning
+    /// practice; makes the triplet margin scale-free).
+    pub l2_normalize: bool,
+    /// Additionally index each entity under its alias embeddings — the
+    /// optional accuracy/storage trade-off of §III-C ("one could obtain
+    /// alternate embeddings for Q183 by evaluating the model on its
+    /// aliases"). Off by default, as in the paper.
+    pub index_aliases: bool,
+    /// RNG seed for mining, initialization and shuffling.
+    pub seed: u64,
+}
+
+impl Default for EmbLookupConfig {
+    fn default() -> Self {
+        EmbLookupConfig {
+            embedding_dim: 64,
+            conv_layers: 5,
+            kernels: 8,
+            kernel_size: 3,
+            max_len: 32,
+            fusion_hidden: 128,
+            pool_segments: 4,
+            margin: 0.5,
+            loss: LossKind::Triplet,
+            epochs: 100,
+            batch_size: 128,
+            lr: 1e-3,
+            triplets_per_entity: 100,
+            compression: Compression::default_pq(),
+            fasttext_dim: 64,
+            fasttext_epochs: 30,
+            l2_normalize: true,
+            index_aliases: false,
+            seed: 0,
+        }
+    }
+}
+
+impl EmbLookupConfig {
+    /// Paper architecture with a reduced training budget, sized for the
+    /// synthetic benchmark KGs (minutes instead of GPU-hours).
+    pub fn fast(seed: u64) -> Self {
+        EmbLookupConfig {
+            epochs: 16,
+            triplets_per_entity: 25,
+            lr: 2e-3,
+            seed,
+            ..Default::default()
+        }
+    }
+
+    /// Tiny setting for unit tests (seconds).
+    pub fn tiny(seed: u64) -> Self {
+        EmbLookupConfig {
+            embedding_dim: 16,
+            conv_layers: 2,
+            kernels: 6,
+            max_len: 16,
+            fusion_hidden: 24,
+            pool_segments: 2,
+            epochs: 4,
+            batch_size: 16,
+            lr: 5e-3,
+            triplets_per_entity: 6,
+            compression: Compression::None,
+            fasttext_dim: 16,
+            fasttext_epochs: 3,
+            seed,
+            ..Default::default()
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    /// Describes the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.embedding_dim == 0 {
+            return Err("embedding_dim must be positive".into());
+        }
+        if self.conv_layers == 0 {
+            return Err("conv_layers must be positive".into());
+        }
+        if self.epochs == 0 {
+            return Err("epochs must be positive".into());
+        }
+        if self.batch_size == 0 {
+            return Err("batch_size must be positive".into());
+        }
+        if let Compression::Pq { m, ks } = self.compression {
+            if m == 0 || self.embedding_dim % m != 0 {
+                return Err(format!(
+                    "PQ m = {m} must divide embedding_dim = {}",
+                    self.embedding_dim
+                ));
+            }
+            if ks == 0 || ks > 256 {
+                return Err(format!("PQ ks = {ks} out of range 1..=256"));
+            }
+        }
+        if let Compression::Pca { k } = self.compression {
+            if k == 0 || k > self.embedding_dim {
+                return Err(format!(
+                    "PCA k = {k} out of range 1..={}",
+                    self.embedding_dim
+                ));
+            }
+        }
+        if let Compression::Ivf { nlist, nprobe } = self.compression {
+            if nlist == 0 || nprobe == 0 || nprobe > nlist {
+                return Err(format!("IVF nlist {nlist} / nprobe {nprobe} invalid"));
+            }
+        }
+        if let Compression::Hnsw { m, ef_search } = self.compression {
+            if m == 0 || ef_search == 0 {
+                return Err(format!("HNSW m {m} / ef_search {ef_search} invalid"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = EmbLookupConfig::default();
+        assert_eq!(c.embedding_dim, 64);
+        assert_eq!(c.conv_layers, 5);
+        assert_eq!(c.kernels, 8);
+        assert_eq!(c.kernel_size, 3);
+        assert_eq!(c.batch_size, 128);
+        assert_eq!(c.epochs, 100);
+        assert_eq!(c.triplets_per_entity, 100);
+        assert_eq!(c.compression, Compression::Pq { m: 8, ks: 256 });
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_bad_pq() {
+        let mut c = EmbLookupConfig::default();
+        c.compression = Compression::Pq { m: 7, ks: 256 };
+        assert!(c.validate().is_err());
+        c.compression = Compression::Pq { m: 8, ks: 999 };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_bad_pca() {
+        let mut c = EmbLookupConfig::default();
+        c.compression = Compression::Pca { k: 0 };
+        assert!(c.validate().is_err());
+        c.compression = Compression::Pca { k: 65 };
+        assert!(c.validate().is_err());
+        c.compression = Compression::Pca { k: 8 };
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_zero_fields() {
+        for f in 0..4 {
+            let mut c = EmbLookupConfig::default();
+            match f {
+                0 => c.embedding_dim = 0,
+                1 => c.conv_layers = 0,
+                2 => c.epochs = 0,
+                _ => c.batch_size = 0,
+            }
+            assert!(c.validate().is_err(), "field {f} not validated");
+        }
+    }
+
+    #[test]
+    fn tiny_is_valid() {
+        assert!(EmbLookupConfig::tiny(0).validate().is_ok());
+        assert!(EmbLookupConfig::fast(0).validate().is_ok());
+    }
+}

@@ -1,0 +1,156 @@
+//! Retrieval-quality metrics for lookup services: hit@k, MRR, and recall
+//! curves — the measurements behind the paper's sensitivity analysis and
+//! this crate's ablation harness.
+
+use emblookup_kg::{EntityId, LookupService};
+
+/// A labelled retrieval workload: query strings with their ground-truth
+/// entities.
+#[derive(Debug, Clone, Default)]
+pub struct Workload {
+    queries: Vec<(String, EntityId)>,
+}
+
+impl Workload {
+    /// Creates an empty workload.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a labelled query.
+    pub fn push(&mut self, query: impl Into<String>, truth: EntityId) {
+        self.queries.push((query.into(), truth));
+    }
+
+    /// Builds a workload from `(query, truth)` pairs.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (String, EntityId)>) -> Self {
+        Workload { queries: pairs.into_iter().collect() }
+    }
+
+    /// Number of queries.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// True when the workload holds no queries.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// Fraction of queries whose truth appears in the top `k`.
+    pub fn hit_at_k(&self, service: &dyn LookupService, k: usize) -> f64 {
+        if self.queries.is_empty() {
+            return 1.0;
+        }
+        let refs: Vec<&str> = self.queries.iter().map(|(q, _)| q.as_str()).collect();
+        let results = service.lookup_batch(&refs, k);
+        let hits = results
+            .iter()
+            .zip(&self.queries)
+            .filter(|(hits, (_, truth))| hits.iter().any(|c| c.entity == *truth))
+            .count();
+        hits as f64 / self.queries.len() as f64
+    }
+
+    /// Mean reciprocal rank within the top `k` (0 contribution on miss).
+    pub fn mrr_at_k(&self, service: &dyn LookupService, k: usize) -> f64 {
+        if self.queries.is_empty() {
+            return 1.0;
+        }
+        let refs: Vec<&str> = self.queries.iter().map(|(q, _)| q.as_str()).collect();
+        let results = service.lookup_batch(&refs, k);
+        let mut acc = 0.0;
+        for (hits, (_, truth)) in results.iter().zip(&self.queries) {
+            if let Some(rank) = hits.iter().position(|c| c.entity == *truth) {
+                acc += 1.0 / (rank + 1) as f64;
+            }
+        }
+        acc / self.queries.len() as f64
+    }
+
+    /// Hit rate at every `k` in `ks` (one batched pass at `max(ks)`).
+    pub fn hit_curve(&self, service: &dyn LookupService, ks: &[usize]) -> Vec<(usize, f64)> {
+        let max_k = ks.iter().copied().max().unwrap_or(0);
+        if self.queries.is_empty() || max_k == 0 {
+            return ks.iter().map(|&k| (k, 1.0)).collect();
+        }
+        let refs: Vec<&str> = self.queries.iter().map(|(q, _)| q.as_str()).collect();
+        let results = service.lookup_batch(&refs, max_k);
+        ks.iter()
+            .map(|&k| {
+                let hits = results
+                    .iter()
+                    .zip(&self.queries)
+                    .filter(|(hits, (_, truth))| {
+                        hits.iter().take(k).any(|c| c.entity == *truth)
+                    })
+                    .count();
+                (k, hits as f64 / self.queries.len() as f64)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emblookup_kg::Candidate;
+
+    /// Service returning a fixed ranking for every query.
+    struct Fixed(Vec<EntityId>);
+    impl LookupService for Fixed {
+        fn lookup(&self, _q: &str, k: usize) -> Vec<Candidate> {
+            self.0
+                .iter()
+                .take(k)
+                .map(|&entity| Candidate { entity, score: 0.0 })
+                .collect()
+        }
+        fn name(&self) -> &str {
+            "fixed"
+        }
+    }
+
+    fn workload() -> Workload {
+        Workload::from_pairs(vec![
+            ("a".to_string(), EntityId(0)), // rank 1
+            ("b".to_string(), EntityId(2)), // rank 3
+            ("c".to_string(), EntityId(9)), // miss
+        ])
+    }
+
+    #[test]
+    fn hit_at_k_counts_correctly() {
+        let svc = Fixed(vec![EntityId(0), EntityId(1), EntityId(2)]);
+        let w = workload();
+        assert!((w.hit_at_k(&svc, 1) - 1.0 / 3.0).abs() < 1e-9);
+        assert!((w.hit_at_k(&svc, 3) - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mrr_weights_rank() {
+        let svc = Fixed(vec![EntityId(0), EntityId(1), EntityId(2)]);
+        let w = workload();
+        // (1 + 1/3 + 0) / 3
+        assert!((w.mrr_at_k(&svc, 3) - (1.0 + 1.0 / 3.0) / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hit_curve_is_monotone() {
+        let svc = Fixed(vec![EntityId(0), EntityId(1), EntityId(2), EntityId(9)]);
+        let w = workload();
+        let curve = w.hit_curve(&svc, &[1, 2, 3, 4]);
+        for pair in curve.windows(2) {
+            assert!(pair[0].1 <= pair[1].1);
+        }
+        assert_eq!(curve.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn empty_workload_is_vacuous() {
+        let svc = Fixed(vec![]);
+        let w = Workload::new();
+        assert_eq!(w.hit_at_k(&svc, 5), 1.0);
+        assert_eq!(w.mrr_at_k(&svc, 5), 1.0);
+    }
+}

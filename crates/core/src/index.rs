@@ -1,0 +1,366 @@
+//! The entity embedding index (§III-C/D).
+//!
+//! Every entity's primary label is embedded once; lookups embed the query
+//! and retrieve nearest neighbours from either the exact flat index
+//! (EL-NC), a product-quantized index (EL, 8 B/entity at defaults), or a
+//! PCA-compressed flat index (the Figure 5 alternative).
+
+use crate::config::Compression;
+use crate::model::EmbLookupModel;
+use emblookup_ann::{FlatIndex, HnswConfig, HnswIndex, IvfConfig, IvfIndex, Neighbor, Pca, PqIndex, VectorSet};
+use emblookup_kg::{EntityId, KnowledgeGraph};
+
+/// Index over entity embeddings with one of the supported backends.
+pub struct EntityIndex {
+    ids: Vec<EntityId>,
+    backend: Backend,
+    dim: usize,
+    /// True when several rows map to one entity (alias indexing): results
+    /// must then be deduplicated by entity.
+    multi_row: bool,
+}
+
+enum Backend {
+    Flat(FlatIndex),
+    Pq(PqIndex),
+    Pca { pca: Pca, flat: FlatIndex },
+    Ivf(IvfIndex),
+    Hnsw(HnswIndex),
+}
+
+impl EntityIndex {
+    /// Embeds every entity label with `model` and builds the index.
+    ///
+    /// `threads` parallelizes the bulk embedding step.
+    ///
+    /// # Panics
+    /// Panics on an empty knowledge graph, or when a PQ configuration is
+    /// incompatible with the model dimension.
+    pub fn build(
+        model: &EmbLookupModel,
+        kg: &KnowledgeGraph,
+        compression: Compression,
+        threads: usize,
+    ) -> Self {
+        assert!(kg.num_entities() > 0, "indexing an empty knowledge graph");
+        let mut labels: Vec<&str> = kg.entities().map(|e| e.label.as_str()).collect();
+        let mut ids: Vec<EntityId> = kg.entities().map(|e| e.id).collect();
+        if model.config().index_aliases {
+            // §III-C option: one extra index row per alias, mapping back to
+            // the same entity id (higher storage, higher alias recall)
+            for e in kg.entities() {
+                for alias in &e.aliases {
+                    labels.push(alias.as_str());
+                    ids.push(e.id);
+                }
+            }
+        }
+        let embeddings = model.embed_batch(&labels, threads);
+        let dim = model.dim();
+        let mut vectors = VectorSet::new(dim);
+        for v in &embeddings {
+            vectors.push(v);
+        }
+        Self::from_vectors(ids, vectors, compression)
+    }
+
+    /// Builds the index from precomputed embeddings (used by the benches
+    /// to reuse one embedding pass across several compression settings).
+    pub fn from_vectors(ids: Vec<EntityId>, vectors: VectorSet, compression: Compression) -> Self {
+        assert_eq!(ids.len(), vectors.len(), "id/vector count mismatch");
+        let dim = vectors.dim();
+        let multi_row = {
+            let mut sorted = ids.clone();
+            sorted.sort_unstable();
+            sorted.windows(2).any(|w| w[0] == w[1])
+        };
+        let backend = match compression {
+            Compression::None => Backend::Flat(FlatIndex::new(vectors)),
+            Compression::Pq { m, ks } => {
+                let cfg = Compression::pq_config(m, ks, 0xC0DE);
+                Backend::Pq(PqIndex::build(&vectors, cfg))
+            }
+            Compression::Pca { k } => {
+                let pca = Pca::fit(&vectors, k, 0xC0DE);
+                let projected = pca.project_set(&vectors);
+                Backend::Pca { pca, flat: FlatIndex::new(projected) }
+            }
+            Compression::Ivf { nlist, nprobe } => Backend::Ivf(IvfIndex::build(
+                vectors,
+                IvfConfig { nlist, nprobe, kmeans_iters: 15, seed: 0xC0DE },
+            )),
+            Compression::Hnsw { m, ef_search } => Backend::Hnsw(HnswIndex::build(
+                vectors,
+                HnswConfig { m, ef_search, ef_construction: ef_search.max(2 * m), seed: 0xC0DE },
+            )),
+        };
+        EntityIndex { ids, backend, dim, multi_row }
+    }
+
+    /// Number of indexed entities.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True when no entities are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Embedding dimension expected by [`EntityIndex::search`].
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Approximate byte size of the stored index (codes/vectors plus
+    /// codebooks), matching the storage comparisons of the evaluation.
+    pub fn nbytes(&self) -> usize {
+        match &self.backend {
+            Backend::Flat(f) => f.nbytes(),
+            Backend::Pq(p) => p.nbytes(),
+            Backend::Pca { flat, .. } => flat.nbytes(),
+            Backend::Ivf(i) => i.len() * self.dim * std::mem::size_of::<f32>(),
+            // vectors plus ~m links per node per layer (layer 0 dominant)
+            Backend::Hnsw(h) => h.len() * self.dim * std::mem::size_of::<f32>(),
+        }
+    }
+
+    /// The entity id stored at an internal index position.
+    pub fn entity_at(&self, position: usize) -> EntityId {
+        self.ids[position]
+    }
+
+    /// `k` nearest entities to a query embedding, ascending by distance.
+    /// With alias indexing, an entity reachable through several rows is
+    /// returned once at its best distance.
+    pub fn search(&self, query: &[f32], k: usize) -> Vec<(EntityId, f32)> {
+        let fetch = if self.multi_row { k.saturating_mul(3) } else { k };
+        let raw: Vec<Neighbor> = match &self.backend {
+            Backend::Flat(f) => f.search(query, fetch),
+            Backend::Pq(p) => p.search(query, fetch),
+            Backend::Pca { pca, flat } => flat.search(&pca.project(query), fetch),
+            Backend::Ivf(i) => i.search(query, fetch),
+            Backend::Hnsw(h) => h.search(query, fetch),
+        };
+        let mapped = raw.into_iter().map(|n| (self.ids[n.index], n.dist));
+        if !self.multi_row {
+            return mapped.collect();
+        }
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::with_capacity(k);
+        for (id, d) in mapped {
+            if seen.insert(id) {
+                out.push((id, d));
+                if out.len() == k {
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    /// Batch search across `threads` threads.
+    pub fn search_batch(
+        &self,
+        queries: &VectorSet,
+        k: usize,
+        threads: usize,
+    ) -> Vec<Vec<(EntityId, f32)>> {
+        if self.multi_row {
+            // alias-indexed path needs per-query dedup; reuse `search`
+            return (0..queries.len())
+                .map(|i| self.search(queries.get(i), k))
+                .collect();
+        }
+        let raw = match &self.backend {
+            Backend::Flat(f) => f.search_batch(queries, k, threads),
+            Backend::Pq(p) => p.search_batch(queries, k, threads),
+            Backend::Pca { pca, flat } => {
+                let projected = pca.project_set(queries);
+                flat.search_batch(&projected, k, threads)
+            }
+            Backend::Ivf(i) => i.search_batch(queries, k, threads),
+            Backend::Hnsw(h) => (0..queries.len())
+                .map(|i| h.search(queries.get(i), k))
+                .collect(),
+        };
+        raw.into_iter()
+            .map(|hits| {
+                hits.into_iter()
+                    .map(|n| (self.ids[n.index], n.dist))
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_vectors(n: usize, dim: usize) -> (Vec<EntityId>, VectorSet) {
+        let mut vs = VectorSet::new(dim);
+        let ids = (0..n as u32).map(EntityId).collect();
+        for i in 0..n {
+            // unique per-vector offset prevents accidental duplicates
+            let v: Vec<f32> = (0..dim)
+                .map(|j| ((i * 7 + j * 3) % 13) as f32 / 13.0 + i as f32 * 1e-3)
+                .collect();
+            vs.push(&v);
+        }
+        (ids, vs)
+    }
+
+    #[test]
+    fn flat_index_returns_self_first() {
+        let (ids, vs) = toy_vectors(50, 8);
+        let q = vs.get(10).to_vec();
+        let idx = EntityIndex::from_vectors(ids, vs, Compression::None);
+        let hits = idx.search(&q, 3);
+        assert_eq!(hits[0].0, EntityId(10));
+        assert_eq!(hits[0].1, 0.0);
+    }
+
+    #[test]
+    fn pq_index_is_much_smaller() {
+        let (ids, vs) = toy_vectors(300, 64);
+        let flat = EntityIndex::from_vectors(ids.clone(), vs.clone(), Compression::None);
+        let pq = EntityIndex::from_vectors(ids, vs, Compression::Pq { m: 8, ks: 16 });
+        assert_eq!(flat.nbytes(), 300 * 256);
+        assert!(pq.nbytes() < flat.nbytes() / 4, "pq {} vs flat {}", pq.nbytes(), flat.nbytes());
+    }
+
+    #[test]
+    fn pca_index_projects_queries() {
+        let (ids, vs) = toy_vectors(80, 16);
+        let q = vs.get(5).to_vec();
+        let idx = EntityIndex::from_vectors(ids, vs, Compression::Pca { k: 4 });
+        let hits = idx.search(&q, 5);
+        assert_eq!(hits.len(), 5);
+        // the query projects exactly onto its own stored projection
+        assert!(hits[0].1 < 1e-6, "distance {}", hits[0].1);
+        assert!(hits.iter().any(|&(id, _)| id == EntityId(5)));
+    }
+
+    #[test]
+    fn batch_matches_single() {
+        let (ids, vs) = toy_vectors(60, 8);
+        let idx = EntityIndex::from_vectors(ids, vs.clone(), Compression::None);
+        let mut queries = VectorSet::new(8);
+        for i in 0..9 {
+            queries.push(vs.get(i * 5));
+        }
+        let batch = idx.search_batch(&queries, 4, 3);
+        for (i, hits) in batch.iter().enumerate() {
+            let single = idx.search(queries.get(i), 4);
+            assert_eq!(*hits, single);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn mismatched_ids_panic() {
+        let (_, vs) = toy_vectors(10, 4);
+        let _ = EntityIndex::from_vectors(vec![EntityId(0)], vs, Compression::None);
+    }
+}
+
+#[cfg(test)]
+mod alias_index_tests {
+    use super::*;
+
+    #[test]
+    fn duplicate_ids_are_deduped_in_search() {
+        let mut vs = VectorSet::new(2);
+        // entity 0 has two rows (label + alias), entity 1 has one
+        vs.push(&[0.0, 0.0]);
+        vs.push(&[0.1, 0.0]);
+        vs.push(&[5.0, 5.0]);
+        let ids = vec![EntityId(0), EntityId(0), EntityId(1)];
+        let idx = EntityIndex::from_vectors(ids, vs, Compression::None);
+        let hits = idx.search(&[0.05, 0.0], 3);
+        // entity 0 appears once, at its best distance
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].0, EntityId(0));
+        assert_eq!(hits[1].0, EntityId(1));
+        let entities: Vec<EntityId> = hits.iter().map(|&(e, _)| e).collect();
+        let mut dedup = entities.clone();
+        dedup.dedup();
+        assert_eq!(entities, dedup);
+    }
+
+    #[test]
+    fn batch_dedups_too() {
+        let mut vs = VectorSet::new(2);
+        vs.push(&[0.0, 0.0]);
+        vs.push(&[0.1, 0.0]);
+        vs.push(&[5.0, 5.0]);
+        let ids = vec![EntityId(0), EntityId(0), EntityId(1)];
+        let idx = EntityIndex::from_vectors(ids, vs, Compression::None);
+        let mut queries = VectorSet::new(2);
+        queries.push(&[0.0, 0.0]);
+        let batch = idx.search_batch(&queries, 3, 2);
+        assert_eq!(batch[0].len(), 2);
+    }
+}
+
+#[cfg(test)]
+mod ivf_backend_tests {
+    use super::*;
+
+    #[test]
+    fn ivf_backend_finds_exact_matches() {
+        let mut vs = VectorSet::new(4);
+        let mut ids = Vec::new();
+        for i in 0..100u32 {
+            let f = i as f32;
+            vs.push(&[f, -f, f * 0.5, 1.0]);
+            ids.push(EntityId(i));
+        }
+        let idx = EntityIndex::from_vectors(
+            ids,
+            vs.clone(),
+            Compression::Ivf { nlist: 8, nprobe: 8 },
+        );
+        // probing every list is exact
+        let hits = idx.search(vs.get(42), 1);
+        assert_eq!(hits[0].0, EntityId(42));
+        assert_eq!(hits[0].1, 0.0);
+    }
+
+    #[test]
+    fn ivf_nbytes_equals_flat() {
+        let mut vs = VectorSet::new(4);
+        let ids: Vec<EntityId> = (0..50u32).map(EntityId).collect();
+        for i in 0..50 {
+            vs.push(&[i as f32, 0.0, 0.0, 0.0]);
+        }
+        let flat = EntityIndex::from_vectors(ids.clone(), vs.clone(), Compression::None);
+        let ivf = EntityIndex::from_vectors(ids, vs, Compression::Ivf { nlist: 4, nprobe: 2 });
+        assert_eq!(flat.nbytes(), ivf.nbytes());
+    }
+}
+
+#[cfg(test)]
+mod hnsw_backend_tests {
+    use super::*;
+
+    #[test]
+    fn hnsw_backend_finds_exact_matches() {
+        let mut vs = VectorSet::new(4);
+        let mut ids = Vec::new();
+        for i in 0..200u32 {
+            let f = i as f32;
+            vs.push(&[f.sin(), f.cos(), f * 0.01, 1.0]);
+            ids.push(EntityId(i));
+        }
+        let idx = EntityIndex::from_vectors(
+            ids,
+            vs.clone(),
+            Compression::Hnsw { m: 8, ef_search: 32 },
+        );
+        let hits = idx.search(vs.get(17), 1);
+        assert_eq!(hits[0].0, EntityId(17));
+        assert_eq!(hits[0].1, 0.0);
+    }
+}

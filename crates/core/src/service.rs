@@ -1,0 +1,212 @@
+//! The end-to-end EmbLookup service: train → embed → index → `lookup(q, k)`.
+
+use crate::config::{Compression, EmbLookupConfig};
+use crate::index::EntityIndex;
+use crate::mining::{mine_triplets, MiningConfig};
+use crate::model::EmbLookupModel;
+use crate::trainer::{train, TrainReport};
+use emblookup_ann::VectorSet;
+use emblookup_embed::{Corpus, FastText, FastTextConfig};
+use emblookup_kg::{Candidate, EntityId, KnowledgeGraph, LookupService};
+use std::sync::Arc;
+
+/// A trained EmbLookup pipeline ready to serve lookups over one KG.
+///
+/// Scores returned through [`LookupService`] are negated squared distances
+/// so that higher is better, matching the trait contract.
+pub struct EmbLookup {
+    model: Arc<EmbLookupModel>,
+    index: EntityIndex,
+    report: TrainReport,
+    /// Threads used for bulk lookups (the GPU-surrogate path).
+    pub bulk_threads: usize,
+}
+
+impl EmbLookup {
+    /// Trains the full pipeline on a knowledge graph:
+    /// corpus verbalization → fastText → triplet mining → two-phase
+    /// triplet training → entity index build.
+    ///
+    /// # Panics
+    /// Panics on an empty KG or invalid configuration.
+    pub fn train_on(kg: &KnowledgeGraph, config: EmbLookupConfig) -> Self {
+        config.validate().expect("invalid EmbLookup config");
+        assert!(kg.num_entities() > 0, "training on an empty knowledge graph");
+
+        let corpus = Corpus::from_kg(kg);
+        let fasttext = FastText::train(
+            &corpus,
+            FastTextConfig {
+                dim: config.fasttext_dim,
+                epochs: config.fasttext_epochs,
+                seed: config.seed,
+                ..Default::default()
+            },
+        );
+        let mut model = EmbLookupModel::new(fasttext, config.clone());
+        let triplets = mine_triplets(
+            kg,
+            &MiningConfig::with_budget(config.triplets_per_entity, config.seed),
+        );
+        let report = train(&mut model, &triplets);
+        let index = EntityIndex::build(&model, kg, config.compression, num_threads());
+        EmbLookup {
+            model: Arc::new(model),
+            index,
+            report,
+            bulk_threads: num_threads(),
+        }
+    }
+
+    /// Wraps an already-trained (shared) model, building a fresh index
+    /// over `kg` with the given compression — the compression sweeps train
+    /// once and re-index the same weights repeatedly.
+    pub fn from_model(model: Arc<EmbLookupModel>, kg: &KnowledgeGraph, compression: Compression) -> Self {
+        let index = EntityIndex::build(&model, kg, compression, num_threads());
+        EmbLookup {
+            model,
+            index,
+            report: TrainReport::default(),
+            bulk_threads: num_threads(),
+        }
+    }
+
+    /// The underlying model.
+    pub fn model(&self) -> &EmbLookupModel {
+        &self.model
+    }
+
+    /// A shared handle to the model (for re-indexing under a different
+    /// compression without retraining).
+    pub fn model_arc(&self) -> Arc<EmbLookupModel> {
+        Arc::clone(&self.model)
+    }
+
+    /// The entity index.
+    pub fn index(&self) -> &EntityIndex {
+        &self.index
+    }
+
+    /// Training statistics.
+    pub fn report(&self) -> &TrainReport {
+        &self.report
+    }
+
+    /// Embeds a query and returns the `k` nearest entities with distances.
+    pub fn lookup_with_distances(&self, q: &str, k: usize) -> Vec<(EntityId, f32)> {
+        let emb = self.model.embed(q);
+        self.index.search(&emb, k)
+    }
+
+    /// Bulk lookup: embeds all queries and searches the index, both split
+    /// across `self.bulk_threads` threads.
+    pub fn bulk_lookup(&self, queries: &[&str], k: usize) -> Vec<Vec<(EntityId, f32)>> {
+        let embeddings = self.model.embed_batch(queries, self.bulk_threads);
+        let mut qs = VectorSet::new(self.model.dim());
+        for e in &embeddings {
+            qs.push(e);
+        }
+        self.index.search_batch(&qs, k, self.bulk_threads)
+    }
+}
+
+impl LookupService for EmbLookup {
+    fn lookup(&self, q: &str, k: usize) -> Vec<Candidate> {
+        self.lookup_with_distances(q, k)
+            .into_iter()
+            .map(|(entity, dist)| Candidate { entity, score: -dist })
+            .collect()
+    }
+
+    fn name(&self) -> &str {
+        "EmbLookup"
+    }
+
+    fn lookup_batch(&self, queries: &[&str], k: usize) -> Vec<Vec<Candidate>> {
+        self.bulk_lookup(queries, k)
+            .into_iter()
+            .map(|hits| {
+                hits.into_iter()
+                    .map(|(entity, dist)| Candidate { entity, score: -dist })
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+/// Degree of parallelism for bulk paths: all cores minus one, at least 1.
+pub fn num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get().saturating_sub(1).max(1))
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emblookup_kg::{generate, SynthKgConfig};
+
+    fn trained() -> (EmbLookup, emblookup_kg::SynthKg) {
+        let s = generate(SynthKgConfig::tiny(8));
+        let el = EmbLookup::train_on(&s.kg, EmbLookupConfig::tiny(8));
+        (el, s)
+    }
+
+    #[test]
+    fn exact_label_lookup_hits_owner() {
+        let (el, s) = trained();
+        let mut hits_at_5 = 0;
+        let total = s.kg.num_entities().min(30);
+        for e in s.kg.entities().take(total) {
+            let hits = el.lookup(&e.label, 5);
+            if hits.iter().any(|c| c.entity == e.id) {
+                hits_at_5 += 1;
+            }
+        }
+        // tiny training budget, but exact labels must mostly resolve
+        assert!(
+            hits_at_5 * 3 >= total * 2,
+            "only {hits_at_5}/{total} exact labels resolved in top-5"
+        );
+    }
+
+    #[test]
+    fn lookup_returns_k_sorted_by_score() {
+        let (el, s) = trained();
+        let label = &s.kg.entities().next().unwrap().label;
+        let hits = el.lookup(label, 7);
+        assert_eq!(hits.len(), 7);
+        for w in hits.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+    }
+
+    #[test]
+    fn batch_agrees_with_single() {
+        let (el, s) = trained();
+        let labels: Vec<&str> = s.kg.entities().take(6).map(|e| e.label.as_str()).collect();
+        let batch = el.lookup_batch(&labels, 3);
+        for (q, hits) in labels.iter().zip(&batch) {
+            let single = el.lookup(q, 3);
+            let bi: Vec<EntityId> = hits.iter().map(|c| c.entity).collect();
+            let si: Vec<EntityId> = single.iter().map(|c| c.entity).collect();
+            assert_eq!(bi, si);
+        }
+    }
+
+    #[test]
+    fn handles_garbage_queries() {
+        let (el, _) = trained();
+        for q in ["", "    ", "@@@###", &"z".repeat(300)] {
+            let hits = el.lookup(q, 3);
+            assert_eq!(hits.len(), 3); // nearest entities always exist
+        }
+    }
+
+    #[test]
+    fn training_report_is_recorded() {
+        let (el, _) = trained();
+        assert_eq!(el.report().epochs.len(), 4);
+        assert!(el.report().final_loss().is_finite());
+    }
+}

@@ -1,0 +1,217 @@
+//! Two-phase triplet training (§III-B "Model Training Procedure").
+//!
+//! The first half of the epochs trains offline on every mined triplet; the
+//! second half mines online, keeping only the *hard* (`d(a,n) < d(a,p)`)
+//! and *semi-hard* (`d(a,p) < d(a,n) < d(a,p) + margin`) triplets whose
+//! loss is non-zero, which keeps easy triplets from diluting the gradient.
+
+use crate::mining::Triplet;
+use crate::model::EmbLookupModel;
+use emblookup_ann::sq_l2;
+use emblookup_tensor::loss;
+use emblookup_tensor::optim::{Adam, Optimizer};
+use emblookup_tensor::{Bindings, Graph};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// Per-epoch training statistics.
+#[derive(Debug, Clone)]
+pub struct EpochStats {
+    /// Epoch number (0-based).
+    pub epoch: usize,
+    /// Mean triplet loss over the triplets trained this epoch.
+    pub mean_loss: f32,
+    /// Number of triplets trained (shrinks in the online phase).
+    pub active_triplets: usize,
+    /// True for the online hard-mining phase.
+    pub online_phase: bool,
+}
+
+/// Full training report.
+#[derive(Debug, Clone, Default)]
+pub struct TrainReport {
+    /// One entry per epoch.
+    pub epochs: Vec<EpochStats>,
+}
+
+impl TrainReport {
+    /// Mean loss of the final epoch, or `f32::NAN` before training.
+    pub fn final_loss(&self) -> f32 {
+        self.epochs.last().map(|e| e.mean_loss).unwrap_or(f32::NAN)
+    }
+}
+
+/// Trains `model` in place on `triplets` according to its config.
+///
+/// # Panics
+/// Panics when `triplets` is empty.
+pub fn train(model: &mut EmbLookupModel, triplets: &[Triplet]) -> TrainReport {
+    assert!(!triplets.is_empty(), "training without triplets");
+    let config = model.config().clone();
+    // offset keeps the trainer's RNG stream distinct from the miner's
+    let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(0x7EA11));
+    let mut optimizer = Adam::new(config.lr);
+    let mut report = TrainReport::default();
+    let offline_epochs = config.epochs / 2 + config.epochs % 2;
+
+    let mut order: Vec<usize> = (0..triplets.len()).collect();
+    for epoch in 0..config.epochs {
+        let online = epoch >= offline_epochs;
+        let active: Vec<usize> = if online {
+            select_hard(model, triplets, config.margin)
+        } else {
+            order.shuffle(&mut rng);
+            order.clone()
+        };
+        if active.is_empty() {
+            // every triplet is easy — converged
+            report.epochs.push(EpochStats {
+                epoch,
+                mean_loss: 0.0,
+                active_triplets: 0,
+                online_phase: online,
+            });
+            continue;
+        }
+        let mut epoch_loss = 0.0f64;
+        for chunk in active.chunks(config.batch_size) {
+            let mut g = Graph::new();
+            let mut b = Bindings::new();
+            let mut losses = Vec::with_capacity(chunk.len());
+            for &i in chunk {
+                let t = &triplets[i];
+                let ea = model.forward(&mut g, &mut b, &t.anchor);
+                let ep = model.forward(&mut g, &mut b, &t.positive);
+                let en = model.forward(&mut g, &mut b, &t.negative);
+                losses.push(match config.loss {
+                    crate::config::LossKind::Triplet => {
+                        loss::triplet(&mut g, ea, ep, en, config.margin)
+                    }
+                    crate::config::LossKind::Contrastive => {
+                        loss::contrastive_triplet(&mut g, ea, ep, en, config.margin)
+                    }
+                });
+            }
+            let total = loss::batch_mean(&mut g, &losses);
+            g.backward(total);
+            epoch_loss += g.value(total).item() as f64 * chunk.len() as f64;
+            optimizer.step(&mut model.store, &g, &b);
+        }
+        report.epochs.push(EpochStats {
+            epoch,
+            mean_loss: (epoch_loss / active.len() as f64) as f32,
+            active_triplets: active.len(),
+            online_phase: online,
+        });
+    }
+    report
+}
+
+/// Indices of triplets with non-zero loss under the current model — the
+/// hard and semi-hard set of the paper's online phase. Embeddings are
+/// computed once per distinct mention through the fast inference path.
+fn select_hard(model: &EmbLookupModel, triplets: &[Triplet], margin: f32) -> Vec<usize> {
+    // embed each distinct mention once; keys borrow from `triplets`
+    let mut cache: HashMap<&str, Vec<f32>> = HashMap::new();
+    for t in triplets {
+        for s in [t.anchor.as_str(), t.positive.as_str(), t.negative.as_str()] {
+            if !cache.contains_key(s) {
+                cache.insert(s, model.embed(s));
+            }
+        }
+    }
+    triplets
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| {
+            let a = &cache[t.anchor.as_str()];
+            let p = &cache[t.positive.as_str()];
+            let n = &cache[t.negative.as_str()];
+            let d_ap = sq_l2(a, p);
+            let d_an = sq_l2(a, n);
+            d_an < d_ap + margin // hard or semi-hard
+        })
+        .map(|(i, _)| i)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EmbLookupConfig;
+    use crate::mining::{mine_triplets, MiningConfig};
+    use emblookup_embed::{Corpus, FastText, FastTextConfig};
+    use emblookup_kg::{generate, SynthKgConfig};
+
+    fn setup() -> (EmbLookupModel, Vec<Triplet>) {
+        let s = generate(SynthKgConfig::tiny(5));
+        let corpus = Corpus::from_kg(&s.kg);
+        let ft = FastText::train(
+            &corpus,
+            FastTextConfig { dim: 16, buckets: 1 << 11, epochs: 2, ..Default::default() },
+        );
+        let model = EmbLookupModel::new(ft, EmbLookupConfig::tiny(5));
+        let triplets = mine_triplets(&s.kg, &MiningConfig::with_budget(6, 5));
+        (model, triplets)
+    }
+
+    #[test]
+    fn loss_decreases_over_training() {
+        let (mut model, triplets) = setup();
+        let report = train(&mut model, &triplets);
+        assert_eq!(report.epochs.len(), 4);
+        let first = report.epochs[0].mean_loss;
+        let last = report.final_loss();
+        assert!(
+            last < first,
+            "loss did not decrease: {first} -> {last}"
+        );
+    }
+
+    #[test]
+    fn online_phase_shrinks_active_set() {
+        let (mut model, triplets) = setup();
+        let report = train(&mut model, &triplets);
+        let offline = &report.epochs[0];
+        let online = report.epochs.iter().find(|e| e.online_phase).unwrap();
+        assert!(!offline.online_phase);
+        assert!(online.active_triplets <= triplets.len());
+    }
+
+    #[test]
+    fn training_moves_alias_closer_than_random() {
+        let (mut model, triplets) = setup();
+        train(&mut model, &triplets);
+        // pick a mined semantic triplet and check the margin direction
+        let t = &triplets[0];
+        let a = model.embed(&t.anchor);
+        let p = model.embed(&t.positive);
+        let n = model.embed(&t.negative);
+        // not guaranteed per-triplet, but statistically over several:
+        let mut wins = 0;
+        let mut total = 0;
+        for t in triplets.iter().take(40) {
+            let a = model.embed(&t.anchor);
+            let p = model.embed(&t.positive);
+            let n = model.embed(&t.negative);
+            if sq_l2(&a, &p) < sq_l2(&a, &n) {
+                wins += 1;
+            }
+            total += 1;
+        }
+        let _ = (a, p, n);
+        assert!(
+            wins * 3 >= total * 2,
+            "only {wins}/{total} triplets satisfied after training"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "without triplets")]
+    fn empty_triplets_panics() {
+        let (mut model, _) = setup();
+        train(&mut model, &[]);
+    }
+}

@@ -1,0 +1,46 @@
+//! The common interface every embedding algorithm implements — Table VII
+//! swaps these behind EmbLookup's lookup pipeline.
+
+/// Maps an arbitrary string to a fixed-dimension embedding.
+pub trait StringEncoder {
+    /// Embedding dimension.
+    fn dim(&self) -> usize;
+
+    /// Embeds a string. Must never panic on unusual input (empty strings,
+    /// unknown characters); degenerate inputs map to the zero vector.
+    fn embed(&self, s: &str) -> Vec<f32>;
+
+    /// Embeds a batch; the default forwards to [`StringEncoder::embed`].
+    fn embed_batch(&self, strings: &[&str]) -> Vec<Vec<f32>> {
+        strings.iter().map(|s| self.embed(s)).collect()
+    }
+
+    /// Human-readable algorithm name for experiment reports.
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Zero;
+    impl StringEncoder for Zero {
+        fn dim(&self) -> usize {
+            3
+        }
+        fn embed(&self, _s: &str) -> Vec<f32> {
+            vec![0.0; 3]
+        }
+        fn name(&self) -> &'static str {
+            "zero"
+        }
+    }
+
+    #[test]
+    fn default_batch_forwards() {
+        let z = Zero;
+        let out = z.embed_batch(&["a", "b"]);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0], vec![0.0; 3]);
+    }
+}

@@ -1,0 +1,342 @@
+//! fastText-style subword skip-gram — EmbLookup's semantic leg (§III-B)
+//! and a Table VII baseline.
+//!
+//! A word's input representation is the mean of hashed character n-gram
+//! vectors, so unseen (e.g. misspelled) words still get a meaningful
+//! embedding from their surviving n-grams. Trained with the same SGNS
+//! engine as word2vec.
+
+use crate::corpus::Corpus;
+use crate::encoder::StringEncoder;
+use crate::sgns::{NegativeSampler, SgnsModel};
+use emblookup_text::tokenize::{fasttext_ngrams, words};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// Training configuration for [`FastText::train`].
+#[derive(Debug, Clone, Copy)]
+pub struct FastTextConfig {
+    /// Embedding dimension (the paper uses a 64-d fastText model).
+    pub dim: usize,
+    /// Minimum n-gram length.
+    pub min_n: usize,
+    /// Maximum n-gram length.
+    pub max_n: usize,
+    /// Number of hash buckets for n-gram features.
+    pub buckets: usize,
+    /// Skip-gram window.
+    pub window: usize,
+    /// Negative samples per pair.
+    pub negatives: usize,
+    /// Epochs over the corpus.
+    pub epochs: usize,
+    /// Learning rate.
+    pub lr: f32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for FastTextConfig {
+    fn default() -> Self {
+        FastTextConfig {
+            dim: 64,
+            min_n: 3,
+            max_n: 5,
+            buckets: 1 << 15,
+            window: 4,
+            negatives: 5,
+            epochs: 5,
+            lr: 0.05,
+            seed: 0,
+        }
+    }
+}
+
+/// Trained fastText model.
+pub struct FastText {
+    model: SgnsModel,
+    config: FastTextConfig,
+    /// Inverse-document-frequency weight per vocabulary token; embedding a
+    /// multi-token string uses an idf-weighted mean so generic tokens
+    /// ("of", "kingdom", "republic") do not dilute the distinctive ones.
+    idf: std::collections::HashMap<String, f32>,
+    max_idf: f32,
+}
+
+impl FastText {
+    /// Trains subword skip-gram over the corpus.
+    ///
+    /// # Panics
+    /// Panics on an empty corpus.
+    pub fn train(corpus: &Corpus, config: FastTextConfig) -> Self {
+        assert!(corpus.vocab_size() > 0, "fastText over empty corpus");
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut model = SgnsModel::new(config.buckets, corpus.vocab_size(), config.dim, &mut rng);
+        let sampler = NegativeSampler::new(corpus.counts());
+
+        // precompute per-word n-gram feature ids
+        let features: Vec<Vec<u32>> = (0..corpus.vocab_size() as u32)
+            .map(|id| Self::ngram_ids(corpus.token(id), &config))
+            .collect();
+
+        let mut negs = vec![0u32; config.negatives];
+        for _ in 0..config.epochs {
+            for (center, context) in corpus.pairs(config.window) {
+                for n in &mut negs {
+                    *n = sampler.sample(&mut rng);
+                }
+                model.train_pair(&features[center as usize], context, &negs, config.lr);
+            }
+        }
+        // idf over the corpus vocabulary
+        let n_sentences = corpus.sentences.len().max(1) as f32;
+        let mut idf = std::collections::HashMap::new();
+        let mut max_idf: f32 = 1.0;
+        for id in 0..corpus.vocab_size() as u32 {
+            let w = (n_sentences / (1.0 + corpus.count(id) as f32)).ln().max(0.1);
+            max_idf = max_idf.max(w);
+            idf.insert(corpus.token(id).to_string(), w);
+        }
+        FastText { model, config, idf, max_idf }
+    }
+
+    fn ngram_ids(token: &str, config: &FastTextConfig) -> Vec<u32> {
+        fasttext_ngrams(token, config.min_n, config.max_n)
+            .into_iter()
+            .map(|g| {
+                let mut h = DefaultHasher::new();
+                g.hash(&mut h);
+                (h.finish() % config.buckets as u64) as u32
+            })
+            .collect()
+    }
+
+    /// Embeds a single token through its n-gram features.
+    pub fn token_vector(&self, token: &str) -> Vec<f32> {
+        let ids = Self::ngram_ids(token, &self.config);
+        self.model.embed_features(&ids)
+    }
+}
+
+impl StringEncoder for FastText {
+    fn dim(&self) -> usize {
+        self.model.dim()
+    }
+
+    /// Idf-weighted mean of per-token subword embeddings. Never zero for
+    /// non-empty alphabetic input — n-grams always exist. Unknown tokens
+    /// get the maximum idf (they are maximally distinctive).
+    fn embed(&self, s: &str) -> Vec<f32> {
+        let tokens = words(s);
+        let mut acc = vec![0.0f32; self.dim()];
+        if tokens.is_empty() {
+            return acc;
+        }
+        let mut total_w = 0.0f32;
+        for token in &tokens {
+            let w = self.idf.get(token).copied().unwrap_or(self.max_idf);
+            let v = self.token_vector(token);
+            for (a, x) in acc.iter_mut().zip(v) {
+                *a += w * x;
+            }
+            total_w += w;
+        }
+        if total_w > 0.0 {
+            for a in &mut acc {
+                *a /= total_w;
+            }
+        }
+        acc
+    }
+
+    fn name(&self) -> &'static str {
+        "fastText"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::word2vec::{Word2Vec, Word2VecConfig};
+
+    fn toy_corpus() -> Corpus {
+        let mut c = Corpus::default();
+        for _ in 0..40 {
+            c.add_sentence(vec!["germany".into(), "deutschland".into()]);
+            c.add_sentence(vec!["tokyo".into(), "japan".into()]);
+        }
+        c
+    }
+
+    fn cos(a: &[f32], b: &[f32]) -> f32 {
+        let dot: f32 = a.iter().zip(b).map(|(&x, &y)| x * y).sum();
+        let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+        let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt();
+        dot / (na * nb + 1e-9)
+    }
+
+    fn small_config() -> FastTextConfig {
+        FastTextConfig { dim: 16, buckets: 1 << 12, epochs: 15, ..Default::default() }
+    }
+
+    #[test]
+    fn typos_stay_close_unlike_word2vec() {
+        let corpus = toy_corpus();
+        let ft = FastText::train(&corpus, small_config());
+        let w2v = Word2Vec::train(&corpus, Word2VecConfig { dim: 16, epochs: 15, ..Default::default() });
+
+        let ft_sim = cos(&ft.embed("germany"), &ft.embed("germani"));
+        assert!(ft_sim > 0.5, "fastText typo similarity too low: {ft_sim}");
+        // word2vec has nothing for the typo at all
+        assert!(w2v.embed("germani").iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn cooccurring_words_are_closer() {
+        let ft = FastText::train(&toy_corpus(), small_config());
+        let g = ft.embed("germany");
+        let d = ft.embed("deutschland");
+        let t = ft.embed("tokyo");
+        assert!(cos(&g, &d) > cos(&g, &t));
+    }
+
+    #[test]
+    fn empty_string_embeds_to_zero() {
+        let ft = FastText::train(&toy_corpus(), small_config());
+        assert!(ft.embed("").iter().all(|&x| x == 0.0));
+        assert!(ft.embed("   ").iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn oov_word_is_nonzero() {
+        let ft = FastText::train(&toy_corpus(), small_config());
+        let v = ft.embed("xqzzy");
+        assert!(v.iter().any(|&x| x != 0.0));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let corpus = toy_corpus();
+        let a = FastText::train(&corpus, small_config());
+        let b = FastText::train(&corpus, small_config());
+        assert_eq!(a.embed("germany"), b.embed("germany"));
+    }
+}
+
+impl FastText {
+    /// Serializes the trained model (SGNS weights, n-gram configuration,
+    /// idf table) to a buffer loadable with [`FastText::from_bytes`].
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        // config scalars
+        for v in [
+            self.config.dim as u64,
+            self.config.min_n as u64,
+            self.config.max_n as u64,
+            self.config.buckets as u64,
+            self.config.window as u64,
+            self.config.negatives as u64,
+            self.config.epochs as u64,
+        ] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out.extend_from_slice(&self.config.lr.to_le_bytes());
+        out.extend_from_slice(&self.config.seed.to_le_bytes());
+        out.extend_from_slice(&self.max_idf.to_le_bytes());
+        // idf table
+        out.extend_from_slice(&(self.idf.len() as u64).to_le_bytes());
+        let mut entries: Vec<(&String, &f32)> = self.idf.iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        for (token, &w) in entries {
+            out.extend_from_slice(&(token.len() as u64).to_le_bytes());
+            out.extend_from_slice(token.as_bytes());
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        // SGNS weights
+        let sgns = self.model.to_bytes();
+        out.extend_from_slice(&(sgns.len() as u64).to_le_bytes());
+        out.extend_from_slice(&sgns);
+        out
+    }
+
+    /// Restores a model serialized with [`FastText::to_bytes`].
+    ///
+    /// # Errors
+    /// Returns a description of the first structural problem found.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, String> {
+        let mut cur = 0usize;
+        let read_u64 = |cur: &mut usize| -> Result<u64, String> {
+            let end = *cur + 8;
+            let s = bytes.get(*cur..end).ok_or("truncated fastText buffer")?;
+            *cur = end;
+            Ok(u64::from_le_bytes(s.try_into().unwrap()))
+        };
+        let read_f32 = |cur: &mut usize| -> Result<f32, String> {
+            let end = *cur + 4;
+            let s = bytes.get(*cur..end).ok_or("truncated fastText buffer")?;
+            *cur = end;
+            Ok(f32::from_le_bytes(s.try_into().unwrap()))
+        };
+        let dim = read_u64(&mut cur)? as usize;
+        let min_n = read_u64(&mut cur)? as usize;
+        let max_n = read_u64(&mut cur)? as usize;
+        let buckets = read_u64(&mut cur)? as usize;
+        let window = read_u64(&mut cur)? as usize;
+        let negatives = read_u64(&mut cur)? as usize;
+        let epochs = read_u64(&mut cur)? as usize;
+        let lr = read_f32(&mut cur)?;
+        let seed = read_u64(&mut cur)?;
+        let max_idf = read_f32(&mut cur)?;
+        let config = FastTextConfig {
+            dim, min_n, max_n, buckets, window, negatives, epochs, lr, seed,
+        };
+        let idf_len = read_u64(&mut cur)? as usize;
+        let mut idf = std::collections::HashMap::with_capacity(idf_len);
+        for _ in 0..idf_len {
+            let tlen = read_u64(&mut cur)? as usize;
+            let end = cur + tlen;
+            let token = std::str::from_utf8(bytes.get(cur..end).ok_or("truncated token")?)
+                .map_err(|e| format!("invalid utf8 token: {e}"))?
+                .to_string();
+            cur = end;
+            let w = read_f32(&mut cur)?;
+            idf.insert(token, w);
+        }
+        let sgns_len = read_u64(&mut cur)? as usize;
+        let end = cur + sgns_len;
+        let model = SgnsModel::from_bytes(bytes.get(cur..end).ok_or("truncated SGNS block")?)?;
+        if model.dim() != dim {
+            return Err(format!("SGNS dim {} != config dim {dim}", model.dim()));
+        }
+        Ok(FastText { model, config, idf, max_idf })
+    }
+}
+
+#[cfg(test)]
+mod persist_tests {
+    use super::*;
+    use crate::corpus::Corpus;
+    use crate::encoder::StringEncoder;
+
+    #[test]
+    fn round_trip_preserves_embeddings() {
+        let mut c = Corpus::default();
+        for _ in 0..10 {
+            c.add_sentence(vec!["alpha".into(), "beta".into(), "gamma".into()]);
+        }
+        let ft = FastText::train(
+            &c,
+            FastTextConfig { dim: 8, buckets: 1 << 10, epochs: 3, ..Default::default() },
+        );
+        let restored = FastText::from_bytes(&ft.to_bytes()).unwrap();
+        assert_eq!(ft.embed("alpha beta"), restored.embed("alpha beta"));
+        assert_eq!(ft.embed("alphaa"), restored.embed("alphaa")); // OOV path
+    }
+
+    #[test]
+    fn rejects_corrupt_buffer() {
+        assert!(FastText::from_bytes(&[1, 2, 3]).is_err());
+    }
+}

@@ -1,0 +1,175 @@
+//! Character-GRU string encoder — the architecture the publicly released
+//! EmbLookup code used for its syntactic leg; provided here as an
+//! alternative encoder for architecture comparisons.
+
+use crate::encoder::StringEncoder;
+use emblookup_tensor::nn::Gru;
+use emblookup_tensor::optim::{Adam, Optimizer};
+use emblookup_tensor::{loss, Bindings, Graph, ParamStore, Tensor, Var};
+use emblookup_text::{Alphabet, OneHotEncoder};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Training configuration for [`GruEncoder::train`].
+#[derive(Debug, Clone)]
+pub struct GruEncoderConfig {
+    /// Hidden width = output embedding dimension.
+    pub hidden: usize,
+    /// Maximum characters consumed per string.
+    pub max_len: usize,
+    /// Triplet-loss margin.
+    pub margin: f32,
+    /// Epochs over the pair list.
+    pub epochs: usize,
+    /// Minibatch size.
+    pub batch: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GruEncoderConfig {
+    fn default() -> Self {
+        GruEncoderConfig {
+            hidden: 64,
+            max_len: 24,
+            margin: 0.5,
+            epochs: 3,
+            batch: 16,
+            lr: 0.01,
+            seed: 0,
+        }
+    }
+}
+
+/// Trained character-GRU encoder.
+pub struct GruEncoder {
+    store: ParamStore,
+    gru: Gru,
+    onehot: OneHotEncoder,
+    config: GruEncoderConfig,
+}
+
+impl GruEncoder {
+    /// Trains on `(anchor, positive)` pairs with negatives sampled from
+    /// `negatives`, using the same triplet objective as EmbLookup.
+    ///
+    /// # Panics
+    /// Panics when `pairs` or `negatives` is empty.
+    pub fn train(
+        pairs: &[(String, String)],
+        negatives: &[String],
+        config: GruEncoderConfig,
+    ) -> Self {
+        assert!(!pairs.is_empty(), "GRU encoder without training pairs");
+        assert!(!negatives.is_empty(), "GRU encoder without negatives");
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut store = ParamStore::new();
+        let onehot = OneHotEncoder::new(Alphabet::default_lookup(), config.max_len);
+        let gru = Gru::new(&mut store, "gru", onehot.rows(), config.hidden, &mut rng);
+        let mut optimizer = Adam::new(config.lr);
+
+        let mut order: Vec<usize> = (0..pairs.len()).collect();
+        for _ in 0..config.epochs {
+            order.shuffle(&mut rng);
+            for chunk in order.chunks(config.batch) {
+                let mut g = Graph::new();
+                let mut b = Bindings::new();
+                let mut losses = Vec::with_capacity(chunk.len());
+                for &i in chunk {
+                    let (anchor, positive) = &pairs[i];
+                    let negative = negatives.choose(&mut rng).unwrap();
+                    let ea = encode_seq(&mut g, &mut b, &store, &gru, &onehot, anchor);
+                    let ep = encode_seq(&mut g, &mut b, &store, &gru, &onehot, positive);
+                    let en = encode_seq(&mut g, &mut b, &store, &gru, &onehot, negative);
+                    losses.push(loss::triplet(&mut g, ea, ep, en, config.margin));
+                }
+                let total = loss::batch_mean(&mut g, &losses);
+                g.backward(total);
+                optimizer.step(&mut store, &g, &b);
+            }
+        }
+        GruEncoder { store, gru, onehot, config }
+    }
+}
+
+fn encode_seq(
+    g: &mut Graph,
+    b: &mut Bindings,
+    store: &ParamStore,
+    gru: &Gru,
+    onehot: &OneHotEncoder,
+    s: &str,
+) -> Var {
+    let alphabet = onehot.alphabet();
+    let rows = onehot.rows();
+    let mut steps: Vec<Var> = Vec::new();
+    for c in s.chars().take(onehot.max_len) {
+        let mut v = vec![0.0f32; rows];
+        v[alphabet.pos(c)] = 1.0;
+        steps.push(g.leaf(Tensor::vector(&v)));
+    }
+    if steps.is_empty() {
+        steps.push(g.leaf(Tensor::zeros(&[rows])));
+    }
+    gru.encode(g, b, store, &steps)
+}
+
+impl StringEncoder for GruEncoder {
+    fn dim(&self) -> usize {
+        self.config.hidden
+    }
+
+    fn embed(&self, s: &str) -> Vec<f32> {
+        let mut g = Graph::new();
+        let mut b = Bindings::new();
+        let h = encode_seq(&mut g, &mut b, &self.store, &self.gru, &self.onehot, s);
+        g.value(h).data().to_vec()
+    }
+
+    fn name(&self) -> &'static str {
+        "GRU"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sq(a: &[f32], b: &[f32]) -> f32 {
+        a.iter().zip(b).map(|(&x, &y)| (x - y) * (x - y)).sum()
+    }
+
+    #[test]
+    fn learns_to_pull_pairs_together() {
+        let pairs = vec![
+            ("germany".to_string(), "germani".to_string()),
+            ("tokyo".to_string(), "tokio".to_string()),
+            ("france".to_string(), "francia".to_string()),
+        ];
+        let negatives: Vec<String> =
+            ["zanzibar", "quorn", "xylophone"].iter().map(|s| s.to_string()).collect();
+        let enc = GruEncoder::train(
+            &pairs,
+            &negatives,
+            GruEncoderConfig { hidden: 10, max_len: 10, epochs: 8, batch: 4, ..Default::default() },
+        );
+        let g = enc.embed("germany");
+        assert!(sq(&g, &enc.embed("germani")) < sq(&g, &enc.embed("zanzibar")));
+    }
+
+    #[test]
+    fn handles_empty_and_long_strings() {
+        let pairs = vec![("ab".to_string(), "abc".to_string())];
+        let negatives = vec!["zz".to_string()];
+        let enc = GruEncoder::train(
+            &pairs,
+            &negatives,
+            GruEncoderConfig { hidden: 6, epochs: 1, ..Default::default() },
+        );
+        assert_eq!(enc.embed("").len(), 6);
+        assert!(enc.embed(&"y".repeat(400)).iter().all(|x| x.is_finite()));
+    }
+}

@@ -1,0 +1,308 @@
+//! Skip-gram with negative sampling (SGNS) — the training engine shared by
+//! the word2vec and fastText baselines.
+//!
+//! Implemented with analytic gradients (as in the original C tools) rather
+//! than the autograd tape: SGNS updates touch a handful of rows per pair,
+//! and the closed-form gradient is both faster and simpler.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Unigram^0.75 negative-sampling distribution over output words.
+#[derive(Debug, Clone)]
+pub struct NegativeSampler {
+    cdf: Vec<f64>,
+}
+
+impl NegativeSampler {
+    /// Builds the sampler from raw token counts.
+    ///
+    /// # Panics
+    /// Panics on an empty count vector.
+    pub fn new(counts: &[u64]) -> Self {
+        assert!(!counts.is_empty(), "negative sampler over empty vocabulary");
+        let mut cdf = Vec::with_capacity(counts.len());
+        let mut acc = 0.0f64;
+        for &c in counts {
+            acc += (c.max(1) as f64).powf(0.75);
+            cdf.push(acc);
+        }
+        NegativeSampler { cdf }
+    }
+
+    /// Samples one word id.
+    pub fn sample(&self, rng: &mut StdRng) -> u32 {
+        let total = *self.cdf.last().unwrap();
+        let r = rng.gen_range(0.0..total);
+        match self
+            .cdf
+            .binary_search_by(|x| x.partial_cmp(&r).unwrap_or(std::cmp::Ordering::Less))
+        {
+            Ok(i) | Err(i) => i.min(self.cdf.len() - 1) as u32,
+        }
+    }
+}
+
+/// SGNS parameter matrices: input-feature vectors and output-word vectors.
+///
+/// * word2vec: one input feature per vocabulary word;
+/// * fastText: one input feature per hashed character n-gram bucket — a
+///   word's vector is the mean of its n-gram features.
+#[derive(Debug, Clone)]
+pub struct SgnsModel {
+    dim: usize,
+    in_vecs: Vec<f32>,
+    out_vecs: Vec<f32>,
+}
+
+impl SgnsModel {
+    /// Allocates input/output matrices with the standard word2vec
+    /// initialization (uniform inputs, zero outputs).
+    pub fn new(n_in: usize, n_out: usize, dim: usize, rng: &mut StdRng) -> Self {
+        assert!(dim > 0 && n_in > 0 && n_out > 0, "SGNS dims must be positive");
+        let bound = 0.5 / dim as f32;
+        let in_vecs = (0..n_in * dim).map(|_| rng.gen_range(-bound..bound)).collect();
+        let out_vecs = vec![0.0f32; n_out * dim];
+        SgnsModel { dim, in_vecs, out_vecs }
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Mean of the input-feature vectors for `features`; the zero vector
+    /// for an empty feature set.
+    pub fn embed_features(&self, features: &[u32]) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.dim];
+        if features.is_empty() {
+            return out;
+        }
+        for &f in features {
+            let row = &self.in_vecs[f as usize * self.dim..(f as usize + 1) * self.dim];
+            for (o, &x) in out.iter_mut().zip(row) {
+                *o += x;
+            }
+        }
+        let inv = 1.0 / features.len() as f32;
+        for o in &mut out {
+            *o *= inv;
+        }
+        out
+    }
+
+    /// One SGNS update: pushes the mean of `features` toward output word
+    /// `target` and away from `negatives`. Returns the pair's loss.
+    ///
+    /// # Panics
+    /// Panics (in debug) on out-of-range feature/word ids.
+    pub fn train_pair(
+        &mut self,
+        features: &[u32],
+        target: u32,
+        negatives: &[u32],
+        lr: f32,
+    ) -> f32 {
+        if features.is_empty() {
+            return 0.0;
+        }
+        let dim = self.dim;
+        let hidden = self.embed_features(features);
+        let mut hidden_grad = vec![0.0f32; dim];
+        let mut loss = 0.0f32;
+
+        let update_output = |this: &mut Self, word: u32, label: f32, hidden: &[f32], hidden_grad: &mut [f32]| {
+            let row_start = word as usize * dim;
+            let out_row = &mut this.out_vecs[row_start..row_start + dim];
+            let dot: f32 = out_row.iter().zip(hidden).map(|(&o, &h)| o * h).sum();
+            let pred = sigmoid(dot);
+            let err = pred - label; // d loss / d dot
+            for j in 0..dim {
+                hidden_grad[j] += err * out_row[j];
+                out_row[j] -= lr * err * hidden[j];
+            }
+            -(if label > 0.5 { pred } else { 1.0 - pred }).max(1e-7).ln()
+        };
+
+        loss += update_output(self, target, 1.0, &hidden, &mut hidden_grad);
+        for &neg in negatives {
+            if neg == target {
+                continue;
+            }
+            loss += update_output(self, neg, 0.0, &hidden, &mut hidden_grad);
+        }
+
+        // distribute the hidden gradient over the contributing features
+        let scale = lr / features.len() as f32;
+        for &f in features {
+            let row = &mut self.in_vecs[f as usize * self.dim..(f as usize + 1) * self.dim];
+            for (r, &g) in row.iter_mut().zip(&hidden_grad) {
+                *r -= scale * g;
+            }
+        }
+        loss
+    }
+}
+
+#[inline]
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sampler_prefers_frequent_words() {
+        let sampler = NegativeSampler::new(&[1000, 1, 1, 1]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut hits = [0usize; 4];
+        for _ in 0..1000 {
+            hits[sampler.sample(&mut rng) as usize] += 1;
+        }
+        assert!(hits[0] > 600, "frequent word undersampled: {hits:?}");
+    }
+
+    #[test]
+    fn sampler_covers_support() {
+        let sampler = NegativeSampler::new(&[1, 1, 1]);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[sampler.sample(&mut rng) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn training_separates_cooccurring_pairs() {
+        // two "topics": words 0,1 co-occur and words 2,3 co-occur
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut model = SgnsModel::new(4, 4, 8, &mut rng);
+        let sampler = NegativeSampler::new(&[1, 1, 1, 1]);
+        for _ in 0..2000 {
+            let negs: Vec<u32> = (0..3).map(|_| sampler.sample(&mut rng)).collect();
+            model.train_pair(&[0], 1, &negs, 0.05);
+            let negs: Vec<u32> = (0..3).map(|_| sampler.sample(&mut rng)).collect();
+            model.train_pair(&[1], 0, &negs, 0.05);
+            let negs: Vec<u32> = (0..3).map(|_| sampler.sample(&mut rng)).collect();
+            model.train_pair(&[2], 3, &negs, 0.05);
+            let negs: Vec<u32> = (0..3).map(|_| sampler.sample(&mut rng)).collect();
+            model.train_pair(&[3], 2, &negs, 0.05);
+        }
+        let cos = |a: &[f32], b: &[f32]| -> f32 {
+            let dot: f32 = a.iter().zip(b).map(|(&x, &y)| x * y).sum();
+            let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+            let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt();
+            dot / (na * nb + 1e-9)
+        };
+        let e0 = model.embed_features(&[0]);
+        let e1 = model.embed_features(&[1]);
+        let e2 = model.embed_features(&[2]);
+        assert!(
+            cos(&e0, &e1) > cos(&e0, &e2),
+            "co-occurring pair not closer: {} vs {}",
+            cos(&e0, &e1),
+            cos(&e0, &e2)
+        );
+    }
+
+    #[test]
+    fn empty_features_are_noop() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut model = SgnsModel::new(2, 2, 4, &mut rng);
+        let before = model.in_vecs.clone();
+        let loss = model.train_pair(&[], 0, &[1], 0.1);
+        assert_eq!(loss, 0.0);
+        assert_eq!(model.in_vecs, before);
+        assert!(model.embed_features(&[]).iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn multi_feature_embedding_is_mean() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let model = SgnsModel::new(2, 2, 4, &mut rng);
+        let e0 = model.embed_features(&[0]);
+        let e1 = model.embed_features(&[1]);
+        let mean = model.embed_features(&[0, 1]);
+        for j in 0..4 {
+            assert!((mean[j] - (e0[j] + e1[j]) / 2.0).abs() < 1e-6);
+        }
+    }
+}
+
+impl SgnsModel {
+    /// Serializes the model to a length-prefixed little-endian buffer.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + 4 * (self.in_vecs.len() + self.out_vecs.len()));
+        out.extend_from_slice(&(self.dim as u64).to_le_bytes());
+        out.extend_from_slice(&(self.in_vecs.len() as u64).to_le_bytes());
+        out.extend_from_slice(&(self.out_vecs.len() as u64).to_le_bytes());
+        for &x in self.in_vecs.iter().chain(self.out_vecs.iter()) {
+            out.extend_from_slice(&x.to_le_bytes());
+        }
+        out
+    }
+
+    /// Restores a model serialized with [`SgnsModel::to_bytes`].
+    ///
+    /// # Errors
+    /// Returns a description of the first structural problem found.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, String> {
+        let mut cur = 0usize;
+        let read_u64 = |cur: &mut usize| -> Result<u64, String> {
+            let end = *cur + 8;
+            let s = bytes.get(*cur..end).ok_or("truncated SGNS buffer")?;
+            *cur = end;
+            Ok(u64::from_le_bytes(s.try_into().unwrap()))
+        };
+        let dim = read_u64(&mut cur)? as usize;
+        let n_in = read_u64(&mut cur)? as usize;
+        let n_out = read_u64(&mut cur)? as usize;
+        if dim == 0 || n_in % dim != 0 || n_out % dim != 0 {
+            return Err(format!("inconsistent SGNS header: dim {dim}, in {n_in}, out {n_out}"));
+        }
+        let need = cur + 4 * (n_in + n_out);
+        if bytes.len() < need {
+            return Err(format!("truncated SGNS buffer: {} < {need}", bytes.len()));
+        }
+        let read_f32s = |count: usize, cur: &mut usize| -> Vec<f32> {
+            let mut v = Vec::with_capacity(count);
+            for _ in 0..count {
+                let end = *cur + 4;
+                v.push(f32::from_le_bytes(bytes[*cur..end].try_into().unwrap()));
+                *cur = end;
+            }
+            v
+        };
+        let in_vecs = read_f32s(n_in, &mut cur);
+        let out_vecs = read_f32s(n_out, &mut cur);
+        Ok(SgnsModel { dim, in_vecs, out_vecs })
+    }
+}
+
+#[cfg(test)]
+mod persist_tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn round_trip_preserves_embeddings() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let model = SgnsModel::new(6, 4, 8, &mut rng);
+        let bytes = model.to_bytes();
+        let restored = SgnsModel::from_bytes(&bytes).unwrap();
+        assert_eq!(model.embed_features(&[0, 3]), restored.embed_features(&[0, 3]));
+    }
+
+    #[test]
+    fn rejects_truncated() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let model = SgnsModel::new(2, 2, 4, &mut rng);
+        let bytes = model.to_bytes();
+        assert!(SgnsModel::from_bytes(&bytes[..bytes.len() - 3]).is_err());
+        assert!(SgnsModel::from_bytes(&bytes[..4]).is_err());
+    }
+}

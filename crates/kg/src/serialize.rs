@@ -1,0 +1,220 @@
+//! Compact binary persistence for [`KnowledgeGraph`].
+//!
+//! Length-prefixed little-endian encoding built on the `bytes` crate. The
+//! indexes (label/type/subject/object) are rebuilt on load rather than
+//! stored, so the format contains only the canonical data.
+
+use crate::model::{EntityId, KnowledgeGraph, Object, PropertyId, TypeId};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Format magic + version, bumped on breaking changes.
+const MAGIC: &[u8; 8] = b"EMBLKG01";
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_str(buf: &mut Bytes) -> Result<String, String> {
+    if buf.remaining() < 4 {
+        return Err("truncated string length".into());
+    }
+    let len = buf.get_u32_le() as usize;
+    if buf.remaining() < len {
+        return Err(format!("truncated string body ({len} bytes)"));
+    }
+    let raw = buf.copy_to_bytes(len);
+    String::from_utf8(raw.to_vec()).map_err(|e| format!("invalid utf8: {e}"))
+}
+
+/// Serializes a knowledge graph to bytes.
+pub fn kg_to_bytes(kg: &KnowledgeGraph) -> Vec<u8> {
+    let mut buf = BytesMut::new();
+    buf.put_slice(MAGIC);
+
+    buf.put_u32_le(kg.num_types() as u32);
+    for t in 0..kg.num_types() as u32 {
+        put_str(&mut buf, kg.type_name(TypeId(t)));
+        buf.put_u32_le(kg.type_parent(TypeId(t)).0);
+    }
+
+    buf.put_u32_le(kg.num_properties() as u32);
+    for p in 0..kg.num_properties() as u32 {
+        put_str(&mut buf, kg.property_name(PropertyId(p)));
+    }
+
+    buf.put_u32_le(kg.num_entities() as u32);
+    for e in kg.entities() {
+        put_str(&mut buf, &e.label);
+        buf.put_u32_le(e.aliases.len() as u32);
+        for a in &e.aliases {
+            put_str(&mut buf, a);
+        }
+        buf.put_u32_le(e.types.len() as u32);
+        for t in &e.types {
+            buf.put_u32_le(t.0);
+        }
+    }
+
+    buf.put_u32_le(kg.num_facts() as u32);
+    for f in kg.facts() {
+        buf.put_u32_le(f.subject.0);
+        buf.put_u32_le(f.property.0);
+        match &f.object {
+            Object::Entity(o) => {
+                buf.put_u8(0);
+                buf.put_u32_le(o.0);
+            }
+            Object::Literal(s) => {
+                buf.put_u8(1);
+                put_str(&mut buf, s);
+            }
+        }
+    }
+    buf.to_vec()
+}
+
+/// Restores a knowledge graph serialized with [`kg_to_bytes`], rebuilding
+/// all lookup indexes.
+///
+/// # Errors
+/// Returns a description of the first structural problem (bad magic,
+/// truncation, dangling ids).
+pub fn kg_from_bytes(bytes: &[u8]) -> Result<KnowledgeGraph, String> {
+    let mut buf = Bytes::copy_from_slice(bytes);
+    if buf.remaining() < MAGIC.len() || &buf.copy_to_bytes(MAGIC.len())[..] != MAGIC {
+        return Err("bad magic: not an EmbLookup KG file".into());
+    }
+    let need = |buf: &Bytes, n: usize| -> Result<(), String> {
+        if buf.remaining() < n {
+            Err("truncated KG buffer".into())
+        } else {
+            Ok(())
+        }
+    };
+
+    let mut kg = KnowledgeGraph::new();
+    need(&buf, 4)?;
+    let n_types = buf.get_u32_le() as usize;
+    let mut parents = Vec::with_capacity(n_types);
+    for _ in 0..n_types {
+        let name = get_str(&mut buf)?;
+        need(&buf, 4)?;
+        parents.push(buf.get_u32_le());
+        kg.add_type(name, None);
+    }
+    // fix parents in a second pass (add_type can't forward-reference)
+    for (i, &p) in parents.iter().enumerate() {
+        if p as usize >= n_types {
+            return Err(format!("type {i} has dangling parent {p}"));
+        }
+        kg.set_type_parent(TypeId(i as u32), TypeId(p));
+    }
+
+    need(&buf, 4)?;
+    let n_props = buf.get_u32_le() as usize;
+    for _ in 0..n_props {
+        let name = get_str(&mut buf)?;
+        kg.add_property(name);
+    }
+
+    need(&buf, 4)?;
+    let n_entities = buf.get_u32_le() as usize;
+    for _ in 0..n_entities {
+        let label = get_str(&mut buf)?;
+        need(&buf, 4)?;
+        let n_aliases = buf.get_u32_le() as usize;
+        let mut aliases = Vec::with_capacity(n_aliases);
+        for _ in 0..n_aliases {
+            aliases.push(get_str(&mut buf)?);
+        }
+        need(&buf, 4)?;
+        let n_t = buf.get_u32_le() as usize;
+        let mut types = Vec::with_capacity(n_t);
+        for _ in 0..n_t {
+            need(&buf, 4)?;
+            let t = buf.get_u32_le();
+            if t as usize >= n_types {
+                return Err(format!("entity {label:?} has dangling type {t}"));
+            }
+            types.push(TypeId(t));
+        }
+        kg.add_entity(label, aliases, types);
+    }
+
+    need(&buf, 4)?;
+    let n_facts = buf.get_u32_le() as usize;
+    for _ in 0..n_facts {
+        need(&buf, 9)?;
+        let subject = buf.get_u32_le();
+        let property = buf.get_u32_le();
+        if subject as usize >= n_entities {
+            return Err(format!("fact has dangling subject {subject}"));
+        }
+        if property as usize >= n_props {
+            return Err(format!("fact has dangling property {property}"));
+        }
+        let tag = buf.get_u8();
+        let object = match tag {
+            0 => {
+                need(&buf, 4)?;
+                let o = buf.get_u32_le();
+                if o as usize >= n_entities {
+                    return Err(format!("fact has dangling object {o}"));
+                }
+                Object::Entity(EntityId(o))
+            }
+            1 => Object::Literal(get_str(&mut buf)?),
+            other => return Err(format!("unknown object tag {other}")),
+        };
+        kg.add_fact(EntityId(subject), PropertyId(property), object);
+    }
+    Ok(kg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{generate, SynthKgConfig};
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let original = generate(SynthKgConfig::tiny(77)).kg;
+        let bytes = kg_to_bytes(&original);
+        let restored = kg_from_bytes(&bytes).unwrap();
+
+        assert_eq!(original.num_entities(), restored.num_entities());
+        assert_eq!(original.num_types(), restored.num_types());
+        assert_eq!(original.num_properties(), restored.num_properties());
+        assert_eq!(original.num_facts(), restored.num_facts());
+        for (a, b) in original.entities().zip(restored.entities()) {
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.aliases, b.aliases);
+            assert_eq!(a.types, b.types);
+        }
+        // indexes were rebuilt: exact lookup still works
+        let e = original.entities().nth(5).unwrap();
+        assert_eq!(restored.find_exact(&e.label), original.find_exact(&e.label));
+        // type hierarchy preserved
+        for t in 0..original.num_types() as u32 {
+            assert_eq!(
+                original.type_parent(TypeId(t)),
+                restored.type_parent(TypeId(t))
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(kg_from_bytes(b"not a kg").is_err());
+        let good = kg_to_bytes(&generate(SynthKgConfig::tiny(1)).kg);
+        assert!(kg_from_bytes(&good[..good.len() / 2]).is_err());
+    }
+
+    #[test]
+    fn empty_graph_round_trips() {
+        let kg = KnowledgeGraph::new();
+        let restored = kg_from_bytes(&kg_to_bytes(&kg)).unwrap();
+        assert_eq!(restored.num_entities(), 0);
+    }
+}

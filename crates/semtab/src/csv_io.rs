@@ -1,0 +1,237 @@
+//! CSV interop in the SemTab challenge layout: one CSV per table plus the
+//! target/ground-truth files (`CEA_targets`: table, row, col, entity).
+//! Lets users run the pipelines on their own tabular corpora.
+
+use crate::datasets::Dataset;
+use crate::table::{Cell, Table};
+use emblookup_kg::{EntityId, TypeId};
+use std::fmt::Write as _;
+
+/// Serializes one table as CSV (RFC-4180-style quoting of `",\n`).
+pub fn table_to_csv(table: &Table) -> String {
+    let mut out = String::new();
+    for row in &table.rows {
+        let line: Vec<String> = row.iter().map(|c| quote(&c.text)).collect();
+        let _ = writeln!(out, "{}", line.join(","));
+    }
+    out
+}
+
+/// Serializes the CEA ground truth of a dataset in SemTab layout:
+/// `table_id,row,col,entity_id` per annotated cell.
+pub fn cea_targets_to_csv(dataset: &Dataset) -> String {
+    let mut out = String::new();
+    for table in &dataset.tables {
+        for (r, c, cell) in table.entity_cells() {
+            let _ = writeln!(out, "{},{},{},{}", table.id, r, c, cell.truth.unwrap().0);
+        }
+    }
+    out
+}
+
+/// Serializes the CTA ground truth: `table_id,col,type_id` per typed column.
+pub fn cta_targets_to_csv(dataset: &Dataset) -> String {
+    let mut out = String::new();
+    for table in &dataset.tables {
+        for (c, t) in table.col_types.iter().enumerate() {
+            if let Some(t) = t {
+                let _ = writeln!(out, "{},{},{}", table.id, c, t.0);
+            }
+        }
+    }
+    out
+}
+
+/// Parses one CSV document into a table (all cells as literals; attach
+/// ground truth separately with [`apply_cea_targets`]).
+///
+/// # Errors
+/// Returns a message for unbalanced quotes or ragged rows.
+pub fn table_from_csv(id: u32, csv: &str) -> Result<Table, String> {
+    let mut rows: Vec<Vec<Cell>> = Vec::new();
+    for (ln, line) in csv.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let fields = split_csv_line(line).map_err(|e| format!("line {}: {e}", ln + 1))?;
+        rows.push(fields.into_iter().map(Cell::literal).collect());
+    }
+    let width = rows.first().map(Vec::len).unwrap_or(0);
+    if rows.iter().any(|r| r.len() != width) {
+        return Err("ragged rows".into());
+    }
+    Ok(Table {
+        id,
+        rows,
+        col_types: vec![None; width],
+    })
+}
+
+/// Applies CEA target rows (`table_id,row,col,entity_id`) to a table,
+/// marking the referenced cells as entity cells.
+///
+/// # Errors
+/// Returns a message for malformed lines or out-of-range coordinates.
+pub fn apply_cea_targets(table: &mut Table, targets_csv: &str) -> Result<(), String> {
+    for (ln, line) in targets_csv.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let parts: Vec<&str> = line.split(',').collect();
+        if parts.len() != 4 {
+            return Err(format!("line {}: expected 4 fields", ln + 1));
+        }
+        let parse = |s: &str| -> Result<u32, String> {
+            s.trim().parse().map_err(|_| format!("line {}: bad number {s:?}", ln + 1))
+        };
+        let (tid, r, c, e) = (parse(parts[0])?, parse(parts[1])?, parse(parts[2])?, parse(parts[3])?);
+        if tid != table.id {
+            continue;
+        }
+        let (r, c) = (r as usize, c as usize);
+        if r >= table.num_rows() || c >= table.num_cols() {
+            return Err(format!("line {}: cell ({r},{c}) out of range", ln + 1));
+        }
+        table.cell_mut(r, c).truth = Some(EntityId(e));
+    }
+    Ok(())
+}
+
+/// Applies CTA target rows (`table_id,col,type_id`) to a table.
+///
+/// # Errors
+/// Returns a message for malformed lines or out-of-range columns.
+pub fn apply_cta_targets(table: &mut Table, targets_csv: &str) -> Result<(), String> {
+    for (ln, line) in targets_csv.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let parts: Vec<&str> = line.split(',').collect();
+        if parts.len() != 3 {
+            return Err(format!("line {}: expected 3 fields", ln + 1));
+        }
+        let parse = |s: &str| -> Result<u32, String> {
+            s.trim().parse().map_err(|_| format!("line {}: bad number {s:?}", ln + 1))
+        };
+        let (tid, c, t) = (parse(parts[0])?, parse(parts[1])?, parse(parts[2])?);
+        if tid != table.id {
+            continue;
+        }
+        let c = c as usize;
+        if c >= table.num_cols() {
+            return Err(format!("line {}: column {c} out of range", ln + 1));
+        }
+        table.col_types[c] = Some(TypeId(t));
+    }
+    Ok(())
+}
+
+fn quote(s: &str) -> String {
+    if s.contains(['"', ',', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+fn split_csv_line(line: &str) -> Result<Vec<String>, String> {
+    let mut out = Vec::new();
+    let mut field = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        match (c, in_quotes) {
+            ('"', false) => {
+                if field.is_empty() {
+                    in_quotes = true;
+                } else {
+                    field.push('"');
+                }
+            }
+            ('"', true) => {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    field.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            }
+            (',', false) => {
+                out.push(std::mem::take(&mut field));
+            }
+            (c, _) => field.push(c),
+        }
+    }
+    if in_quotes {
+        return Err("unbalanced quotes".into());
+    }
+    out.push(field);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::{generate_dataset, DatasetConfig};
+    use emblookup_kg::{generate, SynthKgConfig};
+
+    #[test]
+    fn table_round_trips_through_csv() {
+        let synth = generate(SynthKgConfig::tiny(70));
+        let ds = generate_dataset(&synth, &DatasetConfig::tiny(70));
+        let original = &ds.tables[0];
+        let csv = table_to_csv(original);
+        let mut restored = table_from_csv(original.id, &csv).unwrap();
+        assert_eq!(restored.num_rows(), original.num_rows());
+        assert_eq!(restored.num_cols(), original.num_cols());
+        // texts survive
+        for (a, b) in original.rows.iter().flatten().zip(restored.rows.iter().flatten()) {
+            assert_eq!(a.text, b.text);
+        }
+        // ground truth re-attaches
+        let targets = cea_targets_to_csv(&ds);
+        apply_cea_targets(&mut restored, &targets).unwrap();
+        for (r, c, cell) in original.entity_cells() {
+            assert_eq!(restored.cell(r, c).truth, cell.truth);
+        }
+    }
+
+    #[test]
+    fn quoting_handles_commas_and_quotes() {
+        let table = Table {
+            id: 0,
+            rows: vec![vec![
+                Cell::literal("a, b"),
+                Cell::literal("say \"hi\""),
+                Cell::literal("plain"),
+            ]],
+            col_types: vec![None; 3],
+        };
+        let csv = table_to_csv(&table);
+        let restored = table_from_csv(0, &csv).unwrap();
+        assert_eq!(restored.cell(0, 0).text, "a, b");
+        assert_eq!(restored.cell(0, 1).text, "say \"hi\"");
+        assert_eq!(restored.cell(0, 2).text, "plain");
+    }
+
+    #[test]
+    fn malformed_inputs_are_errors() {
+        assert!(table_from_csv(0, "a,b\nc").is_err()); // ragged
+        assert!(table_from_csv(0, "\"abc").is_err()); // unbalanced
+        let mut t = Table { id: 0, rows: vec![vec![Cell::literal("x")]], col_types: vec![None] };
+        assert!(apply_cea_targets(&mut t, "0,9,9,1").is_err());
+        assert!(apply_cea_targets(&mut t, "0,0").is_err());
+        assert!(apply_cta_targets(&mut t, "0,9,1").is_err());
+    }
+
+    #[test]
+    fn cta_targets_round_trip() {
+        let synth = generate(SynthKgConfig::tiny(71));
+        let ds = generate_dataset(&synth, &DatasetConfig::tiny(71));
+        let original = &ds.tables[1];
+        let targets = cta_targets_to_csv(&ds);
+        let mut restored = table_from_csv(original.id, &table_to_csv(original)).unwrap();
+        apply_cta_targets(&mut restored, &targets).unwrap();
+        assert_eq!(restored.col_types, original.col_types);
+    }
+}

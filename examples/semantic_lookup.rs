@@ -1,0 +1,96 @@
+//! Semantic lookup on a hand-built knowledge graph — the paper's
+//! motivating example: looking up DEUTSCHLAND (or GERMONEY) must retrieve
+//! the entity GERMANY even though the index stores only primary labels.
+//!
+//! ```text
+//! cargo run --release --example semantic_lookup
+//! ```
+
+use emblookup::kg::{KnowledgeGraph, Object};
+use emblookup::prelude::*;
+
+/// Builds a small hand-crafted KG with real-world-style aliases.
+fn build_kg() -> KnowledgeGraph {
+    let mut kg = KnowledgeGraph::new();
+    let place = kg.add_type("place", None);
+    let country = kg.add_type("country", Some(place));
+    let city = kg.add_type("city", Some(place));
+    let org = kg.add_type("organization", None);
+    let person = kg.add_type("person", None);
+    let capital_of = kg.add_property("capital of");
+    let member_of = kg.add_property("member of");
+
+    let germany = kg.add_entity(
+        "Germany",
+        vec![
+            "Deutschland".into(),
+            "Federal Republic of Germany".into(),
+            "FRG".into(),
+            "BRD".into(),
+        ],
+        vec![country],
+    );
+    let france = kg.add_entity(
+        "France",
+        vec!["French Republic".into(), "Frankreich".into()],
+        vec![country],
+    );
+    let eu = kg.add_entity(
+        "European Union",
+        vec!["EU".into(), "Europaeische Union".into()],
+        vec![org],
+    );
+    let berlin = kg.add_entity(
+        "Berlin",
+        vec!["Berlin, Germany".into(), "German capital".into()],
+        vec![city],
+    );
+    let paris = kg.add_entity("Paris", vec!["City of Light".into()], vec![city]);
+    kg.add_entity(
+        "Bill Gates",
+        vec!["William Gates".into(), "William Henry Gates III".into()],
+        vec![person],
+    );
+    // pad the graph with more countries/cities so the lookup problem is
+    // not trivial (the model needs negatives to learn against)
+    let filler = generate(SynthKgConfig::tiny(3));
+    for e in filler.kg.entities() {
+        kg.add_entity(e.label.clone(), e.aliases.clone(), vec![city]);
+    }
+
+    kg.add_fact(berlin, capital_of, Object::Entity(germany));
+    kg.add_fact(paris, capital_of, Object::Entity(france));
+    kg.add_fact(germany, member_of, Object::Entity(eu));
+    kg.add_fact(france, member_of, Object::Entity(eu));
+    kg
+}
+
+fn main() {
+    let kg = build_kg();
+    println!("KG: {} entities, {} facts", kg.num_entities(), kg.num_facts());
+
+    let mut config = EmbLookupConfig::fast(1);
+    config.epochs = 30; // tiny graph: train a bit longer
+    config.triplets_per_entity = 40;
+    config.fasttext_epochs = 50;
+    config.compression = Compression::None;
+    let service = EmbLookup::train_on(&kg, config);
+
+    // the paper's §I examples: alias, abbreviation, name variant, typo
+    for query in [
+        "Germany",
+        "Deutschland",
+        "GERMONEY",
+        "EU",
+        "European Union",
+        "William Gates",
+        "Berlin",
+    ] {
+        let hits = service.lookup(query, 3);
+        let top: Vec<String> = hits
+            .iter()
+            .map(|c| format!("{} ({:.3})", kg.label(c.entity), c.score))
+            .collect();
+        println!("{query:<18} -> {}", top.join(", "));
+    }
+}

@@ -1,0 +1,38 @@
+#!/usr/bin/env python3
+"""Splices the sections of repro_full.md into EXPERIMENTS.md placeholders."""
+import re, sys
+
+repro = open("repro_full.md").read()
+
+def section(start_marker, end_markers):
+    i = repro.find(start_marker)
+    if i < 0:
+        return f"*(missing: {start_marker})*"
+    ends = [repro.find(m, i + 1) for m in end_markers]
+    ends = [e for e in ends if e > 0]
+    j = min(ends) if ends else len(repro)
+    return repro[i:j].strip()
+
+mapping = {
+    "<!-- TABLE1 -->": section("## Table I ", ["## Table II"]),
+    "<!-- TABLE2 -->": section("## Table II ", ["## Table III"]),
+    "<!-- TABLE3 -->": section("## Table III ", ["## Table IV"]),
+    "<!-- TABLE4 -->": section("## Table IV ", ["## Table VI"]),
+    "<!-- TABLE5 -->": section("## Table V ", ["## Table VII"]),
+    "<!-- TABLE6 -->": section("## Table VI ", ["## Table V "]),
+    "<!-- TABLE7 -->": section("## Table VII ", ["## Table VIII"]),
+    "<!-- TABLE8 -->": section("## Table VIII ", ["## Ablation", "## Figure 3"]),
+    "<!-- FIG3 -->": section("## Figure 3 ", ["## Figure 4"]),
+    "<!-- FIG4 -->": section("## Figure 4 ", ["## Figure 5"]),
+    "<!-- FIG5 -->": section("## Figure 5 ", ["## Index sizes"]),
+    "<!-- SIZES -->": section("## Index sizes", ["\n## ", "$ "]),
+    "<!-- ABLATION -->": section("## Ablation ", ["## Figure 3"]),
+}
+
+doc = open("EXPERIMENTS.md").read()
+for marker, content in mapping.items():
+    # drop the duplicated "## ..." heading line from the spliced content
+    body = "\n".join(content.splitlines()[1:]).strip()
+    doc = doc.replace(marker, body)
+open("EXPERIMENTS.md", "w").write(doc)
+print("EXPERIMENTS.md filled")

@@ -1,0 +1,145 @@
+//! Command-line interface for the EmbLookup library.
+//!
+//! ```text
+//! emblookup-cli generate --out kg.bin [--entities 600] [--seed 42]
+//! emblookup-cli train    --kg kg.bin --out model.bin [--epochs 16] [--seed 42]
+//! emblookup-cli lookup   --kg kg.bin --model model.bin --query "germoney" [--k 10]
+//! emblookup-cli stats    --kg kg.bin
+//! ```
+
+use emblookup::core::{EmbLookup, EmbLookupConfig, EmbLookupModel};
+use emblookup::kg::{generate, kg_from_bytes, kg_to_bytes, LookupService, SynthKgConfig};
+use std::process::ExitCode;
+use std::sync::Arc;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match command.as_str() {
+        "generate" => cmd_generate(&args[1..]),
+        "train" => cmd_train(&args[1..]),
+        "lookup" => cmd_lookup(&args[1..]),
+        "stats" => cmd_stats(&args[1..]),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+EmbLookup — embedding-based entity lookup for knowledge graphs
+
+USAGE:
+  emblookup-cli generate --out <kg.bin> [--entities N] [--seed S]
+  emblookup-cli train    --kg <kg.bin> --out <model.bin> [--epochs E] [--triplets T] [--seed S]
+  emblookup-cli lookup   --kg <kg.bin> --model <model.bin> --query <text> [--k K]
+  emblookup-cli stats    --kg <kg.bin>";
+
+/// Reads `--name value` style flags.
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn required(args: &[String], name: &str) -> Result<String, String> {
+    flag(args, name).ok_or_else(|| format!("missing required flag {name}"))
+}
+
+fn parsed<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Result<T, String> {
+    match flag(args, name) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("invalid value for {name}: {v:?}")),
+    }
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let out = required(args, "--out")?;
+    let entities: usize = parsed(args, "--entities", 600)?;
+    let seed: u64 = parsed(args, "--seed", 42)?;
+    // scale the small preset proportionally
+    let base = SynthKgConfig::small(seed);
+    let scale = (entities as f64 / base.total_entities() as f64).max(0.05);
+    let config = SynthKgConfig {
+        countries: ((base.countries as f64 * scale) as usize).max(2),
+        cities: ((base.cities as f64 * scale) as usize).max(5),
+        persons: ((base.persons as f64 * scale) as usize).max(5),
+        organizations: ((base.organizations as f64 * scale) as usize).max(2),
+        films: ((base.films as f64 * scale) as usize).max(2),
+        ..base
+    };
+    let synth = generate(config);
+    std::fs::write(&out, kg_to_bytes(&synth.kg)).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} ({} entities, {} facts)",
+        out,
+        synth.kg.num_entities(),
+        synth.kg.num_facts()
+    );
+    Ok(())
+}
+
+fn load_kg(args: &[String]) -> Result<emblookup::kg::KnowledgeGraph, String> {
+    let path = required(args, "--kg")?;
+    let bytes = std::fs::read(&path).map_err(|e| format!("{path}: {e}"))?;
+    kg_from_bytes(&bytes)
+}
+
+fn cmd_train(args: &[String]) -> Result<(), String> {
+    let kg = load_kg(args)?;
+    let out = required(args, "--out")?;
+    let seed: u64 = parsed(args, "--seed", 42)?;
+    let mut config = EmbLookupConfig::fast(seed);
+    config.epochs = parsed(args, "--epochs", config.epochs)?;
+    config.triplets_per_entity = parsed(args, "--triplets", config.triplets_per_entity)?;
+    println!(
+        "training on {} entities ({} epochs, {} triplets/entity)…",
+        kg.num_entities(),
+        config.epochs,
+        config.triplets_per_entity
+    );
+    let service = EmbLookup::train_on(&kg, config);
+    println!("final loss {:.4}", service.report().final_loss());
+    std::fs::write(&out, service.model().to_bytes()).map_err(|e| e.to_string())?;
+    println!("wrote {out}");
+    Ok(())
+}
+
+fn cmd_lookup(args: &[String]) -> Result<(), String> {
+    let kg = load_kg(args)?;
+    let model_path = required(args, "--model")?;
+    let query = required(args, "--query")?;
+    let k: usize = parsed(args, "--k", 10)?;
+    let seed: u64 = parsed(args, "--seed", 42)?;
+    let bytes = std::fs::read(&model_path).map_err(|e| format!("{model_path}: {e}"))?;
+    let model = EmbLookupModel::from_bytes(&bytes, EmbLookupConfig::fast(seed))?;
+    let service = EmbLookup::from_model(Arc::new(model), &kg, emblookup::core::Compression::default_pq());
+    for (rank, c) in service.lookup(&query, k).iter().enumerate() {
+        println!("{:>2}. {:<32} {:.4}", rank + 1, kg.label(c.entity), c.score);
+    }
+    Ok(())
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let kg = load_kg(args)?;
+    println!("entities:   {}", kg.num_entities());
+    println!("types:      {}", kg.num_types());
+    println!("properties: {}", kg.num_properties());
+    println!("facts:      {}", kg.num_facts());
+    let aliases: usize = kg.entities().map(|e| e.aliases.len()).sum();
+    println!("aliases:    {aliases}");
+    Ok(())
+}

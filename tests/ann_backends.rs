@@ -1,0 +1,97 @@
+//! Cross-backend contract test: every index in `emblookup-ann` answers the
+//! same workload with consistent semantics (sorted results, bounded k) and
+//! reasonable recall against the exact flat index.
+
+use emblookup::ann::{
+    lsh::LshConfig, FlatIndex, HnswConfig, HnswIndex, IvfConfig, IvfIndex, IvfPqConfig,
+    IvfPqIndex, Neighbor, PqConfig, PqIndex, RefinedPqIndex, SqIndex, VectorSet,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_set(n: usize, dim: usize, seed: u64) -> VectorSet {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut vs = VectorSet::new(dim);
+    for _ in 0..n {
+        let v: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        vs.push(&v);
+    }
+    vs
+}
+
+fn recall_vs_flat(
+    flat: &FlatIndex,
+    search: &dyn Fn(&[f32], usize) -> Vec<Neighbor>,
+    queries: &VectorSet,
+    k: usize,
+) -> f64 {
+    let mut acc = 0.0;
+    for q in queries.iter() {
+        let truth: Vec<usize> = flat.search(q, k).iter().map(|n| n.index).collect();
+        let got: Vec<usize> = search(q, k).iter().map(|n| n.index).collect();
+        acc += truth.iter().filter(|i| got.contains(i)).count() as f64 / k as f64;
+    }
+    acc / queries.len() as f64
+}
+
+#[test]
+fn all_backends_honor_the_search_contract() {
+    let data = random_set(600, 16, 1);
+    let queries = random_set(20, 16, 2);
+    let flat = FlatIndex::new(data.clone());
+
+    let pq_cfg = PqConfig { m: 4, ks: 32, kmeans_iters: 8, seed: 0 };
+    let pq = PqIndex::build(&data, pq_cfg);
+    let refined = RefinedPqIndex::new(PqIndex::build(&data, pq_cfg), data.clone(), 6);
+    let ivf = IvfIndex::build(data.clone(), IvfConfig { nlist: 16, nprobe: 6, kmeans_iters: 8, seed: 0 });
+    let ivfpq = IvfPqIndex::build(
+        &data,
+        IvfPqConfig { nlist: 16, nprobe: 8, pq: pq_cfg, kmeans_iters: 8, seed: 0 },
+    );
+    let hnsw = HnswIndex::build(data.clone(), HnswConfig::default());
+    let sq = SqIndex::build(&data);
+
+    let backends: Vec<(&str, Box<dyn Fn(&[f32], usize) -> Vec<Neighbor>>, f64)> = vec![
+        ("pq", Box::new(move |q, k| pq.search(q, k)), 0.45),
+        ("refined_pq", Box::new(move |q, k| refined.search(q, k)), 0.85),
+        ("ivf", Box::new(move |q, k| ivf.search(q, k)), 0.55),
+        ("ivfpq", Box::new(move |q, k| ivfpq.search(q, k)), 0.35),
+        ("hnsw", Box::new(move |q, k| hnsw.search(q, k)), 0.80),
+        ("sq8", Box::new(move |q, k| sq.search(q, k)), 0.90),
+    ];
+
+    for (name, search, min_recall) in &backends {
+        // contract: sorted ascending, distinct, bounded by k
+        let hits = search(queries.get(0), 10);
+        assert!(hits.len() <= 10, "{name} overflowed k");
+        for w in hits.windows(2) {
+            assert!(w[0].dist <= w[1].dist, "{name} returned unsorted results");
+        }
+        let mut ids: Vec<usize> = hits.iter().map(|n| n.index).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), hits.len(), "{name} returned duplicates");
+
+        // recall floor
+        let r = recall_vs_flat(&flat, search.as_ref(), &queries, 10);
+        assert!(r >= *min_recall, "{name} recall@10 {r} below floor {min_recall}");
+    }
+}
+
+#[test]
+fn lsh_candidates_find_near_duplicates() {
+    use emblookup::ann::lsh::hash_feature;
+    use emblookup::ann::MinHashLsh;
+    use emblookup::text::distance::qgrams;
+
+    let lsh = MinHashLsh::new(LshConfig { bands: 16, rows: 3, seed: 0 });
+    let names = ["product quantization", "product quantisation", "hnsw graph", "flat index"];
+    for (i, n) in names.iter().enumerate() {
+        let f: Vec<u64> = qgrams(n, 3).iter().map(|g| hash_feature(g)).collect();
+        lsh.insert(i as u32, &f);
+    }
+    let f: Vec<u64> = qgrams("product quantization", 3).iter().map(|g| hash_feature(g)).collect();
+    let cands = lsh.candidates(&f);
+    assert!(cands.contains(&0));
+    assert!(cands.contains(&1), "near-duplicate spelling missed");
+}

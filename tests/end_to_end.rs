@@ -1,0 +1,137 @@
+//! End-to-end integration tests: train → index → lookup across crates.
+
+use emblookup::prelude::*;
+use emblookup::text::NoiseInjector;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn trained() -> &'static (emblookup::kg::SynthKg, EmbLookup) {
+    // training is the expensive part; share one model across the tests
+    static FIXTURE: std::sync::OnceLock<(emblookup::kg::SynthKg, EmbLookup)> =
+        std::sync::OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let synth = generate(SynthKgConfig::small(101));
+        let config = EmbLookupConfig {
+            epochs: 8,
+            triplets_per_entity: 12,
+            ..EmbLookupConfig::fast(101)
+        };
+        let service = EmbLookup::train_on(&synth.kg, config);
+        (synth, service)
+    })
+}
+
+#[test]
+fn exact_labels_resolve_with_high_hit_rate() {
+    let (synth, service) = trained();
+    let mut hits = 0;
+    let total = 100;
+    for e in synth.kg.entities().take(total) {
+        if service.lookup(&e.label, 5).iter().any(|c| c.entity == e.id) {
+            hits += 1;
+        }
+    }
+    assert!(hits >= 95, "only {hits}/{total} exact labels resolved in top-5");
+}
+
+#[test]
+fn single_typo_resolves_in_top_ten() {
+    let (synth, service) = trained();
+    let mut rng = StdRng::seed_from_u64(1);
+    let injector = NoiseInjector::typos();
+    let mut hits = 0;
+    let total = 100;
+    for e in synth.kg.entities().take(total) {
+        let noisy = injector.corrupt(&e.label, &mut rng);
+        if service.lookup(&noisy, 10).iter().any(|c| c.entity == e.id) {
+            hits += 1;
+        }
+    }
+    assert!(hits >= 70, "only {hits}/{total} typos resolved in top-10");
+}
+
+#[test]
+fn aliases_resolve_better_than_chance() {
+    let (synth, service) = trained();
+    let mut hits = 0;
+    let mut total = 0;
+    for e in synth.kg.entities().take(150) {
+        let Some(alias) = e.aliases.first() else { continue };
+        total += 1;
+        if service.lookup(alias, 10).iter().any(|c| c.entity == e.id) {
+            hits += 1;
+        }
+    }
+    // semantic lookup is the hard case; random top-10 of 600 would be ~1.7%
+    assert!(
+        hits * 100 >= total * 30,
+        "alias hit rate too low: {hits}/{total}"
+    );
+}
+
+#[test]
+fn pq_and_flat_agree_on_most_top1() {
+    let (synth, service) = trained();
+    let pq = EmbLookup::from_model(service.model_arc(), &synth.kg, Compression::default_pq());
+    let mut agree = 0;
+    let total = 80;
+    for e in synth.kg.entities().take(total) {
+        let flat_top = service.lookup(&e.label, 1)[0].entity;
+        let pq_top = pq.lookup(&e.label, 1)[0].entity;
+        if flat_top == pq_top {
+            agree += 1;
+        }
+    }
+    assert!(agree * 10 >= total * 8, "PQ/flat top-1 agreement {agree}/{total}");
+}
+
+#[test]
+fn training_is_deterministic_across_runs() {
+    let synth = generate(SynthKgConfig::tiny(55));
+    let config = EmbLookupConfig::tiny(55);
+    let a = EmbLookup::train_on(&synth.kg, config.clone());
+    let b = EmbLookup::train_on(&synth.kg, config);
+    let label = &synth.kg.entities().next().unwrap().label;
+    let ha: Vec<EntityId> = a.lookup(label, 5).iter().map(|c| c.entity).collect();
+    let hb: Vec<EntityId> = b.lookup(label, 5).iter().map(|c| c.entity).collect();
+    assert_eq!(ha, hb);
+}
+
+#[test]
+fn bulk_lookup_matches_pointwise() {
+    let (synth, service) = trained();
+    let labels: Vec<&str> = synth
+        .kg
+        .entities()
+        .take(25)
+        .map(|e| e.label.as_str())
+        .collect();
+    let bulk = service.lookup_batch(&labels, 5);
+    for (label, batch_hits) in labels.iter().zip(&bulk) {
+        let single = service.lookup(label, 5);
+        let b: Vec<EntityId> = batch_hits.iter().map(|c| c.entity).collect();
+        let s: Vec<EntityId> = single.iter().map(|c| c.entity).collect();
+        assert_eq!(b, s, "bulk/single disagree for {label}");
+    }
+}
+
+#[test]
+fn degenerate_queries_never_panic() {
+    let (_, service) = trained();
+    for q in ["", " ", "\t\n", "ÅßÇ∂", "🌍🌎🌏", &"q".repeat(10_000)] {
+        let hits = service.lookup(q, 5);
+        assert!(hits.len() <= 5);
+    }
+}
+
+#[test]
+fn single_entity_kg_trains_and_looks_up() {
+    let mut kg = KnowledgeGraph::new();
+    let t = kg.add_type("thing", None);
+    let id = kg.add_entity("Solo Entity", vec!["The Only One".into()], vec![t]);
+    let config = EmbLookupConfig::tiny(9);
+    let service = EmbLookup::train_on(&kg, config);
+    let hits = service.lookup("Solo Entity", 3);
+    assert_eq!(hits.len(), 1);
+    assert_eq!(hits[0].entity, id);
+}

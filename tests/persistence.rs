@@ -1,0 +1,48 @@
+//! Cross-crate persistence round trips: KG files, model files, and the
+//! re-served lookup pipeline.
+
+use emblookup::core::EmbLookupModel;
+use emblookup::kg::{kg_from_bytes, kg_to_bytes};
+use emblookup::prelude::*;
+use std::sync::Arc;
+
+#[test]
+fn full_pipeline_survives_save_and_load() {
+    let synth = generate(SynthKgConfig::tiny(120));
+    let config = EmbLookupConfig::tiny(120);
+    let original = EmbLookup::train_on(&synth.kg, config.clone());
+
+    // persist both artifacts
+    let kg_bytes = kg_to_bytes(&synth.kg);
+    let model_bytes = original.model().to_bytes();
+
+    // restore into a fresh pipeline
+    let kg = kg_from_bytes(&kg_bytes).unwrap();
+    let model = EmbLookupModel::from_bytes(&model_bytes, config).unwrap();
+    let restored = EmbLookup::from_model(Arc::new(model), &kg, Compression::None);
+
+    // identical results for a set of queries
+    for e in synth.kg.entities().take(15) {
+        let a: Vec<EntityId> = original.lookup(&e.label, 5).iter().map(|c| c.entity).collect();
+        let b: Vec<EntityId> = restored.lookup(&e.label, 5).iter().map(|c| c.entity).collect();
+        assert_eq!(a, b, "restored pipeline diverges for {}", e.label);
+    }
+}
+
+#[test]
+fn model_bytes_are_stable_across_serializations() {
+    let synth = generate(SynthKgConfig::tiny(121));
+    let service = EmbLookup::train_on(&synth.kg, EmbLookupConfig::tiny(121));
+    let a = service.model().to_bytes();
+    let b = service.model().to_bytes();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn kg_file_size_is_reasonable() {
+    let synth = generate(SynthKgConfig::small(122));
+    let bytes = kg_to_bytes(&synth.kg);
+    // rough sanity: strings dominate; well under 1 KiB per entity
+    assert!(bytes.len() < synth.kg.num_entities() * 1024);
+    assert!(bytes.len() > synth.kg.num_entities() * 8);
+}

@@ -1,0 +1,97 @@
+//! Smoke tests of the experiment harness: each table/figure generator runs
+//! at smoke scale and emits a structurally sound report fragment.
+//!
+//! The slow generators (full system sweeps) are exercised once through a
+//! shared environment; the quick ones run individually.
+
+use emblookup_bench::experiments as exp;
+use emblookup_bench::harness::{Env, Scale};
+use emblookup_kg::KgFlavor;
+use std::sync::OnceLock;
+
+fn env() -> &'static Env {
+    static ENV: OnceLock<Env> = OnceLock::new();
+    ENV.get_or_init(|| Env::build(KgFlavor::Wikidata, Scale::Smoke))
+}
+
+#[test]
+fn table1_reports_three_datasets() {
+    let report = exp::table1(Scale::Smoke);
+    assert!(report.contains("ST-Wikidata"));
+    assert!(report.contains("ST-DBPedia"));
+    assert!(report.contains("Tough Tables"));
+    assert!(report.contains("#Cells to annotate"));
+}
+
+#[test]
+fn table2_has_all_eight_rows() {
+    let report = exp::table2(env());
+    for system in ["bbw", "MantisTable", "JenTab", "DoSeR", "Katara"] {
+        assert!(report.contains(system), "missing {system} in:\n{report}");
+    }
+    assert!(report.contains("Speedup CPU"));
+}
+
+#[test]
+fn table5_compares_eight_services() {
+    let report = exp::table5(env(), Scale::Smoke);
+    for svc in [
+        "FuzzyWuzzy",
+        "Elastic Search",
+        "LSH",
+        "Exact Match",
+        "q-gram",
+        "Levenshtein",
+        "Wikidata API",
+        "SearX API",
+    ] {
+        assert!(report.contains(svc), "missing {svc} in:\n{report}");
+    }
+}
+
+#[test]
+fn fig4_recall_is_in_unit_interval() {
+    let report = exp::fig4(env());
+    for line in report.lines().filter(|l| l.starts_with("| ") && !l.contains("Recall")) {
+        let val: f64 = line
+            .split('|')
+            .nth(2)
+            .unwrap()
+            .trim()
+            .parse()
+            .unwrap_or(-1.0);
+        assert!((0.0..=1.0).contains(&val), "recall out of range in {line}");
+    }
+}
+
+#[test]
+fn fig5_covers_byte_budgets() {
+    let report = exp::fig5(env());
+    for bytes in ["| 8 |", "| 16 |", "| 32 |", "| 64 |", "| 256 (none) |"] {
+        assert!(report.contains(bytes), "missing {bytes} in:\n{report}");
+    }
+}
+
+#[test]
+fn index_sizes_show_pq_smaller_than_flat() {
+    let report = exp::index_sizes(env());
+    let grab = |needle: &str| -> usize {
+        report
+            .lines()
+            .find(|l| l.contains(needle))
+            .and_then(|l| l.split('|').nth(2))
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(0)
+    };
+    let pq = grab("EmbLookup PQ");
+    let flat = grab("EmbLookup flat");
+    assert!(pq > 0 && flat > 0);
+    assert!(pq < flat, "PQ index {pq} not smaller than flat {flat}");
+}
+
+#[test]
+fn gpu_cost_model_is_documented_constant() {
+    assert_eq!(exp::GPU_LANES, 4);
+    let d = std::time::Duration::from_millis(40);
+    assert_eq!(exp::gpu_time(d), std::time::Duration::from_millis(10));
+}
