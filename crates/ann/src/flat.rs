@@ -60,6 +60,8 @@ impl FlatIndex {
         if self.vectors.is_empty() || k == 0 {
             return Vec::new();
         }
+        crate::metrics::flat_searches().inc();
+        crate::metrics::flat_visited().add(self.vectors.len() as u64);
         let mut tk = TopK::new(k);
         for (i, v) in self.vectors.iter().enumerate() {
             tk.push(i, sq_l2(query, v));
@@ -70,7 +72,7 @@ impl FlatIndex {
     /// Searches many queries, optionally in parallel across threads.
     ///
     /// `threads == 1` runs sequentially; larger values split the query
-    /// batch across scoped crossbeam threads. This is the GPU-surrogate
+    /// batch across scoped std threads. This is the GPU-surrogate
     /// bulk path of the speedup tables.
     pub fn search_batch(&self, queries: &VectorSet, k: usize, threads: usize) -> Vec<Vec<Neighbor>> {
         batch_search(queries, k, threads, |q, k| self.search(q, k))
@@ -98,18 +100,17 @@ where
     }
     let chunk = n.div_ceil(threads);
     let mut results: Vec<Vec<Neighbor>> = vec![Vec::new(); n];
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (t, slot) in results.chunks_mut(chunk).enumerate() {
             let search = &search;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for (offset, out) in slot.iter_mut().enumerate() {
                     let qi = t * chunk + offset;
                     *out = search(queries.get(qi), k);
                 }
             });
         }
-    })
-    .expect("batch search worker panicked");
+    });
     results
 }
 

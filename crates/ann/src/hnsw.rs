@@ -113,7 +113,8 @@ impl HnswIndex {
         }
         // beam search + connect on layers min(level, top)..=0
         for layer in (0..=level.min(top)).rev() {
-            let candidates = self.search_layer(&query, current, layer, self.config.ef_construction);
+            let (candidates, _) =
+                self.search_layer(&query, current, layer, self.config.ef_construction);
             let max_links = self.layer_cap(layer);
             let selected: Vec<u32> = candidates
                 .iter()
@@ -184,8 +185,15 @@ impl HnswIndex {
         }
     }
 
-    /// Beam search on one layer; returns up to `ef` nearest, ascending.
-    fn search_layer(&self, query: &[f32], start: u32, layer: usize, ef: usize) -> Vec<Neighbor> {
+    /// Beam search on one layer; returns up to `ef` nearest (ascending)
+    /// plus the number of distinct nodes visited.
+    fn search_layer(
+        &self,
+        query: &[f32],
+        start: u32,
+        layer: usize,
+        ef: usize,
+    ) -> (Vec<Neighbor>, usize) {
         let d0 = sq_l2(query, self.vectors.get(start as usize));
         let mut visited: HashSet<u32> = HashSet::from([start]);
         let mut frontier: BinaryHeap<Near> = BinaryHeap::from([Near(d0, start)]);
@@ -221,7 +229,7 @@ impl HnswIndex {
             .map(|Far(d, n)| Neighbor { index: n as usize, dist: d })
             .collect();
         out.sort_by(|a, b| a.dist.partial_cmp(&b.dist).unwrap_or(Ordering::Equal));
-        out
+        (out, visited.len())
     }
 
     /// Number of indexed vectors.
@@ -244,7 +252,9 @@ impl HnswIndex {
             current = self.greedy_step(query, current, layer);
         }
         let ef = self.config.ef_search.max(k);
-        let mut found = self.search_layer(query, current, 0, ef);
+        let (mut found, visited) = self.search_layer(query, current, 0, ef);
+        crate::metrics::hnsw_searches().inc();
+        crate::metrics::hnsw_visited().add(visited as u64);
         found.truncate(k);
         // found may contain duplicates only if links were inconsistent;
         // TopK re-validation keeps the contract tight

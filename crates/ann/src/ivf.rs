@@ -100,11 +100,15 @@ impl IvfIndex {
         order.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
 
         let mut tk = TopK::new(k);
+        let mut visited = 0u64;
         for &(list, _) in order.iter().take(self.nprobe) {
+            visited += self.lists[list].len() as u64;
             for &i in &self.lists[list] {
                 tk.push(i as usize, sq_l2(query, self.vectors.get(i as usize)));
             }
         }
+        crate::metrics::ivf_searches().inc();
+        crate::metrics::ivf_visited().add(visited);
         tk.into_sorted()
     }
 

@@ -117,12 +117,16 @@ impl IvfPqIndex {
         let table = self.quantizer.distance_table(query);
         let m = self.quantizer.m();
         let mut tk = TopK::new(k);
+        let mut visited = 0u64;
         for &(list, _) in order.iter().take(self.nprobe) {
+            visited += self.list_ids[list].len() as u64;
             for (slot, &id) in self.list_ids[list].iter().enumerate() {
                 let code = &self.list_codes[list][slot * m..(slot + 1) * m];
                 tk.push(id as usize, self.quantizer.adc(&table, code));
             }
         }
+        crate::metrics::ivfpq_searches().inc();
+        crate::metrics::ivfpq_visited().add(visited);
         tk.into_sorted()
     }
 

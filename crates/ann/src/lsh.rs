@@ -6,7 +6,7 @@
 //! character q-grams). Signatures of `bands × rows` min-hashes are banded;
 //! items sharing any band bucket with the query become candidates.
 
-use parking_lot::RwLock;
+use std::sync::RwLock;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::hash_map::DefaultHasher;
@@ -32,7 +32,7 @@ impl Default for LshConfig {
 
 /// MinHash LSH index over `u64` feature sets.
 ///
-/// Thread-safe for concurrent queries (`parking_lot::RwLock` around the
+/// Thread-safe for concurrent queries (`std::sync::RwLock` around the
 /// band tables); inserts take the write lock.
 pub struct MinHashLsh {
     config: LshConfig,
@@ -64,7 +64,7 @@ impl MinHashLsh {
 
     /// Number of inserted items.
     pub fn len(&self) -> usize {
-        *self.len.read()
+        *self.len.read().unwrap()
     }
 
     /// True when no items are indexed.
@@ -94,19 +94,19 @@ impl MinHashLsh {
     /// Inserts an item with identifier `id` and its feature set.
     pub fn insert(&self, id: u32, features: &[u64]) {
         let sig = self.signature(features);
-        let mut tables = self.tables.write();
+        let mut tables = self.tables.write().unwrap();
         for (band, table) in tables.iter_mut().enumerate() {
             let h = band_hash(&sig[band * self.config.rows..(band + 1) * self.config.rows]);
             table.entry(h).or_default().push(id);
         }
-        *self.len.write() += 1;
+        *self.len.write().unwrap() += 1;
     }
 
     /// Candidate items sharing at least one band bucket with the query
     /// features, deduplicated, in ascending id order.
     pub fn candidates(&self, features: &[u64]) -> Vec<u32> {
         let sig = self.signature(features);
-        let tables = self.tables.read();
+        let tables = self.tables.read().unwrap();
         let mut out = Vec::new();
         for (band, table) in tables.iter().enumerate() {
             let h = band_hash(&sig[band * self.config.rows..(band + 1) * self.config.rows]);

@@ -1,0 +1,32 @@
+//! Per-backend search counters, recorded into the global obs registry.
+//!
+//! Handles are resolved once per process through `OnceLock`, so the hot
+//! search paths only ever touch a relaxed atomic — never the registry
+//! lock. Counters follow the `ann.<backend>.<what>` naming scheme:
+//! `searches` counts queries, `visited_nodes` counts how many stored
+//! vectors/codes a query actually examined (the work metric behind the
+//! flat-vs-ANN comparisons).
+
+use emblookup_obs::{global, Counter};
+use std::sync::{Arc, OnceLock};
+
+macro_rules! static_counter {
+    ($(#[$doc:meta])* $name:ident, $metric:expr) => {
+        $(#[$doc])*
+        pub(crate) fn $name() -> &'static Counter {
+            static C: OnceLock<Arc<Counter>> = OnceLock::new();
+            C.get_or_init(|| global().counter($metric))
+        }
+    };
+}
+
+static_counter!(flat_searches, "ann.flat.searches");
+static_counter!(flat_visited, "ann.flat.visited_nodes");
+static_counter!(hnsw_searches, "ann.hnsw.searches");
+static_counter!(hnsw_visited, "ann.hnsw.visited_nodes");
+static_counter!(ivf_searches, "ann.ivf.searches");
+static_counter!(ivf_visited, "ann.ivf.visited_nodes");
+static_counter!(pq_searches, "ann.pq.searches");
+static_counter!(pq_visited, "ann.pq.visited_nodes");
+static_counter!(ivfpq_searches, "ann.ivfpq.searches");
+static_counter!(ivfpq_visited, "ann.ivfpq.visited_nodes");

@@ -224,6 +224,8 @@ impl PqIndex {
         if self.n == 0 || k == 0 {
             return Vec::new();
         }
+        crate::metrics::pq_searches().inc();
+        crate::metrics::pq_visited().add(self.n as u64);
         let table = self.quantizer.distance_table(query);
         let m = self.quantizer.m();
         let mut tk = TopK::new(k);

@@ -75,9 +75,9 @@ mod tests {
     fn refinement_beats_raw_pq_at_small_k() {
         let data = random_set(800, 16, 1);
         let flat = FlatIndex::new(data.clone());
-        let cfg = PqConfig { m: 4, ks: 16, kmeans_iters: 8, seed: 0 };
+        let cfg = PqConfig { m: 4, ks: 16, kmeans_iters: 20, seed: 0 };
         let pq = PqIndex::build(&data, cfg);
-        let refined = RefinedPqIndex::new(PqIndex::build(&data, cfg), data.clone(), 8);
+        let refined = RefinedPqIndex::new(PqIndex::build(&data, cfg), data.clone(), 16);
         let queries = random_set(25, 16, 2);
 
         let recall = |search: &dyn Fn(&[f32]) -> Vec<Neighbor>| -> f64 {

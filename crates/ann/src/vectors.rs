@@ -1,10 +1,9 @@
 //! Flat storage for fixed-dimension embedding collections.
 
-use serde::{Deserialize, Serialize};
 
 /// A collection of `n` vectors of equal dimension, stored row-major in one
 /// contiguous buffer (the `I` matrix of the paper, `N × D`).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct VectorSet {
     dim: usize,
     data: Vec<f32>,

@@ -5,7 +5,7 @@
 //! timed path charges only cache misses.
 
 use emblookup_kg::{Candidate, LookupService};
-use parking_lot::Mutex;
+use std::sync::Mutex;
 use std::collections::HashMap;
 use std::time::Duration;
 
@@ -35,7 +35,7 @@ impl<S: LookupService> CachedService<S> {
 
     /// `(hits, misses)` counters since construction.
     pub fn stats(&self) -> (u64, u64) {
-        (*self.hits.lock(), *self.misses.lock())
+        (*self.hits.lock().unwrap(), *self.misses.lock().unwrap())
     }
 
     /// The wrapped service.
@@ -47,13 +47,13 @@ impl<S: LookupService> CachedService<S> {
 impl<S: LookupService> LookupService for CachedService<S> {
     fn lookup(&self, q: &str, k: usize) -> Vec<Candidate> {
         let key = (q.to_string(), k);
-        if let Some(hit) = self.cache.lock().get(&key) {
-            *self.hits.lock() += 1;
+        if let Some(hit) = self.cache.lock().unwrap().get(&key) {
+            *self.hits.lock().unwrap() += 1;
             return hit.clone();
         }
-        *self.misses.lock() += 1;
+        *self.misses.lock().unwrap() += 1;
         let result = self.inner.lookup(q, k);
-        self.cache.lock().insert(key, result.clone());
+        self.cache.lock().unwrap().insert(key, result.clone());
         result
     }
 
@@ -63,13 +63,13 @@ impl<S: LookupService> LookupService for CachedService<S> {
 
     fn lookup_timed(&self, q: &str, k: usize) -> (Vec<Candidate>, Duration) {
         let key = (q.to_string(), k);
-        if let Some(hit) = self.cache.lock().get(&key) {
-            *self.hits.lock() += 1;
+        if let Some(hit) = self.cache.lock().unwrap().get(&key) {
+            *self.hits.lock().unwrap() += 1;
             return (hit.clone(), Duration::ZERO);
         }
-        *self.misses.lock() += 1;
+        *self.misses.lock().unwrap() += 1;
         let (result, elapsed) = self.inner.lookup_timed(q, k);
-        self.cache.lock().insert(key, result.clone());
+        self.cache.lock().unwrap().insert(key, result.clone());
         (result, elapsed)
     }
 

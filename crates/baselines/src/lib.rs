@@ -16,6 +16,7 @@ pub mod elastic;
 pub mod elastic_ops;
 pub mod lsh_service;
 pub mod metasearch;
+pub mod metered;
 pub mod remote;
 pub mod scan;
 
@@ -25,5 +26,6 @@ pub use elastic::ElasticLikeService;
 pub use elastic_ops::{ElasticOp, ElasticOpService};
 pub use lsh_service::LshService;
 pub use metasearch::MetaSearchService;
+pub use metered::Metered;
 pub use remote::{RemoteCostModel, RemoteService};
 pub use scan::{ExactMatchService, FuzzyWuzzyService, LevenshteinService, QGramService};

@@ -1,0 +1,137 @@
+//! [`Metered`]: wraps any [`LookupService`] to record per-query latency
+//! into an `emblookup-obs` histogram — the head-to-head benchmarks put
+//! every baseline behind the same `lookup.latency.*` metric family that
+//! EmbLookup itself reports.
+//!
+//! The histogram handle is resolved once at construction; each query then
+//! costs exactly one atomic histogram record on top of the wrapped call.
+
+use emblookup_kg::{Candidate, LookupService};
+use emblookup_obs::Histogram;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A lookup service whose queries are timed into a named histogram.
+pub struct Metered<S> {
+    inner: S,
+    hist: Arc<Histogram>,
+}
+
+/// Lowercases a service name into a metric-safe suffix
+/// (`"FuzzyWuzzy (token_set_ratio)"` → `"fuzzywuzzy_token_set_ratio"`).
+fn slug(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c.to_ascii_lowercase());
+        } else if !out.ends_with('_') && !out.is_empty() {
+            out.push('_');
+        }
+    }
+    while out.ends_with('_') {
+        out.pop();
+    }
+    if out.is_empty() {
+        out.push_str("unnamed");
+    }
+    out
+}
+
+impl<S: LookupService> Metered<S> {
+    /// Wraps `inner`, recording into `lookup.latency.<slug(name)>` in the
+    /// global registry.
+    pub fn new(inner: S) -> Self {
+        let metric = format!("lookup.latency.{}", slug(inner.name()));
+        Self::with_metric(inner, &metric)
+    }
+
+    /// Wraps `inner`, recording into an explicitly named histogram.
+    pub fn with_metric(inner: S, metric: &str) -> Self {
+        Metered { inner, hist: emblookup_obs::global().histogram(metric) }
+    }
+
+    /// The wrapped service.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Unwraps the service.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: LookupService> LookupService for Metered<S> {
+    fn lookup(&self, q: &str, k: usize) -> Vec<Candidate> {
+        // record the *charged* time so simulated remote services meter
+        // their modeled network latency, not just local compute
+        let (hits, d) = self.inner.lookup_timed(q, k);
+        self.hist.record_duration(d);
+        hits
+    }
+
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn lookup_timed(&self, q: &str, k: usize) -> (Vec<Candidate>, Duration) {
+        let (hits, d) = self.inner.lookup_timed(q, k);
+        self.hist.record_duration(d);
+        (hits, d)
+    }
+
+    fn lookup_batch(&self, queries: &[&str], k: usize) -> Vec<Vec<Candidate>> {
+        // preserve the inner fast path; per-query latencies inside a batch
+        // are not individually observable, so none are recorded here
+        self.inner.lookup_batch(queries, k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::ExactMatchService;
+    use emblookup_kg::KnowledgeGraph;
+
+    fn toy_kg() -> KnowledgeGraph {
+        let mut kg = KnowledgeGraph::new();
+        let t = kg.add_type("city", None);
+        kg.add_entity("Berlin", vec!["BER".into()], vec![t]);
+        kg.add_entity("Paris", vec![], vec![t]);
+        kg
+    }
+
+    #[test]
+    fn slug_normalizes_names() {
+        assert_eq!(slug("FuzzyWuzzy (token_set_ratio)"), "fuzzywuzzy_token_set_ratio");
+        assert_eq!(slug("Exact"), "exact");
+        assert_eq!(slug("---"), "unnamed");
+    }
+
+    #[test]
+    fn metered_preserves_results_and_counts_queries() {
+        let kg = toy_kg();
+        let reg = emblookup_obs::global();
+        let svc = Metered::with_metric(
+            ExactMatchService::new(&kg, true),
+            "lookup.latency.test_metered_exact",
+        );
+        let before = reg
+            .snapshot()
+            .histogram("lookup.latency.test_metered_exact")
+            .map(|h| h.count)
+            .unwrap_or(0);
+        let raw = ExactMatchService::new(&kg, true).lookup("Berlin", 3);
+        let metered = svc.lookup("Berlin", 3);
+        assert_eq!(raw.len(), metered.len());
+        let (_, d) = svc.lookup_timed("Paris", 3);
+        assert!(d < Duration::from_secs(1));
+        let after = reg
+            .snapshot()
+            .histogram("lookup.latency.test_metered_exact")
+            .expect("histogram registered")
+            .count;
+        assert_eq!(after - before, 2);
+        assert_eq!(svc.name(), svc.inner().name());
+    }
+}

@@ -1,8 +1,8 @@
-//! Criterion micro-benchmarks behind Figures 4 and 5: product-quantization
+//! Micro-benchmarks behind Figures 4 and 5: product-quantization
 //! train/encode/search against PCA projection and the flat baseline.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use emblookup_ann::{FlatIndex, Pca, PqConfig, PqIndex, ProductQuantizer, VectorSet};
+use emblookup_bench::micro::Group;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::hint::black_box;
@@ -17,7 +17,7 @@ fn random_set(n: usize, dim: usize, seed: u64) -> VectorSet {
     vs
 }
 
-fn bench_compression(c: &mut Criterion) {
+fn main() {
     let data = random_set(4000, 64, 1);
     let query: Vec<f32> = random_set(1, 64, 2).get(0).to_vec();
 
@@ -27,36 +27,28 @@ fn bench_compression(c: &mut Criterion) {
     let flat = FlatIndex::new(data.clone());
     let pca = Pca::fit(&data, 8, 0);
 
-    let mut group = c.benchmark_group("fig4_fig5_compression");
-    group.sample_size(20);
-
-    group.bench_function("pq_encode_one_vector", |b| {
-        b.iter(|| black_box(quantizer.encode(black_box(&query))))
+    let mut group = Group::new("fig4_fig5_compression");
+    group.bench("pq_encode_one_vector", || {
+        black_box(quantizer.encode(black_box(&query)))
     });
-    group.bench_function("pq_distance_table", |b| {
-        b.iter(|| black_box(quantizer.distance_table(black_box(&query))))
+    group.bench("pq_distance_table", || {
+        black_box(quantizer.distance_table(black_box(&query)))
     });
-    group.bench_function("pq_search_k20_4000", |b| {
-        b.iter(|| black_box(pq_index.search(black_box(&query), 20)))
+    group.bench("pq_search_k20_4000", || {
+        black_box(pq_index.search(black_box(&query), 20))
     });
-    group.bench_function("flat_search_k20_4000", |b| {
-        b.iter(|| black_box(flat.search(black_box(&query), 20)))
+    group.bench("flat_search_k20_4000", || {
+        black_box(flat.search(black_box(&query), 20))
     });
-    group.bench_function("pca_project_one_vector", |b| {
-        b.iter(|| black_box(pca.project(black_box(&query))))
+    group.bench("pca_project_one_vector", || {
+        black_box(pca.project(black_box(&query)))
     });
     group.finish();
 
-    let mut train_group = c.benchmark_group("compression_build");
-    train_group.sample_size(10);
-    train_group.bench_function("pq_train_4000x64", |b| {
-        b.iter(|| black_box(ProductQuantizer::train(&data, pq_cfg)))
+    let mut train_group = Group::new("compression_build");
+    train_group.bench("pq_train_4000x64", || {
+        black_box(ProductQuantizer::train(&data, pq_cfg))
     });
-    train_group.bench_function("pca_fit_k8_4000x64", |b| {
-        b.iter(|| black_box(Pca::fit(&data, 8, 0)))
-    });
+    train_group.bench("pca_fit_k8_4000x64", || black_box(Pca::fit(&data, 8, 0)));
     train_group.finish();
 }
-
-criterion_group!(benches, bench_compression);
-criterion_main!(benches);

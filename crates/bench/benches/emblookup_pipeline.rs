@@ -1,35 +1,34 @@
-//! Criterion micro-benchmarks behind Tables II/III: the EmbLookup lookup
-//! path broken into its stages (embed, index search, bulk query), which is
+//! Micro-benchmarks behind Tables II/III: the EmbLookup lookup path
+//! broken into its stages (embed, index search, bulk query), which is
 //! the latency the systems' speedup columns are built from.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use emblookup_bench::harness::{Env, Scale};
+use emblookup_bench::micro::Group;
 use emblookup_kg::{KgFlavor, LookupService};
 use std::hint::black_box;
 
-fn bench_pipeline(c: &mut Criterion) {
+fn main() {
     let env = Env::build(KgFlavor::Wikidata, Scale::Smoke);
     let model = env.el.model();
     let query = "east brenkalburg";
     let embedding = model.embed(query);
 
-    let mut group = c.benchmark_group("table2_emblookup_stages");
-    group.sample_size(30);
+    let mut group = Group::new("table2_emblookup_stages");
 
-    group.bench_function("embed_single_mention", |b| {
-        b.iter(|| black_box(model.embed(black_box(query))))
+    group.bench("embed_single_mention", || {
+        black_box(model.embed(black_box(query)))
     });
 
-    group.bench_function("index_search_pq_k20", |b| {
-        b.iter(|| black_box(env.el.index().search(black_box(&embedding), 20)))
+    group.bench("index_search_pq_k20", || {
+        black_box(env.el.index().search(black_box(&embedding), 20))
     });
 
-    group.bench_function("index_search_flat_k20", |b| {
-        b.iter(|| black_box(env.el_nc.index().search(black_box(&embedding), 20)))
+    group.bench("index_search_flat_k20", || {
+        black_box(env.el_nc.index().search(black_box(&embedding), 20))
     });
 
-    group.bench_function("lookup_end_to_end_k20", |b| {
-        b.iter(|| black_box(env.el.lookup(black_box(query), 20)))
+    group.bench("lookup_end_to_end_k20", || {
+        black_box(env.el.lookup(black_box(query), 20))
     });
 
     let queries: Vec<&str> = env
@@ -39,12 +38,8 @@ fn bench_pipeline(c: &mut Criterion) {
         .take(64)
         .map(|e| e.label.as_str())
         .collect();
-    group.throughput(Throughput::Elements(queries.len() as u64));
-    group.bench_function("bulk_lookup_64_queries_k20", |b| {
-        b.iter(|| black_box(env.el.lookup_batch(black_box(&queries), 20)))
+    group.bench("bulk_lookup_64_queries_k20", || {
+        black_box(env.el.lookup_batch(black_box(&queries), 20))
     });
     group.finish();
 }
-
-criterion_group!(benches, bench_pipeline);
-criterion_main!(benches);

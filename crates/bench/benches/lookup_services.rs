@@ -1,17 +1,17 @@
-//! Criterion micro-benchmarks behind Table V: per-query latency of every
-//! local lookup service against the same catalog.
+//! Micro-benchmarks behind Table V: per-query latency of every local
+//! lookup service against the same catalog.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use emblookup_ann::lsh::LshConfig;
 use emblookup_baselines::{
     ElasticLikeService, ElasticOp, ElasticOpService, ExactMatchService, FuzzyWuzzyService,
     LevenshteinService, LshService, QGramService,
 };
 use emblookup_bench::harness::{Env, Scale};
+use emblookup_bench::micro::Group;
 use emblookup_kg::{KgFlavor, LookupService};
 use std::hint::black_box;
 
-fn bench_services(c: &mut Criterion) {
+fn main() {
     let env = Env::build(KgFlavor::Wikidata, Scale::Smoke);
     let kg = &env.synth.kg;
     let queries: Vec<String> = env
@@ -36,51 +36,29 @@ fn bench_services(c: &mut Criterion) {
         Box::new(ElasticOpService::new(kg, false, ElasticOp::Levenshtein)),
     ];
 
-    let mut group = c.benchmark_group("table5_lookup_services");
-    group.sample_size(20);
+    let mut group = Group::new("table5_lookup_services");
     for (i, svc) in services.iter().enumerate() {
         // index prefix keeps IDs unique (two services are named
         // "Levenshtein": the scan and the engine-hosted operation)
         let id = format!("{}_{}", i, svc.name().replace(' ', "_"));
-        group.bench_function(id, |b| {
-            let mut i = 0usize;
-            b.iter_batched(
-                || {
-                    let q = queries[i % queries.len()].clone();
-                    i += 1;
-                    q
-                },
-                |q| black_box(svc.lookup(&q, 10)),
-                BatchSize::SmallInput,
-            );
+        let mut n = 0usize;
+        group.bench(&id, || {
+            let q = &queries[n % queries.len()];
+            n += 1;
+            black_box(svc.lookup(q, 10))
         });
     }
-    group.bench_function("EmbLookup_PQ", |b| {
-        let mut i = 0usize;
-        b.iter_batched(
-            || {
-                let q = queries[i % queries.len()].clone();
-                i += 1;
-                q
-            },
-            |q| black_box(env.el.lookup(&q, 10)),
-            BatchSize::SmallInput,
-        );
+    let mut n = 0usize;
+    group.bench("EmbLookup_PQ", || {
+        let q = &queries[n % queries.len()];
+        n += 1;
+        black_box(env.el.lookup(q, 10))
     });
-    group.bench_function("EmbLookup_flat", |b| {
-        let mut i = 0usize;
-        b.iter_batched(
-            || {
-                let q = queries[i % queries.len()].clone();
-                i += 1;
-                q
-            },
-            |q| black_box(env.el_nc.lookup(&q, 10)),
-            BatchSize::SmallInput,
-        );
+    let mut n = 0usize;
+    group.bench("EmbLookup_flat", || {
+        let q = &queries[n % queries.len()];
+        n += 1;
+        black_box(env.el_nc.lookup(q, 10))
     });
     group.finish();
 }
-
-criterion_group!(benches, bench_services);
-criterion_main!(benches);

@@ -1,8 +1,8 @@
-//! Criterion micro-benchmarks behind Figure 3: the training-cost building
-//! blocks — triplet mining, one forward/backward batch, and the fastText
+//! Micro-benchmarks behind Figure 3: the training-cost building blocks —
+//! triplet mining, one forward/backward batch, and the fastText
 //! semantic-leg epoch.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use emblookup_bench::micro::Group;
 use emblookup_core::{mine_triplets, EmbLookupConfig, EmbLookupModel, MiningConfig};
 use emblookup_embed::{Corpus, FastText, FastTextConfig, StringEncoder};
 use emblookup_kg::{generate, SynthKgConfig};
@@ -10,7 +10,7 @@ use emblookup_tensor::loss;
 use emblookup_tensor::{Bindings, Graph};
 use std::hint::black_box;
 
-fn bench_training(c: &mut Criterion) {
+fn main() {
     let synth = generate(SynthKgConfig::small(77));
     let corpus = Corpus::from_kg(&synth.kg);
     let fasttext = FastText::train(
@@ -26,40 +26,32 @@ fn bench_training(c: &mut Criterion) {
     let model = EmbLookupModel::new(fasttext, config);
     let triplets = mine_triplets(&synth.kg, &MiningConfig::with_budget(4, 77));
 
-    let mut group = c.benchmark_group("fig3_training_costs");
-    group.sample_size(10);
+    let mut group = Group::new("fig3_training_costs");
 
-    group.bench_function("mine_triplets_600_entities_x4", |b| {
-        b.iter(|| black_box(mine_triplets(&synth.kg, &MiningConfig::with_budget(4, 77))))
+    group.bench("mine_triplets_600_entities_x4", || {
+        black_box(mine_triplets(&synth.kg, &MiningConfig::with_budget(4, 77)))
     });
 
-    group.bench_function("forward_backward_batch_32_triplets", |b| {
-        b.iter(|| {
-            let mut g = Graph::new();
-            let mut bind = Bindings::new();
-            let mut losses = Vec::new();
-            for t in triplets.iter().take(32) {
-                let ea = model.forward(&mut g, &mut bind, &t.anchor);
-                let ep = model.forward(&mut g, &mut bind, &t.positive);
-                let en = model.forward(&mut g, &mut bind, &t.negative);
-                losses.push(loss::triplet(&mut g, ea, ep, en, 0.5));
-            }
-            let total = loss::batch_mean(&mut g, &losses);
-            g.backward(total);
-            black_box(g.value(total).item())
-        })
+    group.bench("forward_backward_batch_32_triplets", || {
+        let mut g = Graph::new();
+        let mut bind = Bindings::new();
+        let mut losses = Vec::new();
+        for t in triplets.iter().take(32) {
+            let ea = model.forward(&mut g, &mut bind, &t.anchor);
+            let ep = model.forward(&mut g, &mut bind, &t.positive);
+            let en = model.forward(&mut g, &mut bind, &t.negative);
+            losses.push(loss::triplet(&mut g, ea, ep, en, 0.5));
+        }
+        let total = loss::batch_mean(&mut g, &losses);
+        g.backward(total);
+        black_box(g.value(total).item())
     });
 
-    group.bench_function("fasttext_epoch_over_kg_corpus", |b| {
-        b.iter(|| {
-            black_box(FastText::train(
-                &corpus,
-                FastTextConfig { dim: 64, epochs: 1, seed: 77, ..Default::default() },
-            ))
-        })
+    group.bench("fasttext_epoch_over_kg_corpus", || {
+        black_box(FastText::train(
+            &corpus,
+            FastTextConfig { dim: 64, epochs: 1, seed: 77, ..Default::default() },
+        ))
     });
     group.finish();
 }
-
-criterion_group!(benches, bench_training);
-criterion_main!(benches);

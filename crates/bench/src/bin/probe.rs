@@ -9,6 +9,7 @@ use emblookup_semtab::{run_cea, with_alias_substitution, with_noise, BbwSystem};
 use std::time::Instant;
 
 fn main() {
+    emblookup_obs::init_from_env();
     let scale = if std::env::args().any(|a| a == "--full") {
         Scale::Full
     } else {
@@ -101,5 +102,7 @@ fn main() {
             r_ex.lookup_time
         );
     }
+    println!("\npipeline metrics:");
+    println!("{}", emblookup_obs::global().snapshot().render_table());
     println!("total {:.1?}", t0.elapsed());
 }

@@ -7,13 +7,40 @@
 //! ```
 //!
 //! Experiment names: `table1` … `table8`, `fig3`, `fig4`, `fig5`, `sizes`.
+//!
+//! Every run ends with the observability snapshot: a per-stage metrics
+//! table (training stage wall-times, index build, per-query lookup
+//! percentiles) on stdout and the same data as JSON in
+//! `BENCH_lookup.json`. Set `EMBLOOKUP_OBS=stderr` or
+//! `EMBLOOKUP_OBS_JSON=<path>` for live stage events.
 
 use emblookup_bench::experiments as exp;
 use emblookup_bench::harness::{Env, Scale};
 use emblookup_kg::KgFlavor;
 use std::time::Instant;
 
+/// Queries used to populate the `lookup.latency.{el,el_nc}` histograms so
+/// the closing report always has per-query percentiles, whichever
+/// experiments were selected.
+const LATENCY_PROBE_QUERIES: usize = 100;
+
+fn probe_lookup_latency(env: &Env) {
+    let labels: Vec<&str> = env
+        .synth
+        .kg
+        .entities()
+        .take(LATENCY_PROBE_QUERIES)
+        .map(|e| e.label.as_str())
+        .collect();
+    for service in [&env.el, &env.el_nc] {
+        for q in labels.iter().cycle().take(LATENCY_PROBE_QUERIES) {
+            let _ = service.lookup_with_distances(q, 10);
+        }
+    }
+}
+
 fn main() {
+    emblookup_obs::init_from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = if args.iter().any(|a| a == "--smoke") {
         Scale::Smoke
@@ -47,6 +74,9 @@ fn main() {
         Env::build(KgFlavor::DbPedia, scale)
     });
     eprintln!("[setup] done in {:.1?}", t0.elapsed());
+    if let Some(env) = &env_wd {
+        probe_lookup_latency(env);
+    }
 
     let run = |name: &str, f: &mut dyn FnMut() -> String| {
         if !want(name) {
@@ -80,6 +110,13 @@ fn main() {
         run("fig4", &mut || exp::fig4(env));
         run("fig5", &mut || exp::fig5(env));
         run("sizes", &mut || exp::index_sizes(env));
+    }
+    let snap = emblookup_obs::global().snapshot();
+    println!("## Pipeline metrics\n");
+    println!("{}", snap.render_table());
+    match std::fs::write("BENCH_lookup.json", snap.to_json()) {
+        Ok(()) => eprintln!("[repro] metrics snapshot written to BENCH_lookup.json"),
+        Err(e) => eprintln!("[repro] cannot write BENCH_lookup.json: {e}"),
     }
     eprintln!("[repro] total {:.1?}", t0.elapsed());
 }

@@ -757,33 +757,6 @@ pub fn index_sizes(env: &Env) -> String {
     out
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use emblookup_kg::SynthKgConfig;
-
-    #[test]
-    fn gpu_time_divides() {
-        assert_eq!(gpu_time(Duration::from_secs(4)), Duration::from_secs(1));
-    }
-
-    #[test]
-    fn original_service_mapping_is_total() {
-        let s = generate(SynthKgConfig::tiny(50));
-        for system in ["bbw", "MantisTable", "JenTab", "DoSeR", "Katara"] {
-            let svc = original_service(system, &s.kg);
-            assert!(!svc.name().is_empty());
-        }
-    }
-
-    #[test]
-    #[should_panic(expected = "unknown system")]
-    fn unknown_system_panics() {
-        let s = generate(SynthKgConfig::tiny(51));
-        let _ = original_service("nope", &s.kg);
-    }
-}
-
 // ------------------------------------------------------------------
 // Ablation — design choices (beyond the paper; DESIGN.md §6)
 // ------------------------------------------------------------------
@@ -878,4 +851,31 @@ pub fn ablation(scale: Scale) -> String {
         );
     }
     out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emblookup_kg::SynthKgConfig;
+
+    #[test]
+    fn gpu_time_divides() {
+        assert_eq!(gpu_time(Duration::from_secs(4)), Duration::from_secs(1));
+    }
+
+    #[test]
+    fn original_service_mapping_is_total() {
+        let s = generate(SynthKgConfig::tiny(50));
+        for system in ["bbw", "MantisTable", "JenTab", "DoSeR", "Katara"] {
+            let svc = original_service(system, &s.kg);
+            assert!(!svc.name().is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown system")]
+    fn unknown_system_panics() {
+        let s = generate(SynthKgConfig::tiny(51));
+        let _ = original_service("nope", &s.kg);
+    }
 }

@@ -129,8 +129,10 @@ impl Env {
         let el_nc = EmbLookup::train_on(
             &synth.kg,
             EmbLookupConfig { compression: Compression::None, ..config },
-        );
-        let el = EmbLookup::from_model(el_nc.model_arc(), &synth.kg, Compression::default_pq());
+        )
+        .with_metrics_scope("el_nc");
+        let el = EmbLookup::from_model(el_nc.model_arc(), &synth.kg, Compression::default_pq())
+            .with_metrics_scope("el");
         Env { synth, dataset, el, el_nc }
     }
 }
@@ -164,13 +166,11 @@ pub fn hit_rate_at_k(
     hits as f64 / queries.len() as f64
 }
 
-/// Formats a duration compactly for table output.
+/// Formats a duration compactly for table output. Delegates to the obs
+/// crate's nanosecond formatter so sub-millisecond lookup latencies print
+/// as `45.0µs` instead of the old `0.0ms`.
 pub fn fmt_duration(d: Duration) -> String {
-    if d.as_secs_f64() >= 1.0 {
-        format!("{:.2}s", d.as_secs_f64())
-    } else {
-        format!("{:.1}ms", d.as_secs_f64() * 1e3)
-    }
+    emblookup_obs::fmt_duration(d)
 }
 
 #[cfg(test)]
@@ -187,5 +187,8 @@ mod tests {
     fn fmt_duration_scales() {
         assert_eq!(fmt_duration(Duration::from_millis(1500)), "1.50s");
         assert_eq!(fmt_duration(Duration::from_micros(2500)), "2.5ms");
+        // the microsecond range used to collapse to "0.0ms"
+        assert_eq!(fmt_duration(Duration::from_micros(45)), "45.0µs");
+        assert_eq!(fmt_duration(Duration::from_nanos(800)), "800ns");
     }
 }

@@ -1,0 +1,99 @@
+//! Hand-rolled micro-benchmark runner replacing Criterion, which is
+//! unavailable in offline builds. Each benchmark auto-calibrates an
+//! iteration batch so one sample costs a few milliseconds, records
+//! per-iteration nanoseconds into an obs [`Histogram`], and prints a
+//! p50/p90/p99 table through the same formatter the repro bins use.
+
+use emblookup_obs::{fmt_nanos, Histogram, HistogramSnapshot};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Re-exported so bench files keep the familiar `black_box(...)` idiom.
+pub use std::hint::black_box as bb;
+
+/// Target wall-clock cost of one timed sample.
+const SAMPLE_BUDGET: Duration = Duration::from_millis(4);
+/// Timed samples per benchmark.
+const SAMPLES: usize = 25;
+/// Warmup budget before calibration.
+const WARMUP: Duration = Duration::from_millis(20);
+
+/// A named group of benchmarks printed as one table (the Criterion
+/// `benchmark_group` analogue).
+pub struct Group {
+    name: String,
+    rows: Vec<(String, HistogramSnapshot)>,
+}
+
+impl Group {
+    /// Starts a benchmark group.
+    pub fn new(name: &str) -> Self {
+        Group { name: name.to_string(), rows: Vec::new() }
+    }
+
+    /// Times `f`, recording mean per-iteration latency once per sample.
+    pub fn bench<T>(&mut self, id: &str, mut f: impl FnMut() -> T) {
+        // warmup: keeps caches/branch predictors and lazy inits out of the
+        // timed region, and yields a first cost estimate for calibration
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u32;
+        while warm_start.elapsed() < WARMUP || warm_iters < 3 {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let est = warm_start.elapsed() / warm_iters.max(1);
+        let batch = (SAMPLE_BUDGET.as_nanos() / est.as_nanos().max(1))
+            .clamp(1, 1_000_000) as u32;
+
+        let hist = Histogram::new();
+        for _ in 0..SAMPLES {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let per_iter = t.elapsed().as_nanos() as u64 / batch as u64;
+            hist.record(per_iter);
+        }
+        self.rows.push((id.to_string(), hist.snapshot()));
+    }
+
+    /// Prints the group's results table.
+    pub fn finish(self) {
+        println!("\n== {} ==", self.name);
+        println!(
+            "{:<42} {:>10} {:>10} {:>10}",
+            "benchmark", "p50", "p90", "p99"
+        );
+        for (id, s) in &self.rows {
+            println!(
+                "{:<42} {:>10} {:>10} {:>10}",
+                id,
+                fmt_nanos(s.p50()),
+                fmt_nanos(s.p90()),
+                fmt_nanos(s.p99()),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_records_sane_latencies() {
+        let mut g = Group::new("test");
+        g.bench("spin", || {
+            let mut acc = 0u64;
+            for i in 0..100u64 {
+                acc = acc.wrapping_add(black_box(i));
+            }
+            acc
+        });
+        let (_, s) = &g.rows[0];
+        assert_eq!(s.count, SAMPLES as u64);
+        assert!(s.p50() > 0);
+        assert!(s.p99() >= s.p50());
+        g.finish();
+    }
+}

@@ -1,10 +1,9 @@
 //! Configuration of the EmbLookup pipeline.
 
 use emblookup_ann::PqConfig;
-use serde::{Deserialize, Serialize};
 
 /// How entity embeddings are compressed before indexing (§III-D).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Compression {
     /// No compression: full-precision flat index (the paper's EL-NC).
     None,
@@ -48,6 +47,17 @@ impl Compression {
         Compression::Pq { m: 8, ks: 256 }
     }
 
+    /// Short backend label used in metric/event fields.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Compression::None => "flat",
+            Compression::Pq { .. } => "pq",
+            Compression::Pca { .. } => "pca",
+            Compression::Ivf { .. } => "ivf",
+            Compression::Hnsw { .. } => "hnsw",
+        }
+    }
+
     pub(crate) fn pq_config(m: usize, ks: usize, seed: u64) -> PqConfig {
         PqConfig { m, ks, kmeans_iters: 15, seed }
     }
@@ -56,7 +66,7 @@ impl Compression {
 /// Which metric-learning loss drives training. The paper uses triplet
 /// loss and lists "evaluating other loss functions" as future work;
 /// [`LossKind::Contrastive`] implements that extension.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LossKind {
     /// The paper's `max(0, d(a,p)² − d(a,n)² + margin)` (Equation 3).
     Triplet,
@@ -71,7 +81,7 @@ pub enum LossKind {
 /// hard mining), 100 triplets per entity. [`EmbLookupConfig::fast`] scales
 /// the training budget down for the synthetic-KG reproduction while keeping
 /// the architecture identical.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct EmbLookupConfig {
     /// Output embedding dimension (paper default 64).
     pub embedding_dim: usize,
@@ -200,7 +210,7 @@ impl EmbLookupConfig {
             return Err("batch_size must be positive".into());
         }
         if let Compression::Pq { m, ks } = self.compression {
-            if m == 0 || self.embedding_dim % m != 0 {
+            if m == 0 || !self.embedding_dim.is_multiple_of(m) {
                 return Err(format!(
                     "PQ m = {m} must divide embedding_dim = {}",
                     self.embedding_dim
@@ -250,24 +260,21 @@ mod tests {
         assert!(c.validate().is_ok());
     }
 
+    fn with_compression(compression: Compression) -> EmbLookupConfig {
+        EmbLookupConfig { compression, ..Default::default() }
+    }
+
     #[test]
     fn validate_rejects_bad_pq() {
-        let mut c = EmbLookupConfig::default();
-        c.compression = Compression::Pq { m: 7, ks: 256 };
-        assert!(c.validate().is_err());
-        c.compression = Compression::Pq { m: 8, ks: 999 };
-        assert!(c.validate().is_err());
+        assert!(with_compression(Compression::Pq { m: 7, ks: 256 }).validate().is_err());
+        assert!(with_compression(Compression::Pq { m: 8, ks: 999 }).validate().is_err());
     }
 
     #[test]
     fn validate_rejects_bad_pca() {
-        let mut c = EmbLookupConfig::default();
-        c.compression = Compression::Pca { k: 0 };
-        assert!(c.validate().is_err());
-        c.compression = Compression::Pca { k: 65 };
-        assert!(c.validate().is_err());
-        c.compression = Compression::Pca { k: 8 };
-        assert!(c.validate().is_ok());
+        assert!(with_compression(Compression::Pca { k: 0 }).validate().is_err());
+        assert!(with_compression(Compression::Pca { k: 65 }).validate().is_err());
+        assert!(with_compression(Compression::Pca { k: 8 }).validate().is_ok());
     }
 
     #[test]

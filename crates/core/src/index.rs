@@ -43,6 +43,9 @@ impl EntityIndex {
         threads: usize,
     ) -> Self {
         assert!(kg.num_entities() > 0, "indexing an empty knowledge graph");
+        let span = emblookup_obs::Span::enter("index.build")
+            .field("entities", kg.num_entities() as u64)
+            .field("backend", compression.name());
         let mut labels: Vec<&str> = kg.entities().map(|e| e.label.as_str()).collect();
         let mut ids: Vec<EntityId> = kg.entities().map(|e| e.id).collect();
         if model.config().index_aliases {
@@ -61,7 +64,15 @@ impl EntityIndex {
         for v in &embeddings {
             vectors.push(v);
         }
-        Self::from_vectors(ids, vectors, compression)
+        let index = Self::from_vectors(ids, vectors, compression);
+        emblookup_obs::global()
+            .gauge("index.entities")
+            .set(index.len() as f64);
+        emblookup_obs::global()
+            .gauge("index.nbytes")
+            .set(index.nbytes() as f64);
+        drop(span);
+        index
     }
 
     /// Builds the index from precomputed embeddings (used by the benches

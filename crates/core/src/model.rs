@@ -188,16 +188,15 @@ impl EmbLookupModel {
         }
         let chunk = n.div_ceil(threads);
         let mut out: Vec<Vec<f32>> = vec![Vec::new(); n];
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for (t, slot) in out.chunks_mut(chunk).enumerate() {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     for (offset, dst) in slot.iter_mut().enumerate() {
                         *dst = self.embed(mentions[t * chunk + offset]);
                     }
                 });
             }
-        })
-        .expect("embed_batch worker panicked");
+        });
         out
     }
 }

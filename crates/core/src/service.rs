@@ -8,6 +8,7 @@ use crate::trainer::{train, TrainReport};
 use emblookup_ann::VectorSet;
 use emblookup_embed::{Corpus, FastText, FastTextConfig};
 use emblookup_kg::{Candidate, EntityId, KnowledgeGraph, LookupService};
+use emblookup_obs::Histogram;
 use std::sync::Arc;
 
 /// A trained EmbLookup pipeline ready to serve lookups over one KG.
@@ -20,6 +21,11 @@ pub struct EmbLookup {
     report: TrainReport,
     /// Threads used for bulk lookups (the GPU-surrogate path).
     pub bulk_threads: usize,
+    /// Pre-resolved latency histogram: the hot lookup path does a single
+    /// atomic record per query and never touches the registry lock.
+    lookup_hist: Arc<Histogram>,
+    bulk_hist: Arc<Histogram>,
+    bulk_queries: Arc<emblookup_obs::Counter>,
 }
 
 impl EmbLookup {
@@ -32,17 +38,24 @@ impl EmbLookup {
     pub fn train_on(kg: &KnowledgeGraph, config: EmbLookupConfig) -> Self {
         config.validate().expect("invalid EmbLookup config");
         assert!(kg.num_entities() > 0, "training on an empty knowledge graph");
+        let total = emblookup_obs::Span::enter("train.total")
+            .field("entities", kg.num_entities() as u64);
 
         let corpus = Corpus::from_kg(kg);
-        let fasttext = FastText::train(
-            &corpus,
-            FastTextConfig {
-                dim: config.fasttext_dim,
-                epochs: config.fasttext_epochs,
-                seed: config.seed,
-                ..Default::default()
-            },
-        );
+        let fasttext = {
+            let _s = emblookup_obs::Span::enter("train.fasttext")
+                .field("dim", config.fasttext_dim as u64)
+                .field("epochs", config.fasttext_epochs as u64);
+            FastText::train(
+                &corpus,
+                FastTextConfig {
+                    dim: config.fasttext_dim,
+                    epochs: config.fasttext_epochs,
+                    seed: config.seed,
+                    ..Default::default()
+                },
+            )
+        };
         let mut model = EmbLookupModel::new(fasttext, config.clone());
         let triplets = mine_triplets(
             kg,
@@ -50,12 +63,8 @@ impl EmbLookup {
         );
         let report = train(&mut model, &triplets);
         let index = EntityIndex::build(&model, kg, config.compression, num_threads());
-        EmbLookup {
-            model: Arc::new(model),
-            index,
-            report,
-            bulk_threads: num_threads(),
-        }
+        drop(total);
+        Self::assemble(Arc::new(model), index, report)
     }
 
     /// Wraps an already-trained (shared) model, building a fresh index
@@ -63,12 +72,28 @@ impl EmbLookup {
     /// once and re-index the same weights repeatedly.
     pub fn from_model(model: Arc<EmbLookupModel>, kg: &KnowledgeGraph, compression: Compression) -> Self {
         let index = EntityIndex::build(&model, kg, compression, num_threads());
+        Self::assemble(model, index, TrainReport::default())
+    }
+
+    fn assemble(model: Arc<EmbLookupModel>, index: EntityIndex, report: TrainReport) -> Self {
+        let reg = emblookup_obs::global();
         EmbLookup {
             model,
             index,
-            report: TrainReport::default(),
+            report,
             bulk_threads: num_threads(),
+            lookup_hist: reg.histogram("lookup.latency"),
+            bulk_hist: reg.histogram("lookup.bulk"),
+            bulk_queries: reg.counter("lookup.bulk.queries"),
         }
+    }
+
+    /// Re-points the per-query latency histogram at
+    /// `lookup.latency.<scope>` — the benchmarks use this to separate EL
+    /// (PQ) from EL-NC (flat) timings in one registry.
+    pub fn with_metrics_scope(mut self, scope: &str) -> Self {
+        self.lookup_hist = emblookup_obs::global().histogram(&format!("lookup.latency.{scope}"));
+        self
     }
 
     /// The underlying model.
@@ -93,20 +118,30 @@ impl EmbLookup {
     }
 
     /// Embeds a query and returns the `k` nearest entities with distances.
+    ///
+    /// Latency (embed + ANN search) is recorded with one atomic histogram
+    /// update; no lock is held across the search.
     pub fn lookup_with_distances(&self, q: &str, k: usize) -> Vec<(EntityId, f32)> {
+        let start = std::time::Instant::now();
         let emb = self.model.embed(q);
-        self.index.search(&emb, k)
+        let hits = self.index.search(&emb, k);
+        self.lookup_hist.record_duration(start.elapsed());
+        hits
     }
 
     /// Bulk lookup: embeds all queries and searches the index, both split
     /// across `self.bulk_threads` threads.
     pub fn bulk_lookup(&self, queries: &[&str], k: usize) -> Vec<Vec<(EntityId, f32)>> {
+        let start = std::time::Instant::now();
         let embeddings = self.model.embed_batch(queries, self.bulk_threads);
         let mut qs = VectorSet::new(self.model.dim());
         for e in &embeddings {
             qs.push(e);
         }
-        self.index.search_batch(&qs, k, self.bulk_threads)
+        let hits = self.index.search_batch(&qs, k, self.bulk_threads);
+        self.bulk_hist.record_duration(start.elapsed());
+        self.bulk_queries.add(queries.len() as u64);
+        hits
     }
 }
 

@@ -50,14 +50,36 @@ impl TrainReport {
 pub fn train(model: &mut EmbLookupModel, triplets: &[Triplet]) -> TrainReport {
     assert!(!triplets.is_empty(), "training without triplets");
     let config = model.config().clone();
+    let _span = emblookup_obs::Span::enter("train.triplet")
+        .field("triplets", triplets.len() as u64)
+        .field("epochs", config.epochs as u64);
+    let reg = emblookup_obs::global();
+    let epoch_hist = reg.histogram("train.epoch.duration");
+    let epoch_counter = reg.counter("train.epochs");
     // offset keeps the trainer's RNG stream distinct from the miner's
     let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(0x7EA11));
     let mut optimizer = Adam::new(config.lr);
     let mut report = TrainReport::default();
     let offline_epochs = config.epochs / 2 + config.epochs % 2;
 
+    let observe_epoch = |stats: &EpochStats, start: std::time::Instant| {
+        let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        epoch_hist.record(ns);
+        epoch_counter.inc();
+        emblookup_obs::event(
+            "train.epoch",
+            &[
+                ("epoch", (stats.epoch as u64).into()),
+                ("mean_loss", f64::from(stats.mean_loss).into()),
+                ("active_triplets", (stats.active_triplets as u64).into()),
+                ("online", stats.online_phase.into()),
+            ],
+        );
+    };
+
     let mut order: Vec<usize> = (0..triplets.len()).collect();
     for epoch in 0..config.epochs {
+        let epoch_start = std::time::Instant::now();
         let online = epoch >= offline_epochs;
         let active: Vec<usize> = if online {
             select_hard(model, triplets, config.margin)
@@ -67,12 +89,14 @@ pub fn train(model: &mut EmbLookupModel, triplets: &[Triplet]) -> TrainReport {
         };
         if active.is_empty() {
             // every triplet is easy — converged
-            report.epochs.push(EpochStats {
+            let stats = EpochStats {
                 epoch,
                 mean_loss: 0.0,
                 active_triplets: 0,
                 online_phase: online,
-            });
+            };
+            observe_epoch(&stats, epoch_start);
+            report.epochs.push(stats);
             continue;
         }
         let mut epoch_loss = 0.0f64;
@@ -99,12 +123,14 @@ pub fn train(model: &mut EmbLookupModel, triplets: &[Triplet]) -> TrainReport {
             epoch_loss += g.value(total).item() as f64 * chunk.len() as f64;
             optimizer.step(&mut model.store, &g, &b);
         }
-        report.epochs.push(EpochStats {
+        let stats = EpochStats {
             epoch,
             mean_loss: (epoch_loss / active.len() as f64) as f32,
             active_triplets: active.len(),
             online_phase: online,
-        });
+        };
+        observe_epoch(&stats, epoch_start);
+        report.epochs.push(stats);
     }
     report
 }

@@ -1,0 +1,52 @@
+//! End-to-end check that the instrumented pipeline actually reports what
+//! it does: training emits one event per epoch, the index build is timed,
+//! and every single-query lookup lands in the latency histogram.
+//!
+//! One test function on purpose — the assertions read the process-global
+//! registry and the global subscriber, which parallel tests would share.
+
+use emblookup_core::{EmbLookup, EmbLookupConfig};
+use emblookup_kg::{generate, LookupService, SynthKgConfig};
+use emblookup_obs::{CollectingSubscriber, EventKind};
+use std::sync::Arc;
+
+#[test]
+fn training_and_lookups_populate_the_registry() {
+    let sub = Arc::new(CollectingSubscriber::new());
+    emblookup_obs::set_subscriber(sub.clone());
+
+    let s = generate(SynthKgConfig::tiny(17));
+    let config = EmbLookupConfig::tiny(17);
+    let epochs = config.epochs;
+    let el = EmbLookup::train_on(&s.kg, config);
+
+    let labels: Vec<String> = s.kg.entities().map(|e| e.label.clone()).collect();
+    for i in 0..100 {
+        let hits = el.lookup(&labels[i % labels.len()], 5);
+        assert_eq!(hits.len(), 5);
+    }
+    emblookup_obs::clear_subscriber();
+
+    // one structured event per training epoch, exactly
+    assert_eq!(sub.count("train.epoch", EventKind::Point), epochs);
+    // ... and the span ends for each pipeline stage
+    for stage in ["train.total", "train.fasttext", "train.mining", "train.triplet", "index.build"] {
+        assert_eq!(sub.count(stage, EventKind::SpanEnd), 1, "stage {stage}");
+    }
+
+    let snap = emblookup_obs::global().snapshot();
+    assert_eq!(snap.counter("train.epochs"), Some(epochs as u64));
+    assert!(snap.counter("mining.triplets").unwrap_or(0) > 0);
+
+    let build = snap.histogram("index.build").expect("index.build timed");
+    assert_eq!(build.count, 1);
+    assert!(build.max() > 0, "index build recorded a zero duration");
+
+    let lat = snap.histogram("lookup.latency").expect("lookup latency histogram");
+    assert_eq!(lat.count, 100);
+    assert!(lat.p50() > 0 && lat.p99() >= lat.p50());
+
+    // the tiny config indexes a flat backend: the ann counters must agree
+    assert_eq!(snap.counter("ann.flat.searches"), Some(100));
+    assert_eq!(snap.gauge("index.entities"), Some(s.kg.num_entities() as f64));
+}

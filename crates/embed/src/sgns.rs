@@ -178,19 +178,22 @@ mod tests {
 
     #[test]
     fn training_separates_cooccurring_pairs() {
-        // two "topics": words 0,1 co-occur and words 2,3 co-occur
+        // two "topics" sharing context words: inputs 0,1 both predict
+        // context 4 while inputs 2,3 both predict context 5, so the
+        // distributional signal (shared contexts, not direct adjacency)
+        // is what pulls 0 and 1 together.
         let mut rng = StdRng::seed_from_u64(3);
-        let mut model = SgnsModel::new(4, 4, 8, &mut rng);
-        let sampler = NegativeSampler::new(&[1, 1, 1, 1]);
+        let mut model = SgnsModel::new(6, 6, 8, &mut rng);
+        let sampler = NegativeSampler::new(&[1, 1, 1, 1, 1, 1]);
         for _ in 0..2000 {
             let negs: Vec<u32> = (0..3).map(|_| sampler.sample(&mut rng)).collect();
-            model.train_pair(&[0], 1, &negs, 0.05);
+            model.train_pair(&[0], 4, &negs, 0.05);
             let negs: Vec<u32> = (0..3).map(|_| sampler.sample(&mut rng)).collect();
-            model.train_pair(&[1], 0, &negs, 0.05);
+            model.train_pair(&[1], 4, &negs, 0.05);
             let negs: Vec<u32> = (0..3).map(|_| sampler.sample(&mut rng)).collect();
-            model.train_pair(&[2], 3, &negs, 0.05);
+            model.train_pair(&[2], 5, &negs, 0.05);
             let negs: Vec<u32> = (0..3).map(|_| sampler.sample(&mut rng)).collect();
-            model.train_pair(&[3], 2, &negs, 0.05);
+            model.train_pair(&[3], 5, &negs, 0.05);
         }
         let cos = |a: &[f32], b: &[f32]| -> f32 {
             let dot: f32 = a.iter().zip(b).map(|(&x, &y)| x * y).sum();
@@ -261,7 +264,7 @@ impl SgnsModel {
         let dim = read_u64(&mut cur)? as usize;
         let n_in = read_u64(&mut cur)? as usize;
         let n_out = read_u64(&mut cur)? as usize;
-        if dim == 0 || n_in % dim != 0 || n_out % dim != 0 {
+        if dim == 0 || !n_in.is_multiple_of(dim) || !n_out.is_multiple_of(dim) {
             return Err(format!("inconsistent SGNS header: dim {dim}, in {n_in}, out {n_out}"));
         }
         let need = cur + 4 * (n_in + n_out);
@@ -306,3 +309,4 @@ mod persist_tests {
         assert!(SgnsModel::from_bytes(&bytes[..4]).is_err());
     }
 }
+

@@ -1,23 +1,22 @@
 //! In-memory knowledge graph: entities, types, properties and facts,
 //! following the paper's formalization `⟨E, T, P, F⟩` (§II).
 
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Identifier of an entity in `E` (dense, 0-based).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct EntityId(pub u32);
 
 /// Identifier of a type in `T`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TypeId(pub u32);
 
 /// Identifier of a property in `P`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct PropertyId(pub u32);
 
 /// Object position of a fact: another entity or a literal string.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Object {
     /// Entity-valued object.
     Entity(EntityId),
@@ -26,7 +25,7 @@ pub enum Object {
 }
 
 /// A fact `⟨s, p, o⟩ ∈ F`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Fact {
     /// Subject entity.
     pub subject: EntityId,
@@ -38,7 +37,7 @@ pub struct Fact {
 
 /// An entity with its primary label, aliases (`skos:altLabel` analogues)
 /// and type memberships.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Entity {
     /// Dense identifier.
     pub id: EntityId,
@@ -52,7 +51,7 @@ pub struct Entity {
 
 /// The knowledge graph `⟨E, T, P, F⟩` with the lookup-oriented indexes the
 /// reproduction needs: label → entities, type → entities, subject → facts.
-#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone)]
 pub struct KnowledgeGraph {
     entities: Vec<Entity>,
     type_names: Vec<String>,

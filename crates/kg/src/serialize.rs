@@ -1,77 +1,115 @@
 //! Compact binary persistence for [`KnowledgeGraph`].
 //!
-//! Length-prefixed little-endian encoding built on the `bytes` crate. The
-//! indexes (label/type/subject/object) are rebuilt on load rather than
-//! stored, so the format contains only the canonical data.
+//! Length-prefixed little-endian encoding over plain `Vec<u8>`/`&[u8]`
+//! (no external buffer crates). The indexes (label/type/subject/object)
+//! are rebuilt on load rather than stored, so the format contains only
+//! the canonical data.
 
 use crate::model::{EntityId, KnowledgeGraph, Object, PropertyId, TypeId};
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 /// Format magic + version, bumped on breaking changes.
 const MAGIC: &[u8; 8] = b"EMBLKG01";
 
-fn put_str(buf: &mut BytesMut, s: &str) {
-    buf.put_u32_le(s.len() as u32);
-    buf.put_slice(s.as_bytes());
+fn put_u32_le(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
 }
 
-fn get_str(buf: &mut Bytes) -> Result<String, String> {
-    if buf.remaining() < 4 {
-        return Err("truncated string length".into());
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32_le(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+/// Bounds-checked little-endian reader over a borrowed byte slice.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
     }
-    let len = buf.get_u32_le() as usize;
-    if buf.remaining() < len {
-        return Err(format!("truncated string body ({len} bytes)"));
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
     }
-    let raw = buf.copy_to_bytes(len);
-    String::from_utf8(raw.to_vec()).map_err(|e| format!("invalid utf8: {e}"))
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        if self.remaining() < n {
+            return Err("truncated KG buffer".into());
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn get_u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn get_u32_le(&mut self) -> Result<u32, String> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn get_str(&mut self) -> Result<String, String> {
+        if self.remaining() < 4 {
+            return Err("truncated string length".into());
+        }
+        let len = self.get_u32_le()? as usize;
+        if self.remaining() < len {
+            return Err(format!("truncated string body ({len} bytes)"));
+        }
+        let raw = self.take(len)?;
+        String::from_utf8(raw.to_vec()).map_err(|e| format!("invalid utf8: {e}"))
+    }
 }
 
 /// Serializes a knowledge graph to bytes.
 pub fn kg_to_bytes(kg: &KnowledgeGraph) -> Vec<u8> {
-    let mut buf = BytesMut::new();
-    buf.put_slice(MAGIC);
+    let mut buf = Vec::new();
+    buf.extend_from_slice(MAGIC);
 
-    buf.put_u32_le(kg.num_types() as u32);
+    put_u32_le(&mut buf, kg.num_types() as u32);
     for t in 0..kg.num_types() as u32 {
         put_str(&mut buf, kg.type_name(TypeId(t)));
-        buf.put_u32_le(kg.type_parent(TypeId(t)).0);
+        put_u32_le(&mut buf, kg.type_parent(TypeId(t)).0);
     }
 
-    buf.put_u32_le(kg.num_properties() as u32);
+    put_u32_le(&mut buf, kg.num_properties() as u32);
     for p in 0..kg.num_properties() as u32 {
         put_str(&mut buf, kg.property_name(PropertyId(p)));
     }
 
-    buf.put_u32_le(kg.num_entities() as u32);
+    put_u32_le(&mut buf, kg.num_entities() as u32);
     for e in kg.entities() {
         put_str(&mut buf, &e.label);
-        buf.put_u32_le(e.aliases.len() as u32);
+        put_u32_le(&mut buf, e.aliases.len() as u32);
         for a in &e.aliases {
             put_str(&mut buf, a);
         }
-        buf.put_u32_le(e.types.len() as u32);
+        put_u32_le(&mut buf, e.types.len() as u32);
         for t in &e.types {
-            buf.put_u32_le(t.0);
+            put_u32_le(&mut buf, t.0);
         }
     }
 
-    buf.put_u32_le(kg.num_facts() as u32);
+    put_u32_le(&mut buf, kg.num_facts() as u32);
     for f in kg.facts() {
-        buf.put_u32_le(f.subject.0);
-        buf.put_u32_le(f.property.0);
+        put_u32_le(&mut buf, f.subject.0);
+        put_u32_le(&mut buf, f.property.0);
         match &f.object {
             Object::Entity(o) => {
-                buf.put_u8(0);
-                buf.put_u32_le(o.0);
+                buf.push(0);
+                put_u32_le(&mut buf, o.0);
             }
             Object::Literal(s) => {
-                buf.put_u8(1);
+                buf.push(1);
                 put_str(&mut buf, s);
             }
         }
     }
-    buf.to_vec()
+    buf
 }
 
 /// Restores a knowledge graph serialized with [`kg_to_bytes`], rebuilding
@@ -81,26 +119,17 @@ pub fn kg_to_bytes(kg: &KnowledgeGraph) -> Vec<u8> {
 /// Returns a description of the first structural problem (bad magic,
 /// truncation, dangling ids).
 pub fn kg_from_bytes(bytes: &[u8]) -> Result<KnowledgeGraph, String> {
-    let mut buf = Bytes::copy_from_slice(bytes);
-    if buf.remaining() < MAGIC.len() || &buf.copy_to_bytes(MAGIC.len())[..] != MAGIC {
+    let mut buf = Reader::new(bytes);
+    if buf.remaining() < MAGIC.len() || buf.take(MAGIC.len())? != MAGIC {
         return Err("bad magic: not an EmbLookup KG file".into());
     }
-    let need = |buf: &Bytes, n: usize| -> Result<(), String> {
-        if buf.remaining() < n {
-            Err("truncated KG buffer".into())
-        } else {
-            Ok(())
-        }
-    };
 
     let mut kg = KnowledgeGraph::new();
-    need(&buf, 4)?;
-    let n_types = buf.get_u32_le() as usize;
+    let n_types = buf.get_u32_le()? as usize;
     let mut parents = Vec::with_capacity(n_types);
     for _ in 0..n_types {
-        let name = get_str(&mut buf)?;
-        need(&buf, 4)?;
-        parents.push(buf.get_u32_le());
+        let name = buf.get_str()?;
+        parents.push(buf.get_u32_le()?);
         kg.add_type(name, None);
     }
     // fix parents in a second pass (add_type can't forward-reference)
@@ -111,29 +140,24 @@ pub fn kg_from_bytes(bytes: &[u8]) -> Result<KnowledgeGraph, String> {
         kg.set_type_parent(TypeId(i as u32), TypeId(p));
     }
 
-    need(&buf, 4)?;
-    let n_props = buf.get_u32_le() as usize;
+    let n_props = buf.get_u32_le()? as usize;
     for _ in 0..n_props {
-        let name = get_str(&mut buf)?;
+        let name = buf.get_str()?;
         kg.add_property(name);
     }
 
-    need(&buf, 4)?;
-    let n_entities = buf.get_u32_le() as usize;
+    let n_entities = buf.get_u32_le()? as usize;
     for _ in 0..n_entities {
-        let label = get_str(&mut buf)?;
-        need(&buf, 4)?;
-        let n_aliases = buf.get_u32_le() as usize;
+        let label = buf.get_str()?;
+        let n_aliases = buf.get_u32_le()? as usize;
         let mut aliases = Vec::with_capacity(n_aliases);
         for _ in 0..n_aliases {
-            aliases.push(get_str(&mut buf)?);
+            aliases.push(buf.get_str()?);
         }
-        need(&buf, 4)?;
-        let n_t = buf.get_u32_le() as usize;
+        let n_t = buf.get_u32_le()? as usize;
         let mut types = Vec::with_capacity(n_t);
         for _ in 0..n_t {
-            need(&buf, 4)?;
-            let t = buf.get_u32_le();
+            let t = buf.get_u32_le()?;
             if t as usize >= n_types {
                 return Err(format!("entity {label:?} has dangling type {t}"));
             }
@@ -142,29 +166,26 @@ pub fn kg_from_bytes(bytes: &[u8]) -> Result<KnowledgeGraph, String> {
         kg.add_entity(label, aliases, types);
     }
 
-    need(&buf, 4)?;
-    let n_facts = buf.get_u32_le() as usize;
+    let n_facts = buf.get_u32_le()? as usize;
     for _ in 0..n_facts {
-        need(&buf, 9)?;
-        let subject = buf.get_u32_le();
-        let property = buf.get_u32_le();
+        let subject = buf.get_u32_le()?;
+        let property = buf.get_u32_le()?;
         if subject as usize >= n_entities {
             return Err(format!("fact has dangling subject {subject}"));
         }
         if property as usize >= n_props {
             return Err(format!("fact has dangling property {property}"));
         }
-        let tag = buf.get_u8();
+        let tag = buf.get_u8()?;
         let object = match tag {
             0 => {
-                need(&buf, 4)?;
-                let o = buf.get_u32_le();
+                let o = buf.get_u32_le()?;
                 if o as usize >= n_entities {
                     return Err(format!("fact has dangling object {o}"));
                 }
                 Object::Entity(EntityId(o))
             }
-            1 => Object::Literal(get_str(&mut buf)?),
+            1 => Object::Literal(buf.get_str()?),
             other => return Err(format!("unknown object tag {other}")),
         };
         kg.add_fact(EntityId(subject), PropertyId(property), object);

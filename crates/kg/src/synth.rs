@@ -11,12 +11,11 @@ use crate::names::{NameForge, NameKind};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 /// Which real KG the synthetic graph imitates. The flavors differ in alias
 /// richness and label style, mirroring that Wikidata has denser alias
 /// coverage than DBPedia.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum KgFlavor {
     /// Wikidata-like: more aliases per entity.
     Wikidata,
@@ -25,7 +24,7 @@ pub enum KgFlavor {
 }
 
 /// Configuration for [`generate`].
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SynthKgConfig {
     /// RNG seed; equal seeds give byte-identical graphs.
     pub seed: u64,
@@ -91,7 +90,6 @@ impl SynthKgConfig {
             films: 400,
             ambiguity_rate: 0.04,
             mean_aliases: if matches!(flavor, KgFlavor::Wikidata) { 4 } else { 3 },
-            ..SynthKgConfig::tiny(seed)
         }
     }
 

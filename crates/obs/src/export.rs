@@ -1,0 +1,197 @@
+//! Renderings of a [`MetricsSnapshot`]: Prometheus text exposition,
+//! a JSON snapshot, and an aligned human-readable table.
+
+use crate::fmt::fmt_nanos;
+use crate::json::escape_json;
+use crate::registry::MetricsSnapshot;
+
+/// Maps a dotted metric name to a Prometheus-legal identifier.
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 10);
+    out.push_str("emblookup_");
+    for c in name.chars() {
+        out.push(if c.is_ascii_alphanumeric() { c } else { '_' });
+    }
+    out
+}
+
+impl MetricsSnapshot {
+    /// Prometheus text exposition format. Counters become `_total`
+    /// counters, gauges become gauges, histograms become summaries with
+    /// `quantile` labels — durations are exported in seconds, following
+    /// the Prometheus convention.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            let p = prom_name(name);
+            out.push_str(&format!("# TYPE {p}_total counter\n{p}_total {value}\n"));
+        }
+        for (name, value) in &self.gauges {
+            let p = prom_name(name);
+            out.push_str(&format!("# TYPE {p} gauge\n{p} {value}\n"));
+        }
+        for (name, h) in &self.histograms {
+            let p = prom_name(name);
+            let secs = |ns: u64| ns as f64 / 1e9;
+            out.push_str(&format!("# TYPE {p}_seconds summary\n"));
+            for (q, v) in [(0.5, h.p50()), (0.9, h.p90()), (0.99, h.p99())] {
+                out.push_str(&format!("{p}_seconds{{quantile=\"{q}\"}} {}\n", secs(v)));
+            }
+            out.push_str(&format!("{p}_seconds_sum {}\n", secs(h.sum)));
+            out.push_str(&format!("{p}_seconds_count {}\n", h.count));
+        }
+        out
+    }
+
+    /// JSON object with `counters`, `gauges` and `histograms` sections;
+    /// histogram durations stay in integer nanoseconds.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        for (i, (name, value)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    \"{}\": {value}", escape_json(name)));
+        }
+        out.push_str("\n  },\n  \"gauges\": {");
+        for (i, (name, value)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let v = if value.is_finite() { value.to_string() } else { "null".into() };
+            out.push_str(&format!("\n    \"{}\": {v}", escape_json(name)));
+        }
+        out.push_str("\n  },\n  \"histograms\": {");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    \"{}\": {{\"count\": {}, \"sum_ns\": {}, \"min_ns\": {}, \
+                 \"max_ns\": {}, \"mean_ns\": {:.1}, \"p50_ns\": {}, \"p90_ns\": {}, \
+                 \"p99_ns\": {}}}",
+                escape_json(name),
+                h.count,
+                h.sum,
+                h.min(),
+                h.max(),
+                h.mean(),
+                h.p50(),
+                h.p90(),
+                h.p99(),
+            ));
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+
+    /// Aligned text table: histograms with percentiles first, then
+    /// counters and gauges. The format the bench bins print.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        if !self.histograms.is_empty() {
+            out.push_str(&format!(
+                "{:<38} {:>9} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
+                "histogram", "count", "p50", "p90", "p99", "max", "total"
+            ));
+            for (name, h) in &self.histograms {
+                out.push_str(&format!(
+                    "{:<38} {:>9} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
+                    name,
+                    h.count,
+                    fmt_nanos(h.p50()),
+                    fmt_nanos(h.p90()),
+                    fmt_nanos(h.p99()),
+                    fmt_nanos(h.max()),
+                    fmt_nanos(h.sum),
+                ));
+            }
+        }
+        if !self.counters.is_empty() {
+            out.push_str(&format!("{:<38} {:>9}\n", "counter", "value"));
+            for (name, value) in &self.counters {
+                out.push_str(&format!("{:<38} {:>9}\n", name, value));
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str(&format!("{:<38} {:>9}\n", "gauge", "value"));
+            for (name, value) in &self.gauges {
+                out.push_str(&format!("{:<38} {:>9.3}\n", name, value));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::registry::MetricsRegistry;
+
+    fn sample() -> MetricsRegistry {
+        let reg = MetricsRegistry::new();
+        reg.counter("lookup.queries").add(150);
+        reg.gauge("index.entities").set(600.0);
+        let h = reg.histogram("lookup.latency");
+        h.record(1_000);
+        h.record(2_000);
+        h.record(4_000);
+        reg
+    }
+
+    #[test]
+    fn prometheus_golden_output() {
+        let text = sample().snapshot().to_prometheus();
+        let expected_lines = [
+            "# TYPE emblookup_lookup_queries_total counter",
+            "emblookup_lookup_queries_total 150",
+            "# TYPE emblookup_index_entities gauge",
+            "emblookup_index_entities 600",
+            "# TYPE emblookup_lookup_latency_seconds summary",
+            "emblookup_lookup_latency_seconds_count 3",
+        ];
+        for line in expected_lines {
+            assert!(text.contains(line), "missing {line:?} in:\n{text}");
+        }
+        assert!(
+            text.contains("emblookup_lookup_latency_seconds{quantile=\"0.5\"}"),
+            "no quantile line:\n{text}"
+        );
+        // sum of 7µs exported in seconds
+        assert!(text.contains("emblookup_lookup_latency_seconds_sum 0.000007"), "{text}");
+    }
+
+    #[test]
+    fn json_golden_output() {
+        let json = sample().snapshot().to_json();
+        for needle in [
+            "\"lookup.queries\": 150",
+            "\"index.entities\": 600",
+            "\"lookup.latency\": {\"count\": 3, \"sum_ns\": 7000",
+            "\"min_ns\": 1000",
+            "\"max_ns\": 4000",
+        ] {
+            assert!(json.contains(needle), "missing {needle:?} in:\n{json}");
+        }
+        // structurally: braces balance
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes, "unbalanced JSON:\n{json}");
+    }
+
+    #[test]
+    fn table_lists_all_metrics() {
+        let table = sample().snapshot().render_table();
+        assert!(table.contains("lookup.latency"), "{table}");
+        assert!(table.contains("lookup.queries"), "{table}");
+        assert!(table.contains("index.entities"), "{table}");
+        assert!(table.contains("p99"), "{table}");
+    }
+
+    #[test]
+    fn empty_snapshot_renders_empty() {
+        let reg = MetricsRegistry::new();
+        assert_eq!(reg.snapshot().render_table(), "");
+        let json = reg.snapshot().to_json();
+        assert!(json.contains("\"counters\""));
+    }
+}

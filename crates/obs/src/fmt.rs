@@ -1,0 +1,43 @@
+//! Duration formatting from the histograms' native nanoseconds.
+
+/// Formats a nanosecond count compactly at the precision a latency table
+/// needs: `800ns`, `12.3µs`, `4.5ms`, `1.50s`.
+pub fn fmt_nanos(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2}s", ns as f64 / 1e9)
+    }
+}
+
+/// [`fmt_nanos`] for a [`std::time::Duration`].
+pub fn fmt_duration(d: std::time::Duration) -> String {
+    fmt_nanos(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn every_magnitude_has_a_unit() {
+        assert_eq!(fmt_nanos(0), "0ns");
+        assert_eq!(fmt_nanos(800), "800ns");
+        assert_eq!(fmt_nanos(1_500), "1.5µs");
+        // the sub-100µs range that the old fmt_duration collapsed to 0.0ms
+        assert_eq!(fmt_nanos(45_000), "45.0µs");
+        assert_eq!(fmt_nanos(2_500_000), "2.5ms");
+        assert_eq!(fmt_nanos(1_500_000_000), "1.50s");
+    }
+
+    #[test]
+    fn duration_round_trips() {
+        assert_eq!(fmt_duration(Duration::from_micros(45)), "45.0µs");
+        assert_eq!(fmt_duration(Duration::from_millis(1500)), "1.50s");
+    }
+}

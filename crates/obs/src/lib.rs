@@ -1,0 +1,56 @@
+//! # emblookup-obs
+//!
+//! Zero-dependency observability substrate for the EmbLookup workspace:
+//! a `metrics`/`tracing`/`hdrhistogram`-flavoured toolkit implemented on
+//! std only, so the workspace keeps building offline.
+//!
+//! * **Metrics** — [`MetricsRegistry`] names atomic [`Counter`]s,
+//!   [`Gauge`]s and log-bucketed [`Histogram`]s (p50/p90/p99/max,
+//!   count/sum). Resolve a handle once, then record lock-free; the
+//!   process-global registry is [`global()`].
+//! * **Spans** — [`Span::enter("index.build")`](Span::enter) RAII guards
+//!   time a stage into the histogram of the same name and notify the
+//!   subscriber.
+//! * **Events** — [`event()`] emits structured point events (per-epoch
+//!   loss, triplet counts) through the pluggable [`Subscriber`]:
+//!   [`StderrSubscriber`] pretty-prints, [`JsonLinesSubscriber`] appends
+//!   machine-readable lines; [`init_from_env()`] wires either from
+//!   `EMBLOOKUP_OBS` / `EMBLOOKUP_OBS_JSON`.
+//! * **Exporters** — a [`MetricsSnapshot`] renders to Prometheus text
+//!   ([`MetricsSnapshot::to_prometheus`]), JSON
+//!   ([`MetricsSnapshot::to_json`]) or an aligned table
+//!   ([`MetricsSnapshot::render_table`]).
+//!
+//! ```
+//! use emblookup_obs as obs;
+//!
+//! let lookups = obs::global().histogram("lookup.latency");
+//! {
+//!     let _stage = obs::Span::enter("index.build");
+//!     // ... build ...
+//! }
+//! lookups.record(12_345); // nanoseconds, lock-free
+//! let snap = obs::global().snapshot();
+//! assert!(snap.histogram("index.build").unwrap().count >= 1);
+//! println!("{}", snap.render_table());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod fmt;
+mod hist;
+mod json;
+mod registry;
+mod span;
+mod subscriber;
+
+pub use fmt::{fmt_duration, fmt_nanos};
+pub use hist::{Histogram, HistogramSnapshot};
+pub use registry::{global, Counter, Gauge, MetricsRegistry, MetricsSnapshot};
+pub use span::Span;
+pub use subscriber::{
+    clear_subscriber, emit, event, init_from_env, set_subscriber, CollectingSubscriber, Event,
+    EventKind, FieldValue, JsonLinesSubscriber, MultiSubscriber, OwnedEvent, StderrSubscriber,
+    Subscriber,
+};

@@ -114,13 +114,13 @@ impl AnnotationSystem for BbwSystem {
         let start = Instant::now();
         let (mut cells, mut cols) = empty_annotation(table);
 
-        for r in 0..table.num_rows() {
+        for (r, cell_row) in cells.iter_mut().enumerate() {
             // top candidates of the other cells in this row form the context
             let row_context: Vec<EntityId> = (0..table.num_cols())
                 .filter_map(|c| candidates.get(&(r, c)))
                 .flat_map(|cands| cands.iter().take(3).map(|c| c.entity))
                 .collect();
-            for c in 0..table.num_cols() {
+            for (c, cell) in cell_row.iter_mut().enumerate() {
                 let Some(cands) = candidates.get(&(r, c)) else { continue };
                 let best = cands
                     .iter()
@@ -138,7 +138,7 @@ impl AnnotationSystem for BbwSystem {
                         (cand.entity, context_bonus as i64 * 10 - rank as i64)
                     })
                     .max_by_key(|&(_, s)| s);
-                cells[r][c] = best.map(|(e, _)| e);
+                *cell = best.map(|(e, _)| e);
             }
         }
         for c in 0..table.num_cols() {
@@ -185,11 +185,11 @@ impl AnnotationSystem for MantisTableSystem {
 
         // phase 1: column type election from top-1 candidates
         let mut elected: Vec<Option<TypeId>> = vec![None; table.num_cols()];
-        for c in 0..table.num_cols() {
+        for (c, slot) in elected.iter_mut().enumerate() {
             if table.col_types[c].is_none() {
                 continue;
             }
-            elected[c] = column_majority_type(
+            *slot = column_majority_type(
                 kg,
                 (0..table.num_rows())
                     .filter_map(|r| candidates.get(&(r, c)))
@@ -265,8 +265,8 @@ impl AnnotationSystem for JenTabSystem {
         for _ in 0..self.rounds {
             // column type support from current pools
             let mut col_type: Vec<Option<TypeId>> = vec![None; table.num_cols()];
-            for c in 0..table.num_cols() {
-                col_type[c] = column_majority_type(
+            for (c, slot) in col_type.iter_mut().enumerate() {
+                *slot = column_majority_type(
                     kg,
                     (0..table.num_rows())
                         .filter_map(|r| pools.get(&(r, c)))
@@ -628,7 +628,12 @@ mod tests {
 
     #[test]
     fn katara_imputes_missing_related_cells() {
-        let (s, ds) = setup();
+        // Katara's pattern discovery needs enough intact rows per table to
+        // vote in the dominant property, so this test uses longer tables
+        // than the `tiny` config used elsewhere.
+        let (s, _) = setup();
+        let cfg = DatasetConfig { tables: 4, rows: (10, 16), seed: 30, name: "repair".into() };
+        let ds = generate_dataset(&s, &cfg);
         let broken = with_missing(&ds, 0.3, 31);
         let service = ExactMatchService::new(&s.kg, false);
         let katara = KataraSystem;
@@ -665,3 +670,4 @@ mod tests {
         assert!(ann.post_time < Duration::from_secs(1));
     }
 }
+

@@ -2,10 +2,9 @@
 //! cells mention KG entities, with ground-truth annotations for evaluation.
 
 use emblookup_kg::{EntityId, TypeId};
-use serde::{Deserialize, Serialize};
 
 /// One table cell.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Cell {
     /// Surface text of the cell (possibly noisy or an alias).
     pub text: String,
@@ -33,7 +32,7 @@ impl Cell {
 }
 
 /// A relational table with ground-truth column types.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Table {
     /// Table identifier within its dataset.
     pub id: u32,

@@ -468,10 +468,10 @@ impl Graph {
         assert_eq!(targets.len(), n, "targets len {} != rows {}", targets.len(), n);
         let mut cache = Vec::with_capacity(n * c);
         let mut loss = 0.0f32;
-        for r in 0..n {
+        for (r, &target) in targets.iter().enumerate() {
             let mut row = t.data()[r * c..(r + 1) * c].to_vec();
             softmax_in_place(&mut row);
-            let y = targets[r] as usize;
+            let y = target as usize;
             assert!(y < c, "target class {y} out of range {c}");
             loss -= row[y].max(1e-12).ln();
             cache.extend_from_slice(&row);

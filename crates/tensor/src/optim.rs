@@ -91,7 +91,7 @@ impl Optimizer for Adam {
             let (m, v) = self.moment_slot(id, g.shape());
             let param = store.get_mut(id);
             let pd = param.data_mut();
-            for i in 0..pd.len() {
+            for (i, p) in pd.iter_mut().enumerate() {
                 let gi = g.data()[i];
                 let mi = beta1 * m.data()[i] + (1.0 - beta1) * gi;
                 let vi = beta2 * v.data()[i] + (1.0 - beta2) * gi * gi;
@@ -99,7 +99,7 @@ impl Optimizer for Adam {
                 v.data_mut()[i] = vi;
                 let mhat = mi / bc1;
                 let vhat = vi / bc2;
-                pd[i] -= lr * mhat / (vhat.sqrt() + eps);
+                *p -= lr * mhat / (vhat.sqrt() + eps);
             }
         }
     }

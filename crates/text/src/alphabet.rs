@@ -4,7 +4,6 @@
 //! holds the one-hot encoding of the `i`-th character; columns past the end
 //! of the string stay zero.
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Character set used for one-hot encoding.
@@ -12,7 +11,7 @@ use std::collections::BTreeMap;
 /// Characters outside the alphabet map to a dedicated `<unk>` slot so that
 /// queries containing stray symbols still encode instead of failing — the
 /// paper's lookup must be robust to arbitrary dirty strings.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Alphabet {
     chars: Vec<char>,
     index: BTreeMap<char, usize>,
@@ -80,7 +79,7 @@ impl Default for Alphabet {
 }
 
 /// One-hot encoder turning strings into `|A| × L` matrices (row-major).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct OneHotEncoder {
     alphabet: Alphabet,
     /// Maximum encoded length `L`; longer strings are truncated.

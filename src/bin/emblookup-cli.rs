@@ -13,6 +13,8 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 fn main() -> ExitCode {
+    // EMBLOOKUP_OBS=stderr / EMBLOOKUP_OBS_JSON=<path> stream stage events
+    emblookup::obs::init_from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else {
         eprintln!("{USAGE}");

@@ -40,6 +40,7 @@ pub use emblookup_baselines as baselines;
 pub use emblookup_core as core;
 pub use emblookup_embed as embed;
 pub use emblookup_kg as kg;
+pub use emblookup_obs as obs;
 pub use emblookup_semtab as semtab;
 pub use emblookup_tensor as tensor;
 pub use emblookup_text as text;

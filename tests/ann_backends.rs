@@ -51,7 +51,8 @@ fn all_backends_honor_the_search_contract() {
     let hnsw = HnswIndex::build(data.clone(), HnswConfig::default());
     let sq = SqIndex::build(&data);
 
-    let backends: Vec<(&str, Box<dyn Fn(&[f32], usize) -> Vec<Neighbor>>, f64)> = vec![
+    type SearchFn = Box<dyn Fn(&[f32], usize) -> Vec<Neighbor>>;
+    let backends: Vec<(&str, SearchFn, f64)> = vec![
         ("pq", Box::new(move |q, k| pq.search(q, k)), 0.45),
         ("refined_pq", Box::new(move |q, k| refined.search(q, k)), 0.85),
         ("ivf", Box::new(move |q, k| ivf.search(q, k)), 0.55),
