@@ -1,6 +1,7 @@
 //! Exact brute-force nearest-neighbour index ("IndexFlatL2" in FAISS
 //! terms) — the EL-NC configuration of the paper, and the ground truth for
 //! the recall experiments of Figure 4.
+// lint: hot-path
 
 use crate::topk::{Neighbor, TopK};
 use crate::vectors::{sq_l2, VectorSet};

@@ -6,6 +6,7 @@
 //! geometric distribution; search descends greedily from the top layer and
 //! runs a beam search (`ef`) on layer 0. Neighbour lists are pruned to `m`
 //! (2`m` on layer 0) by distance.
+// lint: hot-path
 
 use crate::topk::{Neighbor, TopK};
 use crate::vectors::{sq_l2, VectorSet};

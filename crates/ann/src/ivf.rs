@@ -4,6 +4,7 @@
 //! centroid; a query scans only the `nprobe` closest buckets. EmbLookup is
 //! "modular and could accommodate either exact or approximate similarity
 //! search" (§III-C); this is the approximate non-compressed option.
+// lint: hot-path
 
 use crate::flat::batch_search;
 use crate::kmeans::{KMeans, KMeansConfig};

@@ -2,6 +2,7 @@
 //! FAISS's "IVFADC without residual encoding" variant, combining the two
 //! accelerations EmbLookup can plug in (§III-C/D): cluster pruning *and*
 //! compressed distance evaluation.
+// lint: hot-path
 
 use crate::flat::batch_search;
 use crate::kmeans::{KMeans, KMeansConfig};

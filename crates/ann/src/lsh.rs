@@ -5,8 +5,8 @@
 //! Items are arbitrary `u64` feature sets (the baselines crate feeds hashed
 //! character q-grams). Signatures of `bands × rows` min-hashes are banded;
 //! items sharing any band bucket with the query become candidates.
+// lint: hot-path
 
-use std::sync::RwLock;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::hash_map::DefaultHasher;
@@ -32,15 +32,17 @@ impl Default for LshConfig {
 
 /// MinHash LSH index over `u64` feature sets.
 ///
-/// Thread-safe for concurrent queries (`std::sync::RwLock` around the
-/// band tables); inserts take the write lock.
+/// Plain data, no interior locking: inserts take `&mut self` (the index
+/// is built once, single-threaded), and the query path is a lock-free
+/// shared read — any number of threads can call [`MinHashLsh::candidates`]
+/// concurrently through `&self`.
 pub struct MinHashLsh {
     config: LshConfig,
     /// (a, b) coefficients of the universal hash family.
     coeffs: Vec<(u64, u64)>,
     /// One bucket map per band: band-hash → item ids.
-    tables: RwLock<Vec<HashMap<u64, Vec<u32>>>>,
-    len: RwLock<usize>,
+    tables: Vec<HashMap<u64, Vec<u32>>>,
+    len: usize,
 }
 
 impl MinHashLsh {
@@ -57,14 +59,14 @@ impl MinHashLsh {
         MinHashLsh {
             config,
             coeffs,
-            tables: RwLock::new(vec![HashMap::new(); config.bands]),
-            len: RwLock::new(0),
+            tables: vec![HashMap::new(); config.bands],
+            len: 0,
         }
     }
 
     /// Number of inserted items.
     pub fn len(&self) -> usize {
-        *self.len.read().unwrap()
+        self.len
     }
 
     /// True when no items are indexed.
@@ -86,29 +88,27 @@ impl MinHashLsh {
                     .iter()
                     .map(|&f| a.wrapping_mul(f).wrapping_add(b))
                     .min()
-                    .expect("non-empty features")
+                    .unwrap_or(u64::MAX) // unreachable: features checked non-empty above
             })
             .collect()
     }
 
     /// Inserts an item with identifier `id` and its feature set.
-    pub fn insert(&self, id: u32, features: &[u64]) {
+    pub fn insert(&mut self, id: u32, features: &[u64]) {
         let sig = self.signature(features);
-        let mut tables = self.tables.write().unwrap();
-        for (band, table) in tables.iter_mut().enumerate() {
+        for (band, table) in self.tables.iter_mut().enumerate() {
             let h = band_hash(&sig[band * self.config.rows..(band + 1) * self.config.rows]);
             table.entry(h).or_default().push(id);
         }
-        *self.len.write().unwrap() += 1;
+        self.len += 1;
     }
 
     /// Candidate items sharing at least one band bucket with the query
     /// features, deduplicated, in ascending id order.
     pub fn candidates(&self, features: &[u64]) -> Vec<u32> {
         let sig = self.signature(features);
-        let tables = self.tables.read().unwrap();
         let mut out = Vec::new();
-        for (band, table) in tables.iter().enumerate() {
+        for (band, table) in self.tables.iter().enumerate() {
             let h = band_hash(&sig[band * self.config.rows..(band + 1) * self.config.rows]);
             if let Some(bucket) = table.get(&h) {
                 out.extend_from_slice(bucket);
@@ -145,7 +145,7 @@ mod tests {
 
     #[test]
     fn similar_strings_collide() {
-        let lsh = MinHashLsh::new(LshConfig { bands: 16, rows: 2, seed: 1 });
+        let mut lsh = MinHashLsh::new(LshConfig { bands: 16, rows: 2, seed: 1 });
         let names = ["germany", "germani", "france", "japan", "germny"];
         for (i, n) in names.iter().enumerate() {
             lsh.insert(i as u32, &features(n));
@@ -157,7 +157,7 @@ mod tests {
 
     #[test]
     fn dissimilar_strings_rarely_collide() {
-        let lsh = MinHashLsh::new(LshConfig { bands: 8, rows: 6, seed: 2 });
+        let mut lsh = MinHashLsh::new(LshConfig { bands: 8, rows: 6, seed: 2 });
         lsh.insert(0, &features("completely different"));
         let cands = lsh.candidates(&features("zzzqqqxxx"));
         assert!(cands.is_empty(), "unexpected candidates {cands:?}");
@@ -165,7 +165,7 @@ mod tests {
 
     #[test]
     fn identical_sets_always_collide() {
-        let lsh = MinHashLsh::new(LshConfig::default());
+        let mut lsh = MinHashLsh::new(LshConfig::default());
         lsh.insert(7, &features("knowledge graph"));
         let cands = lsh.candidates(&features("knowledge graph"));
         assert_eq!(cands, vec![7]);
@@ -173,7 +173,7 @@ mod tests {
 
     #[test]
     fn empty_features_dont_crash() {
-        let lsh = MinHashLsh::new(LshConfig::default());
+        let mut lsh = MinHashLsh::new(LshConfig::default());
         lsh.insert(0, &[]);
         let cands = lsh.candidates(&[]);
         assert_eq!(cands, vec![0]);
@@ -191,7 +191,7 @@ mod tests {
 
     #[test]
     fn len_counts_inserts() {
-        let lsh = MinHashLsh::new(LshConfig::default());
+        let mut lsh = MinHashLsh::new(LshConfig::default());
         assert!(lsh.is_empty());
         lsh.insert(0, &features("a"));
         lsh.insert(1, &features("b"));

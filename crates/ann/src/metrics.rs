@@ -7,6 +7,7 @@
 //! vectors/codes a query actually examined (the work metric behind the
 //! flat-vs-ANN comparisons).
 
+use emblookup_obs::names;
 use emblookup_obs::{global, Counter};
 use std::sync::{Arc, OnceLock};
 
@@ -20,13 +21,13 @@ macro_rules! static_counter {
     };
 }
 
-static_counter!(flat_searches, "ann.flat.searches");
-static_counter!(flat_visited, "ann.flat.visited_nodes");
-static_counter!(hnsw_searches, "ann.hnsw.searches");
-static_counter!(hnsw_visited, "ann.hnsw.visited_nodes");
-static_counter!(ivf_searches, "ann.ivf.searches");
-static_counter!(ivf_visited, "ann.ivf.visited_nodes");
-static_counter!(pq_searches, "ann.pq.searches");
-static_counter!(pq_visited, "ann.pq.visited_nodes");
-static_counter!(ivfpq_searches, "ann.ivfpq.searches");
-static_counter!(ivfpq_visited, "ann.ivfpq.visited_nodes");
+static_counter!(flat_searches, names::ANN_FLAT_SEARCHES);
+static_counter!(flat_visited, names::ANN_FLAT_VISITED);
+static_counter!(hnsw_searches, names::ANN_HNSW_SEARCHES);
+static_counter!(hnsw_visited, names::ANN_HNSW_VISITED);
+static_counter!(ivf_searches, names::ANN_IVF_SEARCHES);
+static_counter!(ivf_visited, names::ANN_IVF_VISITED);
+static_counter!(pq_searches, names::ANN_PQ_SEARCHES);
+static_counter!(pq_visited, names::ANN_PQ_VISITED);
+static_counter!(ivfpq_searches, names::ANN_IVFPQ_SEARCHES);
+static_counter!(ivfpq_visited, names::ANN_IVFPQ_VISITED);

@@ -3,6 +3,7 @@
 //! candidates cheaply; exact distances on the raw vectors then fix the
 //! final order — recovering most of the recall PQ loses at small `k`
 //! (the Figure 4 effect) at a fraction of the flat-scan cost.
+// lint: hot-path
 
 use crate::pq::PqIndex;
 use crate::topk::{Neighbor, TopK};

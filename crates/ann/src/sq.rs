@@ -2,6 +2,7 @@
 //! per-dimension min/max calibration — the simplest FAISS compression tier
 //! (4× smaller than f32), included as a middle point between the flat
 //! index and product quantization.
+// lint: hot-path
 
 use crate::flat::batch_search;
 use crate::topk::{Neighbor, TopK};

@@ -21,7 +21,7 @@ impl LshService {
     pub fn new(kg: &KnowledgeGraph, include_aliases: bool, config: LshConfig) -> Self {
         let catalog = MentionCatalog::from_kg(kg, include_aliases);
         let q = 3;
-        let lsh = MinHashLsh::new(config);
+        let mut lsh = MinHashLsh::new(config);
         for (i, e) in catalog.entries().iter().enumerate() {
             lsh.insert(i as u32, &Self::features(&e.mention, q));
         }

@@ -9,6 +9,7 @@ use crate::config::Compression;
 use crate::model::EmbLookupModel;
 use emblookup_ann::{FlatIndex, HnswConfig, HnswIndex, IvfConfig, IvfIndex, Neighbor, Pca, PqIndex, VectorSet};
 use emblookup_kg::{EntityId, KnowledgeGraph};
+use emblookup_obs::names;
 
 /// Index over entity embeddings with one of the supported backends.
 pub struct EntityIndex {
@@ -43,7 +44,7 @@ impl EntityIndex {
         threads: usize,
     ) -> Self {
         assert!(kg.num_entities() > 0, "indexing an empty knowledge graph");
-        let span = emblookup_obs::Span::enter("index.build")
+        let span = emblookup_obs::Span::enter(names::INDEX_BUILD)
             .field("entities", kg.num_entities() as u64)
             .field("backend", compression.name());
         let mut labels: Vec<&str> = kg.entities().map(|e| e.label.as_str()).collect();
@@ -66,10 +67,10 @@ impl EntityIndex {
         }
         let index = Self::from_vectors(ids, vectors, compression);
         emblookup_obs::global()
-            .gauge("index.entities")
+            .gauge(names::INDEX_ENTITIES)
             .set(index.len() as f64);
         emblookup_obs::global()
-            .gauge("index.nbytes")
+            .gauge(names::INDEX_NBYTES)
             .set(index.nbytes() as f64);
         drop(span);
         index

@@ -13,6 +13,7 @@
 //! Negatives are labels of randomly chosen (unrelated) entities.
 
 use emblookup_kg::{EntityId, KnowledgeGraph};
+use emblookup_obs::names;
 use emblookup_text::{NoiseInjector, NoiseKind};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -83,7 +84,7 @@ impl MiningConfig {
 /// completely), then the remaining budget goes to syntactic perturbations
 /// and type-sharing positives.
 pub fn mine_triplets(kg: &KnowledgeGraph, config: &MiningConfig) -> Vec<Triplet> {
-    let span = emblookup_obs::Span::enter("train.mining")
+    let span = emblookup_obs::Span::enter(names::TRAIN_MINING)
         .field("entities", kg.num_entities() as u64)
         .field("budget_per_entity", config.per_entity as u64);
     let mut rng = StdRng::seed_from_u64(config.seed);
@@ -177,7 +178,7 @@ pub fn mine_triplets(kg: &KnowledgeGraph, config: &MiningConfig) -> Vec<Triplet>
         }
     }
     out.shuffle(&mut rng);
-    emblookup_obs::global().counter("mining.triplets").add(out.len() as u64);
+    emblookup_obs::global().counter(names::MINING_TRIPLETS).add(out.len() as u64);
     drop(span.field("triplets", out.len() as u64));
     out
 }

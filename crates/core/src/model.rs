@@ -40,6 +40,7 @@ impl EmbLookupModel {
     /// Panics if `config` fails validation or the fastText dimension
     /// disagrees with `config.fasttext_dim`.
     pub fn new(semantic: FastText, config: EmbLookupConfig) -> Self {
+        // lint: allow(L001) documented panic contract: config is validated up front, before any work
         config.validate().expect("invalid EmbLookup config");
         assert_eq!(
             semantic.dim(),
@@ -292,8 +293,13 @@ impl EmbLookupModel {
         let read_block = |cur: &mut usize| -> Result<&[u8], String> {
             let end = *cur + 8;
             let len =
-                u64::from_le_bytes(bytes.get(*cur..end).ok_or("truncated model buffer")?.try_into().unwrap())
-                    as usize;
+                u64::from_le_bytes(
+                    bytes
+                        .get(*cur..end)
+                        .ok_or("truncated model buffer")?
+                        .try_into()
+                        .map_err(|_| "truncated model buffer")?,
+                ) as usize;
             *cur = end;
             let block = bytes.get(*cur..*cur + len).ok_or("truncated model block")?;
             *cur += len;

@@ -1,4 +1,5 @@
 //! The end-to-end EmbLookup service: train → embed → index → `lookup(q, k)`.
+// lint: hot-path
 
 use crate::config::{Compression, EmbLookupConfig};
 use crate::index::EntityIndex;
@@ -8,6 +9,7 @@ use crate::trainer::{train, TrainReport};
 use emblookup_ann::VectorSet;
 use emblookup_embed::{Corpus, FastText, FastTextConfig};
 use emblookup_kg::{Candidate, EntityId, KnowledgeGraph, LookupService};
+use emblookup_obs::names;
 use emblookup_obs::Histogram;
 use std::sync::Arc;
 
@@ -25,6 +27,10 @@ pub struct EmbLookup {
     /// atomic record per query and never touches the registry lock.
     lookup_hist: Arc<Histogram>,
     bulk_hist: Arc<Histogram>,
+    /// Per-query latency attributed inside a batch: the batch's wall time
+    /// divided across its queries (`lookup.latency.bulk`, or
+    /// `lookup.latency.<scope>.bulk` under a metrics scope).
+    bulk_query_hist: Arc<Histogram>,
     bulk_queries: Arc<emblookup_obs::Counter>,
 }
 
@@ -36,14 +42,15 @@ impl EmbLookup {
     /// # Panics
     /// Panics on an empty KG or invalid configuration.
     pub fn train_on(kg: &KnowledgeGraph, config: EmbLookupConfig) -> Self {
+        // lint: allow(L001) documented panic contract: config is validated up front, before any work
         config.validate().expect("invalid EmbLookup config");
         assert!(kg.num_entities() > 0, "training on an empty knowledge graph");
-        let total = emblookup_obs::Span::enter("train.total")
+        let total = emblookup_obs::Span::enter(names::TRAIN_TOTAL)
             .field("entities", kg.num_entities() as u64);
 
         let corpus = Corpus::from_kg(kg);
         let fasttext = {
-            let _s = emblookup_obs::Span::enter("train.fasttext")
+            let _s = emblookup_obs::Span::enter(names::TRAIN_FASTTEXT)
                 .field("dim", config.fasttext_dim as u64)
                 .field("epochs", config.fasttext_epochs as u64);
             FastText::train(
@@ -82,17 +89,21 @@ impl EmbLookup {
             index,
             report,
             bulk_threads: num_threads(),
-            lookup_hist: reg.histogram("lookup.latency"),
-            bulk_hist: reg.histogram("lookup.bulk"),
-            bulk_queries: reg.counter("lookup.bulk.queries"),
+            lookup_hist: reg.histogram(names::LOOKUP_LATENCY),
+            bulk_hist: reg.histogram(names::LOOKUP_BULK),
+            bulk_query_hist: reg.histogram(names::LOOKUP_LATENCY_BULK),
+            bulk_queries: reg.counter(names::LOOKUP_BULK_QUERIES),
         }
     }
 
-    /// Re-points the per-query latency histogram at
-    /// `lookup.latency.<scope>` — the benchmarks use this to separate EL
-    /// (PQ) from EL-NC (flat) timings in one registry.
+    /// Re-points the per-query latency histograms at
+    /// `lookup.latency.<scope>` / `lookup.latency.<scope>.bulk` — the
+    /// benchmarks use this to separate EL (PQ) from EL-NC (flat) timings
+    /// in one registry.
     pub fn with_metrics_scope(mut self, scope: &str) -> Self {
-        self.lookup_hist = emblookup_obs::global().histogram(&format!("lookup.latency.{scope}"));
+        let reg = emblookup_obs::global();
+        self.lookup_hist = reg.histogram(&names::lookup_latency_scoped(scope));
+        self.bulk_query_hist = reg.histogram(&names::lookup_latency_bulk_scoped(scope));
         self
     }
 
@@ -131,6 +142,11 @@ impl EmbLookup {
 
     /// Bulk lookup: embeds all queries and searches the index, both split
     /// across `self.bulk_threads` threads.
+    ///
+    /// Whole-batch wall time goes to `lookup.bulk`; the same time divided
+    /// across the batch's queries is attributed per query into
+    /// `lookup.latency.bulk`, so batched and single-query latency land in
+    /// one comparable `lookup.latency.*` family.
     pub fn bulk_lookup(&self, queries: &[&str], k: usize) -> Vec<Vec<(EntityId, f32)>> {
         let start = std::time::Instant::now();
         let embeddings = self.model.embed_batch(queries, self.bulk_threads);
@@ -139,7 +155,13 @@ impl EmbLookup {
             qs.push(e);
         }
         let hits = self.index.search_batch(&qs, k, self.bulk_threads);
-        self.bulk_hist.record_duration(start.elapsed());
+        let elapsed = start.elapsed();
+        self.bulk_hist.record_duration(elapsed);
+        if !queries.is_empty() {
+            let per_query =
+                u64::try_from(elapsed.as_nanos() / queries.len() as u128).unwrap_or(u64::MAX);
+            self.bulk_query_hist.record_n(per_query, queries.len() as u64);
+        }
         self.bulk_queries.add(queries.len() as u64);
         hits
     }

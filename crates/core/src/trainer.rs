@@ -10,6 +10,7 @@ use crate::model::EmbLookupModel;
 use emblookup_ann::sq_l2;
 use emblookup_tensor::loss;
 use emblookup_tensor::optim::{Adam, Optimizer};
+use emblookup_obs::names;
 use emblookup_tensor::{Bindings, Graph};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -50,12 +51,12 @@ impl TrainReport {
 pub fn train(model: &mut EmbLookupModel, triplets: &[Triplet]) -> TrainReport {
     assert!(!triplets.is_empty(), "training without triplets");
     let config = model.config().clone();
-    let _span = emblookup_obs::Span::enter("train.triplet")
+    let _span = emblookup_obs::Span::enter(names::TRAIN_TRIPLET)
         .field("triplets", triplets.len() as u64)
         .field("epochs", config.epochs as u64);
     let reg = emblookup_obs::global();
-    let epoch_hist = reg.histogram("train.epoch.duration");
-    let epoch_counter = reg.counter("train.epochs");
+    let epoch_hist = reg.histogram(names::TRAIN_EPOCH_DURATION);
+    let epoch_counter = reg.counter(names::TRAIN_EPOCHS);
     // offset keeps the trainer's RNG stream distinct from the miner's
     let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(0x7EA11));
     let mut optimizer = Adam::new(config.lr);

@@ -25,6 +25,11 @@ fn training_and_lookups_populate_the_registry() {
         let hits = el.lookup(&labels[i % labels.len()], 5);
         assert_eq!(hits.len(), 5);
     }
+
+    // bulk path: the batch's wall time is attributed per query
+    let qrefs: Vec<&str> = labels.iter().take(8).map(|s| s.as_str()).collect();
+    let batch = el.bulk_lookup(&qrefs, 3);
+    assert_eq!(batch.len(), 8);
     emblookup_obs::clear_subscriber();
 
     // one structured event per training epoch, exactly
@@ -46,7 +51,24 @@ fn training_and_lookups_populate_the_registry() {
     assert_eq!(lat.count, 100);
     assert!(lat.p50() > 0 && lat.p99() >= lat.p50());
 
+    // the bulk batch lands once in lookup.bulk, and once per query —
+    // with the batch's wall time split evenly — in lookup.latency.bulk,
+    // so batched and single-query latency are directly comparable
+    let bulk_batch = snap.histogram("lookup.bulk").expect("bulk batch histogram");
+    assert_eq!(bulk_batch.count, 1);
+    let bulk = snap.histogram("lookup.latency.bulk").expect("bulk per-query latency");
+    assert_eq!(bulk.count, 8);
+    assert!(bulk.max() > 0, "bulk per-query latency recorded a zero duration");
+    assert!(
+        bulk.sum <= bulk_batch.sum,
+        "per-query attribution {} exceeds batch wall time {}",
+        bulk.sum,
+        bulk_batch.sum
+    );
+    assert_eq!(snap.counter("lookup.bulk.queries"), Some(8));
+
     // the tiny config indexes a flat backend: the ann counters must agree
-    assert_eq!(snap.counter("ann.flat.searches"), Some(100));
+    // (100 single lookups + 8 bulk queries)
+    assert_eq!(snap.counter("ann.flat.searches"), Some(108));
     assert_eq!(snap.gauge("index.entities"), Some(s.kg.num_entities() as f64));
 }

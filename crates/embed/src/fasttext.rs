@@ -271,13 +271,13 @@ impl FastText {
             let end = *cur + 8;
             let s = bytes.get(*cur..end).ok_or("truncated fastText buffer")?;
             *cur = end;
-            Ok(u64::from_le_bytes(s.try_into().unwrap()))
+            Ok(u64::from_le_bytes(s.try_into().map_err(|_| "truncated fastText buffer")?))
         };
         let read_f32 = |cur: &mut usize| -> Result<f32, String> {
             let end = *cur + 4;
             let s = bytes.get(*cur..end).ok_or("truncated fastText buffer")?;
             *cur = end;
-            Ok(f32::from_le_bytes(s.try_into().unwrap()))
+            Ok(f32::from_le_bytes(s.try_into().map_err(|_| "truncated fastText buffer")?))
         };
         let dim = read_u64(&mut cur)? as usize;
         let min_n = read_u64(&mut cur)? as usize;

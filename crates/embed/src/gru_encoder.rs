@@ -80,7 +80,7 @@ impl GruEncoder {
                 let mut losses = Vec::with_capacity(chunk.len());
                 for &i in chunk {
                     let (anchor, positive) = &pairs[i];
-                    let negative = negatives.choose(&mut rng).unwrap();
+                    let Some(negative) = negatives.choose(&mut rng) else { continue };
                     let ea = encode_seq(&mut g, &mut b, &store, &gru, &onehot, anchor);
                     let ep = encode_seq(&mut g, &mut b, &store, &gru, &onehot, positive);
                     let en = encode_seq(&mut g, &mut b, &store, &gru, &onehot, negative);

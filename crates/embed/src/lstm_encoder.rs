@@ -83,7 +83,7 @@ impl LstmEncoder {
                 let mut losses = Vec::with_capacity(chunk.len());
                 for &i in chunk {
                     let (anchor, positive) = &pairs[i];
-                    let negative = negatives.choose(&mut rng).unwrap();
+                    let Some(negative) = negatives.choose(&mut rng) else { continue };
                     let ea = encode_seq(&mut g, &mut b, &store, &lstm, &onehot, anchor);
                     let ep = encode_seq(&mut g, &mut b, &store, &lstm, &onehot, positive);
                     let en = encode_seq(&mut g, &mut b, &store, &lstm, &onehot, negative);

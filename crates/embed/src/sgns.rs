@@ -32,7 +32,7 @@ impl NegativeSampler {
 
     /// Samples one word id.
     pub fn sample(&self, rng: &mut StdRng) -> u32 {
-        let total = *self.cdf.last().unwrap();
+        let Some(&total) = self.cdf.last() else { return 0 };
         let r = rng.gen_range(0.0..total);
         match self
             .cdf
@@ -259,7 +259,7 @@ impl SgnsModel {
             let end = *cur + 8;
             let s = bytes.get(*cur..end).ok_or("truncated SGNS buffer")?;
             *cur = end;
-            Ok(u64::from_le_bytes(s.try_into().unwrap()))
+            Ok(u64::from_le_bytes(s.try_into().map_err(|_| "truncated SGNS buffer")?))
         };
         let dim = read_u64(&mut cur)? as usize;
         let n_in = read_u64(&mut cur)? as usize;
@@ -275,6 +275,7 @@ impl SgnsModel {
             let mut v = Vec::with_capacity(count);
             for _ in 0..count {
                 let end = *cur + 4;
+                // lint: allow(L001) infallible: buffer length was verified against `need` above
                 v.push(f32::from_le_bytes(bytes[*cur..end].try_into().unwrap()));
                 *cur = end;
             }

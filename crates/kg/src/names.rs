@@ -51,6 +51,13 @@ const FILM_NOUN: &[&str] = &[
 ];
 const SURNAME_SUFFIX: &[&str] = &["son", "sen", "man", "er", "ov", "ski", "ard", "well"];
 
+/// Uniform pick from one of the const syllable/suffix tables above. The
+/// tables are non-empty by construction; an empty slice degrades to `""`
+/// instead of panicking.
+fn pick<'a, R: Rng + ?Sized>(rng: &mut R, table: &'a [&'a str]) -> &'a str {
+    table.choose(rng).copied().unwrap_or("")
+}
+
 /// Seedable unique-name factory.
 ///
 /// Every `next_*` call draws from the supplied RNG; the forge remembers all
@@ -70,9 +77,9 @@ impl NameForge {
 
     fn syllable<R: Rng + ?Sized>(rng: &mut R) -> String {
         let mut s = String::new();
-        s.push_str(ONSETS.choose(rng).unwrap());
-        s.push_str(VOWELS.choose(rng).unwrap());
-        s.push_str(CODAS.choose(rng).unwrap());
+        s.push_str(pick(rng, ONSETS));
+        s.push_str(pick(rng, VOWELS));
+        s.push_str(pick(rng, CODAS));
         s
     }
 
@@ -86,14 +93,15 @@ impl NameForge {
 
     /// Generates a fresh, globally-unique name of the given kind.
     pub fn next<R: Rng + ?Sized>(&mut self, kind: NameKind, rng: &mut R) -> String {
-        for attempt in 0.. {
+        let mut attempt = 0usize;
+        loop {
             let extra = attempt / 3; // widen the space if collisions persist
             let candidate = Self::raw(kind, rng, extra);
             if self.used.insert(candidate.clone()) {
                 return candidate;
             }
+            attempt += 1;
         }
-        unreachable!()
     }
 
     /// Generates a name without uniqueness bookkeeping — used by the KG
@@ -106,37 +114,37 @@ impl NameForge {
         match kind {
             NameKind::Country => {
                 let stem = Self::stem(rng, 2 + extra_syllables);
-                capitalize(&format!("{stem}{}", COUNTRY_SUFFIX.choose(rng).unwrap()))
+                capitalize(&format!("{stem}{}", pick(rng, COUNTRY_SUFFIX)))
             }
             NameKind::City => {
                 let stem = Self::stem(rng, 2 + extra_syllables);
-                capitalize(&format!("{stem}{}", CITY_SUFFIX.choose(rng).unwrap()))
+                capitalize(&format!("{stem}{}", pick(rng, CITY_SUFFIX)))
             }
             NameKind::Person => {
                 let first = capitalize(&Self::stem(rng, 1 + extra_syllables / 2));
                 let last = capitalize(&format!(
                     "{}{}",
                     Self::stem(rng, 2 + extra_syllables - extra_syllables / 2),
-                    SURNAME_SUFFIX.choose(rng).unwrap()
+                    pick(rng, SURNAME_SUFFIX)
                 ));
                 format!("{first} {last}")
             }
             NameKind::Organization => {
                 let stem = capitalize(&Self::stem(rng, 2 + extra_syllables));
-                format!("{stem} {}", capitalize(ORG_SUFFIX.choose(rng).unwrap()))
+                format!("{stem} {}", capitalize(pick(rng, ORG_SUFFIX)))
             }
             NameKind::Film => {
                 if extra_syllables == 0 {
                     format!(
                         "The {} {}",
-                        capitalize(FILM_ADJ.choose(rng).unwrap()),
-                        capitalize(FILM_NOUN.choose(rng).unwrap())
+                        capitalize(pick(rng, FILM_ADJ)),
+                        capitalize(pick(rng, FILM_NOUN))
                     )
                 } else {
                     format!(
                         "The {} {} of {}",
-                        capitalize(FILM_ADJ.choose(rng).unwrap()),
-                        capitalize(FILM_NOUN.choose(rng).unwrap()),
+                        capitalize(pick(rng, FILM_ADJ)),
+                        capitalize(pick(rng, FILM_NOUN)),
                         capitalize(&Self::stem(rng, extra_syllables))
                     )
                 }

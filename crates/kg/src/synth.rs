@@ -254,7 +254,7 @@ pub fn generate(config: SynthKgConfig) -> SynthKg {
                 && i > 10
                 && rng.gen_bool(config.ambiguity_rate)
             {
-                labels.choose(rng).cloned().unwrap()
+                labels.choose(rng).cloned().unwrap_or_else(|| forge.next(kind, rng))
             } else {
                 forge.next(kind, rng)
             };

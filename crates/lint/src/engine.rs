@@ -1,0 +1,589 @@
+//! The lint engine: file model (test regions, directives) and the four
+//! repo-specific passes.
+//!
+//! | rule | invariant |
+//! |------|-----------|
+//! | L001 | no `unwrap()/expect()/panic!/unreachable!/todo!/unimplemented!` in non-test library code |
+//! | L002 | no locks / `sleep` / allocating formatting in `// lint: hot-path` modules |
+//! | L003 | metric & span names come from `emblookup_obs::names`, never string literals |
+//! | L004 | task-marker comments carry an issue reference (`#123` or a URL) |
+//! | L000 | the lint directives themselves are well-formed (allow needs a reason) |
+//!
+//! A site is exempted with `// lint: allow(Lxxx) reason`, which covers the
+//! directive's own line and the next source line; the reason is mandatory.
+
+use crate::lexer::{lex, Token, TokenKind};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// All enforceable rules, in catalog order.
+pub const RULES: &[&str] = &["L001", "L002", "L003", "L004"];
+
+/// One diagnostic produced by a lint pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Workspace-relative path of the offending file.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule id (`L001`…`L004`, or `L000` for malformed directives).
+    pub rule: String,
+    /// Human-readable description.
+    pub message: String,
+    /// For L003 literals that match a registered name: the suggested
+    /// `names::` constant (drives `--fix-metric-names`).
+    pub suggestion: Option<String>,
+}
+
+/// How a file participates in linting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileClass {
+    /// Library code: all rules apply.
+    Lib,
+    /// Binary / CLI code (`main.rs`, `src/bin/…`): panic-freedom and
+    /// hot-path rules are relaxed, name and task-marker hygiene still
+    /// apply.
+    Bin,
+}
+
+/// Classifies a workspace-relative path.
+pub fn classify(path: &str) -> FileClass {
+    let normalized = path.replace('\\', "/");
+    if normalized.ends_with("/main.rs")
+        || normalized == "main.rs"
+        || normalized.contains("/bin/")
+        || normalized.contains("/benches/")
+    {
+        FileClass::Bin
+    } else {
+        FileClass::Lib
+    }
+}
+
+/// The metric-name registry the L003 pass checks against:
+/// `value → constant identifier`.
+pub type NameRegistry = BTreeMap<String, String>;
+
+/// Builds the registry from `emblookup_obs::names::ALL`.
+pub fn obs_name_registry() -> NameRegistry {
+    emblookup_obs::names::ALL
+        .iter()
+        .map(|&(ident, value)| (value.to_string(), ident.to_string()))
+        .collect()
+}
+
+/// A lexed source file with test regions and lint directives resolved.
+pub struct SourceFile {
+    /// Workspace-relative display path.
+    pub path: String,
+    /// Library or binary code.
+    pub class: FileClass,
+    tokens: Vec<Token>,
+    /// Token-index ranges (inclusive) covering `#[cfg(test)]` / `#[test]`
+    /// items.
+    test_ranges: Vec<(usize, usize)>,
+    /// Whether the module carries a `// lint: hot-path` annotation.
+    hot_path: bool,
+    /// rule id → lines where it is suppressed by an allow directive.
+    allows: HashMap<String, HashSet<u32>>,
+    /// Malformed-directive diagnostics discovered during parsing.
+    directive_errors: Vec<(u32, String)>,
+}
+
+impl SourceFile {
+    /// Lexes and analyzes one file.
+    pub fn parse(path: &str, src: &str) -> Self {
+        let tokens = lex(src);
+        let test_ranges = find_test_ranges(&tokens);
+        let mut hot_path = false;
+        let mut allows: HashMap<String, HashSet<u32>> = HashMap::new();
+        let mut directive_errors = Vec::new();
+        for t in &tokens {
+            if t.kind != TokenKind::LineComment {
+                continue;
+            }
+            let body = t
+                .text
+                .trim_start_matches('/')
+                .trim_start_matches('!')
+                .trim();
+            let Some(directive) = body.strip_prefix("lint:") else {
+                continue;
+            };
+            let directive = directive.trim();
+            if directive == "hot-path" {
+                hot_path = true;
+            } else if let Some(rest) = directive.strip_prefix("allow(") {
+                match rest.split_once(')') {
+                    Some((ids, reason)) => {
+                        if reason.trim().is_empty() {
+                            directive_errors.push((
+                                t.line,
+                                "lint allow requires a reason: `// lint: allow(Lxxx) <why>`"
+                                    .to_string(),
+                            ));
+                            continue;
+                        }
+                        for id in ids.split(',') {
+                            let id = id.trim();
+                            if RULES.contains(&id) {
+                                let lines = allows.entry(id.to_string()).or_default();
+                                lines.insert(t.line);
+                                lines.insert(t.line + 1);
+                            } else {
+                                directive_errors.push((
+                                    t.line,
+                                    format!("unknown lint rule `{id}` in allow directive"),
+                                ));
+                            }
+                        }
+                    }
+                    None => directive_errors
+                        .push((t.line, "unclosed lint allow directive".to_string())),
+                }
+            } else {
+                directive_errors.push((
+                    t.line,
+                    format!("unknown lint directive `{directive}` (expected `hot-path` or `allow(Lxxx) reason`)"),
+                ));
+            }
+        }
+        SourceFile {
+            path: path.to_string(),
+            class: classify(path),
+            tokens,
+            test_ranges,
+            hot_path,
+            allows,
+            directive_errors,
+        }
+    }
+
+    fn in_test(&self, idx: usize) -> bool {
+        self.test_ranges.iter().any(|&(a, b)| idx >= a && idx <= b)
+    }
+
+    fn allowed(&self, rule: &str, line: u32) -> bool {
+        self.allows.get(rule).is_some_and(|l| l.contains(&line))
+    }
+
+    /// Previous non-comment token before `idx`.
+    fn prev_sig(&self, idx: usize) -> Option<&Token> {
+        self.tokens[..idx].iter().rev().find(|t| !t.is_comment())
+    }
+
+    /// Next non-comment token after `idx` (with offset: 1 = immediately
+    /// following significant token).
+    fn next_sig(&self, idx: usize, nth: usize) -> Option<&Token> {
+        self.tokens[idx + 1..]
+            .iter()
+            .filter(|t| !t.is_comment())
+            .nth(nth - 1)
+    }
+
+    /// Runs every pass over this file.
+    pub fn check(&self, registry: &NameRegistry) -> Vec<Violation> {
+        let mut out = Vec::new();
+        for (line, message) in &self.directive_errors {
+            out.push(Violation {
+                file: self.path.clone(),
+                line: *line,
+                rule: "L000".to_string(),
+                message: message.clone(),
+                suggestion: None,
+            });
+        }
+        self.check_l001(&mut out);
+        self.check_l002(&mut out);
+        self.check_l003(registry, &mut out);
+        self.check_l004(&mut out);
+        out.sort_by(|a, b| a.line.cmp(&b.line).then_with(|| a.rule.cmp(&b.rule)));
+        out
+    }
+
+    fn push(
+        &self,
+        out: &mut Vec<Violation>,
+        rule: &str,
+        line: u32,
+        message: String,
+        suggestion: Option<String>,
+    ) {
+        if !self.allowed(rule, line) {
+            out.push(Violation {
+                file: self.path.clone(),
+                line,
+                rule: rule.to_string(),
+                message,
+                suggestion,
+            });
+        }
+    }
+
+    fn check_l001(&self, out: &mut Vec<Violation>) {
+        if self.class != FileClass::Lib {
+            return;
+        }
+        for (i, t) in self.tokens.iter().enumerate() {
+            if t.kind != TokenKind::Ident || self.in_test(i) {
+                continue;
+            }
+            match t.text.as_str() {
+                "unwrap" | "expect" => {
+                    let after_dot = self.prev_sig(i).is_some_and(|p| p.text == ".");
+                    let called = self.next_sig(i, 1).is_some_and(|n| n.text == "(");
+                    if after_dot && called {
+                        self.push(
+                            out,
+                            "L001",
+                            t.line,
+                            format!(
+                                ".{}() can panic; propagate a Result or add `// lint: allow(L001) reason`",
+                                t.text
+                            ),
+                            None,
+                        );
+                    }
+                }
+                "panic" | "unreachable" | "todo" | "unimplemented"
+                    if self.next_sig(i, 1).is_some_and(|n| n.text == "!") =>
+                {
+                    self.push(
+                        out,
+                        "L001",
+                        t.line,
+                        format!(
+                            "{}! in library code; return a typed error or add `// lint: allow(L001) reason`",
+                            t.text
+                        ),
+                        None,
+                    );
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn check_l002(&self, out: &mut Vec<Violation>) {
+        if !self.hot_path || self.class != FileClass::Lib {
+            return;
+        }
+        for (i, t) in self.tokens.iter().enumerate() {
+            if t.kind != TokenKind::Ident || self.in_test(i) {
+                continue;
+            }
+            let flag = |what: &str| {
+                format!("{what} in a `lint: hot-path` module; move it off the hot path or add `// lint: allow(L002) reason`")
+            };
+            match t.text.as_str() {
+                "Mutex" | "RwLock" | "Condvar" | "Barrier" => {
+                    self.push(out, "L002", t.line, flag(&format!("lock primitive `{}`", t.text)), None);
+                }
+                "sleep" if self.next_sig(i, 1).is_some_and(|n| n.text == "(") => {
+                    self.push(out, "L002", t.line, flag("`sleep`"), None);
+                }
+                "format" if self.next_sig(i, 1).is_some_and(|n| n.text == "!") => {
+                    self.push(out, "L002", t.line, flag("allocating `format!`"), None);
+                }
+                "to_string" | "to_owned" => {
+                    let after_dot = self.prev_sig(i).is_some_and(|p| p.text == ".");
+                    let called = self.next_sig(i, 1).is_some_and(|n| n.text == "(");
+                    if after_dot && called {
+                        self.push(
+                            out,
+                            "L002",
+                            t.line,
+                            flag(&format!("allocating `.{}()`", t.text)),
+                            None,
+                        );
+                    }
+                }
+                "Box" | "String" => {
+                    // Box::new( / String::from(
+                    let path_call = self.next_sig(i, 1).is_some_and(|n| n.text == ":")
+                        && self.next_sig(i, 3).is_some_and(|n| {
+                            n.text == "new" || n.text == "from"
+                        })
+                        && self.next_sig(i, 4).is_some_and(|n| n.text == "(");
+                    if path_call {
+                        self.push(
+                            out,
+                            "L002",
+                            t.line,
+                            flag(&format!("allocating `{}::…`", t.text)),
+                            None,
+                        );
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn check_l003(&self, registry: &NameRegistry, out: &mut Vec<Violation>) {
+        // the obs crate defines the registry and its exporters; literals
+        // there are the single source of truth
+        if self.path.replace('\\', "/").contains("crates/obs/") {
+            return;
+        }
+        // token indices of string literals that sit in a metric-name
+        // position (argument region of counter/gauge/histogram/
+        // Span::enter/Span::enter_in/static_counter!)
+        let mut position_hits: HashSet<usize> = HashSet::new();
+        for (i, t) in self.tokens.iter().enumerate() {
+            if t.kind != TokenKind::Ident || self.in_test(i) {
+                continue;
+            }
+            let is_method = matches!(t.text.as_str(), "counter" | "gauge" | "histogram")
+                && self.prev_sig(i).is_some_and(|p| p.text == ".");
+            let is_span = matches!(t.text.as_str(), "enter" | "enter_in")
+                && self.prev_sig(i).is_some_and(|p| p.text == ":");
+            let is_macro = t.text == "static_counter"
+                && self.next_sig(i, 1).is_some_and(|n| n.text == "!");
+            if !(is_method || is_span || is_macro) {
+                continue;
+            }
+            // find the opening paren, then collect Str tokens to its close
+            let mut j = i + 1;
+            while j < self.tokens.len() {
+                let tok = &self.tokens[j];
+                if tok.is_comment() || tok.text == "!" {
+                    j += 1;
+                    continue;
+                }
+                break;
+            }
+            if self.tokens.get(j).map(|t| t.text.as_str()) != Some("(") {
+                continue;
+            }
+            let mut depth = 0i32;
+            for (k, tok) in self.tokens.iter().enumerate().skip(j) {
+                match (tok.kind, tok.text.as_str()) {
+                    (TokenKind::Punct, "(") => depth += 1,
+                    (TokenKind::Punct, ")") => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    (TokenKind::Str | TokenKind::RawStr, _) => {
+                        position_hits.insert(k);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        for (i, t) in self.tokens.iter().enumerate() {
+            if !matches!(t.kind, TokenKind::Str | TokenKind::RawStr) || self.in_test(i) {
+                continue;
+            }
+            let Some(value) = t.str_value() else { continue };
+            if let Some(ident) = registry.get(&value) {
+                self.push(
+                    out,
+                    "L003",
+                    t.line,
+                    format!("metric name literal \"{value}\"; use emblookup_obs::names::{ident}"),
+                    Some(ident.clone()),
+                );
+            } else if position_hits.contains(&i) {
+                self.push(
+                    out,
+                    "L003",
+                    t.line,
+                    format!(
+                        "unregistered metric/span name literal \"{value}\"; declare it in emblookup_obs::names and use the constant"
+                    ),
+                    None,
+                );
+            }
+        }
+    }
+
+    fn check_l004(&self, out: &mut Vec<Violation>) {
+        for t in &self.tokens {
+            if !t.is_comment() {
+                continue;
+            }
+            // uppercase markers only: `todo!` the macro is L001's business
+            let text = &t.text;
+            let marker = ["TODO", "FIXME"].iter().find(|m| {
+                text.match_indices(*m)
+                    .any(|(pos, _)| {
+                        let before_ok = pos == 0
+                            || !text.as_bytes()[pos - 1].is_ascii_alphanumeric();
+                        let end = pos + m.len();
+                        let after_ok = end >= text.len()
+                            || !text.as_bytes()[end].is_ascii_alphanumeric();
+                        before_ok && after_ok
+                    })
+            });
+            let Some(marker) = marker else { continue };
+            let has_ref = t.text.contains("://")
+                || t
+                    .text
+                    .char_indices()
+                    .any(|(pos, c)| {
+                        c == '#'
+                            && t.text[pos + 1..]
+                                .chars()
+                                .next()
+                                .is_some_and(|d| d.is_ascii_digit())
+                    });
+            if !has_ref {
+                self.push(
+                    out,
+                    "L004",
+                    t.line,
+                    format!("{marker} without an issue reference (`#123` or a URL)"),
+                    None,
+                );
+            }
+        }
+    }
+}
+
+/// Finds token-index ranges covered by `#[cfg(test)]` / `#[test]`
+/// annotated items (the whole following item, brace-matched).
+fn find_test_ranges(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let sig: Vec<usize> = tokens
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| !t.is_comment())
+        .map(|(i, _)| i)
+        .collect();
+    let mut ranges = Vec::new();
+    let mut s = 0usize;
+    while s < sig.len() {
+        let i = sig[s];
+        if tokens[i].text != "#" || sig.get(s + 1).map(|&j| tokens[j].text.as_str()) != Some("[") {
+            s += 1;
+            continue;
+        }
+        // collect the attribute's tokens to the matching ]
+        let mut depth = 0i32;
+        let mut e = s + 1;
+        let mut attr_idents: Vec<&str> = Vec::new();
+        while e < sig.len() {
+            let t = &tokens[sig[e]];
+            match t.text.as_str() {
+                "[" => depth += 1,
+                "]" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {
+                    if t.kind == TokenKind::Ident {
+                        attr_idents.push(&t.text);
+                    }
+                }
+            }
+            e += 1;
+        }
+        let is_test_attr = attr_idents.contains(&"test") && !attr_idents.contains(&"not");
+        if !is_test_attr {
+            s = e + 1;
+            continue;
+        }
+        // skip any further attributes, then span the item
+        let mut p = e + 1;
+        while p + 1 < sig.len()
+            && tokens[sig[p]].text == "#"
+            && tokens[sig[p + 1]].text == "["
+        {
+            let mut d = 0i32;
+            let mut q = p + 1;
+            while q < sig.len() {
+                match tokens[sig[q]].text.as_str() {
+                    "[" => d += 1,
+                    "]" => {
+                        d -= 1;
+                        if d == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                q += 1;
+            }
+            p = q + 1;
+        }
+        // find the item body: first `{` at depth 0 (or a terminating `;`)
+        let mut brace = 0i32;
+        let mut q = p;
+        let mut end = None;
+        while q < sig.len() {
+            match tokens[sig[q]].text.as_str() {
+                "{" => {
+                    brace += 1;
+                }
+                "}" => {
+                    brace -= 1;
+                    if brace == 0 {
+                        end = Some(q);
+                        break;
+                    }
+                }
+                ";" if brace == 0 => {
+                    end = Some(q);
+                    break;
+                }
+                _ => {}
+            }
+            q += 1;
+        }
+        match end {
+            Some(endq) => {
+                ranges.push((i, sig[endq]));
+                s = endq + 1;
+            }
+            None => {
+                // unterminated item: everything to EOF is test code
+                ranges.push((i, tokens.len().saturating_sub(1)));
+                break;
+            }
+        }
+    }
+    ranges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(path: &str, src: &str) -> Vec<Violation> {
+        SourceFile::parse(path, src).check(&obs_name_registry())
+    }
+
+    #[test]
+    fn cfg_test_module_is_exempt_from_l001() {
+        let src = r#"
+            pub fn lib() -> u32 { 1 }
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() { Some(1).unwrap(); panic!("fine in tests"); }
+            }
+        "#;
+        assert!(check("crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn cfg_not_test_is_still_linted() {
+        let src = r#"
+            #[cfg(not(test))]
+            pub fn lib() { Some(1).unwrap(); }
+        "#;
+        let v = check("crates/x/src/lib.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "L001");
+    }
+
+    #[test]
+    fn bin_files_skip_l001() {
+        let src = "fn main() { std::env::args().next().unwrap(); }";
+        assert!(check("src/bin/cli.rs", src).is_empty());
+        assert!(check("crates/x/src/main.rs", src).is_empty());
+    }
+}

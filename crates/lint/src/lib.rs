@@ -1,0 +1,26 @@
+//! # emblookup-lint
+//!
+//! In-tree static analysis for the EmbLookup workspace. A minimal Rust
+//! lexer ([`lexer`]) feeds four repo-specific passes ([`engine`]):
+//! panic-freedom in library code (L001), lock/allocation bans in
+//! `// lint: hot-path` modules (L002), metric-name provenance from
+//! `emblookup_obs::names` (L003) and task-marker hygiene (L004). The
+//! `emblookup-lint` binary walks `crates/*/src` and `src/` and is wired
+//! into `scripts/ci.sh` as a hard gate.
+//!
+//! See CONTRIBUTING.md ("Static analysis") for the rule catalog and the
+//! `// lint: allow(Lxxx) reason` escape-hatch policy.
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod lexer;
+pub mod walk;
+
+pub use engine::{classify, obs_name_registry, FileClass, NameRegistry, SourceFile, Violation};
+
+/// Lints a single in-memory source file against the obs name registry —
+/// the entry point the fixture tests use.
+pub fn lint_source(path: &str, src: &str) -> Vec<Violation> {
+    SourceFile::parse(path, src).check(&obs_name_registry())
+}

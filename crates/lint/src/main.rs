@@ -1,0 +1,149 @@
+//! `emblookup-lint` CLI: walks the workspace, runs every pass and reports
+//! violations. Exit code 0 = clean, 1 = violations, 2 = usage/IO error.
+//!
+//! ```text
+//! emblookup-lint [--root DIR] [--format text|json] [--fix-metric-names]
+//! ```
+//!
+//! `--fix-metric-names` additionally prints a dry-run plan mapping each
+//! metric-name literal onto its `emblookup_obs::names` constant; no files
+//! are modified.
+
+use emblookup_lint::{engine::SourceFile, obs_name_registry, walk, Violation};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Options {
+    root: Option<PathBuf>,
+    json: bool,
+    fix_metric_names: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options { root: None, json: false, fix_metric_names: false };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                let v = args.next().ok_or("--root requires a directory")?;
+                opts.root = Some(PathBuf::from(v));
+            }
+            "--format" => match args.next().as_deref() {
+                Some("json") => opts.json = true,
+                Some("text") => opts.json = false,
+                other => return Err(format!("--format expects text|json, got {other:?}")),
+            },
+            "--fix-metric-names" => opts.fix_metric_names = true,
+            "--help" | "-h" => {
+                println!(
+                    "emblookup-lint [--root DIR] [--format text|json] [--fix-metric-names]\n\
+                     Repo-specific lints: L001 panic-freedom, L002 hot-path, L003 metric names, L004 TODO hygiene."
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn render_json(violations: &[Violation], files_checked: usize) -> String {
+    let mut out = String::from("{\"violations\":[");
+    for (i, v) in violations.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"file\":\"{}\",\"line\":{},\"rule\":\"{}\",\"message\":\"{}\"",
+            json_escape(&v.file),
+            v.line,
+            json_escape(&v.rule),
+            json_escape(&v.message)
+        ));
+        if let Some(s) = &v.suggestion {
+            out.push_str(&format!(",\"suggestion\":\"{}\"", json_escape(s)));
+        }
+        out.push('}');
+    }
+    out.push_str(&format!("],\"files_checked\":{files_checked}}}"));
+    out
+}
+
+fn run() -> Result<ExitCode, String> {
+    let opts = parse_args()?;
+    let cwd = std::env::current_dir().map_err(|e| format!("cwd: {e}"))?;
+    let root = match opts.root {
+        Some(r) => r,
+        None => walk::find_root(&cwd)
+            .ok_or("no workspace root found (run inside the repo or pass --root)")?,
+    };
+    let files = walk::lintable_files(&root).map_err(|e| format!("walking {}: {e}", root.display()))?;
+    let registry = obs_name_registry();
+
+    let mut violations: Vec<Violation> = Vec::new();
+    for rel in &files {
+        let display = rel.to_string_lossy().replace('\\', "/");
+        let src = std::fs::read_to_string(root.join(rel))
+            .map_err(|e| format!("reading {display}: {e}"))?;
+        violations.extend(SourceFile::parse(&display, &src).check(&registry));
+    }
+    violations.sort_by(|a, b| {
+        a.file
+            .cmp(&b.file)
+            .then(a.line.cmp(&b.line))
+            .then_with(|| a.rule.cmp(&b.rule))
+    });
+
+    if opts.json {
+        println!("{}", render_json(&violations, files.len()));
+    } else {
+        for v in &violations {
+            println!("{}:{}: {}: {}", v.file, v.line, v.rule, v.message);
+        }
+        println!(
+            "emblookup-lint: {} files checked, {} violation{}",
+            files.len(),
+            violations.len(),
+            if violations.len() == 1 { "" } else { "s" }
+        );
+    }
+
+    if opts.fix_metric_names {
+        let fixable: Vec<&Violation> =
+            violations.iter().filter(|v| v.suggestion.is_some()).collect();
+        println!("--fix-metric-names (dry run): {} literal(s) map onto constants", fixable.len());
+        for v in fixable {
+            if let Some(s) = &v.suggestion {
+                println!("  {}:{}: replace literal with emblookup_obs::names::{s}", v.file, v.line);
+            }
+        }
+    }
+
+    Ok(if violations.is_empty() { ExitCode::SUCCESS } else { ExitCode::from(1) })
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("emblookup-lint: error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! Fixture tests: one violating snippet per rule, plus the suppression
+//! and misuse paths of the `// lint: allow(Lxxx) reason` escape hatch.
+//! Each fixture is linted in memory through [`emblookup_lint::lint_source`]
+//! under a realistic library path so file classification applies.
+
+use emblookup_lint::lint_source;
+
+const LIB: &str = "crates/demo/src/lib.rs";
+
+fn rules_at(path: &str, src: &str) -> Vec<(String, u32)> {
+    lint_source(path, src)
+        .into_iter()
+        .map(|v| (v.rule, v.line))
+        .collect()
+}
+
+// ----------------------------------------------------------------- L001
+
+#[test]
+fn l001_unwrap_in_library_code_fires() {
+    let src = "pub fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n";
+    assert_eq!(rules_at(LIB, src), vec![("L001".to_string(), 2)]);
+}
+
+#[test]
+fn l001_expect_panic_unreachable_fire() {
+    let src = "pub fn f(x: Option<u32>) -> u32 {\n    if x.is_none() { panic!(\"no\") }\n    x.expect(\"some\")\n}\npub fn g() { unreachable!() }\n";
+    let got = rules_at(LIB, src);
+    assert_eq!(
+        got,
+        vec![
+            ("L001".to_string(), 2),
+            ("L001".to_string(), 3),
+            ("L001".to_string(), 5)
+        ]
+    );
+}
+
+#[test]
+fn l001_allow_with_reason_suppresses() {
+    let src = "pub fn f(x: Option<u32>) -> u32 {\n    // lint: allow(L001) invariant: caller checked is_some\n    x.unwrap()\n}\n";
+    assert_eq!(rules_at(LIB, src), vec![]);
+}
+
+#[test]
+fn l001_allow_without_reason_is_an_error() {
+    let src = "pub fn f(x: Option<u32>) -> u32 {\n    // lint: allow(L001)\n    x.unwrap()\n}\n";
+    let got = rules_at(LIB, src);
+    // the bare allow is rejected (L000) and therefore does NOT suppress
+    assert!(got.contains(&("L000".to_string(), 2)), "got {got:?}");
+    assert!(got.contains(&("L001".to_string(), 3)), "got {got:?}");
+}
+
+#[test]
+fn l001_test_code_is_exempt() {
+    let src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { Some(1).unwrap(); }\n}\n";
+    assert_eq!(rules_at(LIB, src), vec![]);
+}
+
+#[test]
+fn l001_binaries_are_exempt() {
+    let src = "fn main() { std::env::args().next().unwrap(); }\n";
+    assert_eq!(rules_at("crates/demo/src/main.rs", src), vec![]);
+}
+
+// ----------------------------------------------------------------- L002
+
+#[test]
+fn l002_lock_in_hot_path_module_fires() {
+    let src = "// lint: hot-path\nuse std::sync::Mutex;\npub struct S { m: Mutex<u32> }\n";
+    let got = rules_at(LIB, src);
+    assert!(
+        got.iter().any(|(r, _)| r == "L002"),
+        "expected L002, got {got:?}"
+    );
+}
+
+#[test]
+fn l002_allocation_in_hot_path_module_fires() {
+    let src = "// lint: hot-path\npub fn f(n: u32) -> String {\n    format!(\"q{n}\")\n}\n";
+    assert_eq!(rules_at(LIB, src), vec![("L002".to_string(), 3)]);
+}
+
+#[test]
+fn l002_same_code_without_hot_path_is_clean() {
+    let src = "pub fn f(n: u32) -> String {\n    format!(\"q{n}\")\n}\n";
+    assert_eq!(rules_at(LIB, src), vec![]);
+}
+
+#[test]
+fn l002_allow_with_reason_suppresses() {
+    let src = "// lint: hot-path\npub fn f(n: u32) -> String {\n    // lint: allow(L002) error path only, never taken per lookup\n    format!(\"q{n}\")\n}\n";
+    assert_eq!(rules_at(LIB, src), vec![]);
+}
+
+// ----------------------------------------------------------------- L003
+
+#[test]
+fn l003_raw_literal_of_registered_name_fires_with_suggestion() {
+    let src = "pub fn f() {\n    emblookup_obs::global().histogram(\"lookup.latency\");\n}\n";
+    let vs = lint_source(LIB, src);
+    assert_eq!(vs.len(), 1, "got {vs:?}");
+    assert_eq!(vs[0].rule, "L003");
+    assert_eq!(vs[0].line, 2);
+    let sug = vs[0].suggestion.as_deref().unwrap_or("");
+    assert!(sug.contains("LOOKUP_LATENCY"), "suggestion was {sug:?}");
+}
+
+#[test]
+fn l003_unregistered_name_in_metric_position_fires() {
+    let src = "pub fn f() {\n    emblookup_obs::global().counter(\"my.adhoc.metric\");\n}\n";
+    let got = rules_at(LIB, src);
+    assert_eq!(got, vec![("L003".to_string(), 2)]);
+}
+
+#[test]
+fn l003_names_constant_usage_is_clean() {
+    let src = "use emblookup_obs::names;\npub fn f() {\n    emblookup_obs::global().counter(names::TRAIN_EPOCHS);\n}\n";
+    assert_eq!(rules_at(LIB, src), vec![]);
+}
+
+#[test]
+fn l003_obs_crate_is_exempt() {
+    let src = "pub fn f() {\n    emblookup_obs::global().counter(\"my.adhoc.metric\");\n}\n";
+    assert_eq!(rules_at("crates/obs/src/registry.rs", src), vec![]);
+}
+
+// ----------------------------------------------------------------- L004
+
+#[test]
+fn l004_bare_todo_fires_even_in_binaries() {
+    let src = "// TODO tighten this bound\nfn main() {}\n";
+    assert_eq!(
+        rules_at("crates/demo/src/main.rs", src),
+        vec![("L004".to_string(), 1)]
+    );
+}
+
+#[test]
+fn l004_todo_with_issue_reference_is_clean() {
+    let src = "// TODO(#42): tighten this bound\npub fn f() {}\n// FIXME https://github.com/x/y/issues/7 — precision loss\n";
+    assert_eq!(rules_at(LIB, src), vec![]);
+}
+
+// ------------------------------------------------- lexer adversaries
+
+#[test]
+fn banned_tokens_inside_strings_and_comments_do_not_fire() {
+    let src = concat!(
+        "// .unwrap() discussed in a comment is fine\n",
+        "/* panic!(\"in a block comment\") */\n",
+        "pub fn f() -> &'static str {\n",
+        "    \"calls .unwrap() and panic!()\"\n",
+        "}\n",
+        "pub fn g() -> &'static str {\n",
+        "    r#\"raw with \".unwrap()\" inside\"#\n",
+        "}\n",
+    );
+    assert_eq!(rules_at(LIB, src), vec![]);
+}
+
+#[test]
+fn metric_literal_in_raw_string_still_detected() {
+    // L003's drift check is lexical over string tokens, raw or not
+    let src = "pub fn f() {\n    emblookup_obs::global().counter(r\"lookup.latency\");\n}\n";
+    let got = rules_at(LIB, src);
+    assert_eq!(got, vec![("L003".to_string(), 2)]);
+}
+
+#[test]
+fn lifetimes_and_char_literals_do_not_confuse_the_lexer() {
+    let src = "pub fn f<'a>(x: &'a [char]) -> bool {\n    x.first() == Some(&'\\'')\n}\n";
+    assert_eq!(rules_at(LIB, src), vec![]);
+}
+
+#[test]
+fn unterminated_string_does_not_hang_or_panic() {
+    let src = "pub fn f() { let _ = \"never closed...\n";
+    let _ = lint_source(LIB, src);
+}
+
+#[test]
+fn cfg_not_test_is_still_linted() {
+    let src = "#[cfg(not(test))]\npub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+    assert_eq!(rules_at(LIB, src), vec![("L001".to_string(), 2)]);
+}

@@ -82,8 +82,8 @@ impl Histogram {
     pub fn new() -> Self {
         // `AtomicU64` is not Copy; build the array through a Vec once.
         let v: Vec<AtomicU64> = (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect();
-        let buckets: Box<[AtomicU64; NUM_BUCKETS]> =
-            v.into_boxed_slice().try_into().expect("bucket count is fixed");
+        // lint: allow(L001) infallible: the Vec is built with exactly NUM_BUCKETS elements one line up
+        let buckets: Box<[AtomicU64; NUM_BUCKETS]> = v.into_boxed_slice().try_into().expect("bucket count is fixed");
         Histogram {
             buckets,
             count: AtomicU64::new(0),
@@ -105,6 +105,19 @@ impl Histogram {
     /// Records a [`std::time::Duration`] as nanoseconds (saturating).
     pub fn record_duration(&self, d: std::time::Duration) {
         self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Records the same value `n` times in O(1) — used to attribute a
+    /// batch's wall time across its queries without `n` loop iterations.
+    pub fn record_n(&self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.buckets[bucket_of(value)].fetch_add(n, Relaxed);
+        self.count.fetch_add(n, Relaxed);
+        self.sum.fetch_add(value.saturating_mul(n), Relaxed);
+        self.min.fetch_min(value, Relaxed);
+        self.max.fetch_max(value, Relaxed);
     }
 
     /// Number of recorded values.

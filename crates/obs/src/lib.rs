@@ -39,6 +39,7 @@
 
 pub mod export;
 pub mod fmt;
+pub mod names;
 mod hist;
 mod json;
 mod registry;

@@ -1,0 +1,136 @@
+//! The single registry of metric and span names used across the
+//! workspace.
+//!
+//! Every counter/gauge/histogram/span name that production code emits is
+//! declared here once; call sites refer to the constant, never to a raw
+//! string literal. `emblookup-lint` rule **L003** enforces this and
+//! cross-checks call sites against [`ALL`], so a dashboard watching
+//! `lookup.latency` can't silently drift from the code emitting it.
+//!
+//! Dynamically scoped families (`lookup.latency.<scope>`) go through the
+//! `*_scoped` helpers below so the prefix still comes from this module.
+
+macro_rules! names {
+    ($($(#[$doc:meta])* $ident:ident => $value:literal),* $(,)?) => {
+        $($(#[$doc])* pub const $ident: &str = $value;)*
+
+        /// `(constant identifier, metric name)` for every registered
+        /// name, in declaration order. The lint engine and the
+        /// uniqueness test below consume this table.
+        pub const ALL: &[(&str, &str)] = &[$((stringify!($ident), $value)),*];
+    };
+}
+
+names! {
+    /// Span/histogram timing the full train→index pipeline.
+    TRAIN_TOTAL => "train.total",
+    /// Span/histogram timing fastText pre-training.
+    TRAIN_FASTTEXT => "train.fasttext",
+    /// Span/histogram timing triplet mining.
+    TRAIN_MINING => "train.mining",
+    /// Span/histogram timing the two-phase triplet training loop.
+    TRAIN_TRIPLET => "train.triplet",
+    /// Histogram of per-epoch wall time.
+    TRAIN_EPOCH_DURATION => "train.epoch.duration",
+    /// Counter of completed training epochs.
+    TRAIN_EPOCHS => "train.epochs",
+    /// Counter of mined triplets.
+    MINING_TRIPLETS => "mining.triplets",
+    /// Span/histogram timing an entity-index build.
+    INDEX_BUILD => "index.build",
+    /// Gauge: entities in the current index.
+    INDEX_ENTITIES => "index.entities",
+    /// Gauge: approximate index size in bytes.
+    INDEX_NBYTES => "index.nbytes",
+    /// Histogram of single-query lookup latency (embed + ANN search).
+    LOOKUP_LATENCY => "lookup.latency",
+    /// Histogram of whole-batch bulk lookup wall time.
+    LOOKUP_BULK => "lookup.bulk",
+    /// Counter of queries served through the bulk path.
+    LOOKUP_BULK_QUERIES => "lookup.bulk.queries",
+    /// Histogram of per-query latency attributed inside a bulk batch
+    /// (batch wall time divided across its queries).
+    LOOKUP_LATENCY_BULK => "lookup.latency.bulk",
+    /// Counter of flat-scan searches.
+    ANN_FLAT_SEARCHES => "ann.flat.searches",
+    /// Counter of vectors visited by flat scans.
+    ANN_FLAT_VISITED => "ann.flat.visited_nodes",
+    /// Counter of HNSW searches.
+    ANN_HNSW_SEARCHES => "ann.hnsw.searches",
+    /// Counter of graph nodes visited by HNSW searches.
+    ANN_HNSW_VISITED => "ann.hnsw.visited_nodes",
+    /// Counter of IVF searches.
+    ANN_IVF_SEARCHES => "ann.ivf.searches",
+    /// Counter of vectors visited by IVF searches.
+    ANN_IVF_VISITED => "ann.ivf.visited_nodes",
+    /// Counter of PQ searches.
+    ANN_PQ_SEARCHES => "ann.pq.searches",
+    /// Counter of codes visited by PQ searches.
+    ANN_PQ_VISITED => "ann.pq.visited_nodes",
+    /// Counter of IVFPQ searches.
+    ANN_IVFPQ_SEARCHES => "ann.ivfpq.searches",
+    /// Counter of codes visited by IVFPQ searches.
+    ANN_IVFPQ_VISITED => "ann.ivfpq.visited_nodes",
+}
+
+/// Scoped single-query latency histogram name:
+/// `lookup.latency.<scope>` (e.g. `lookup.latency.el_nc`, or a baseline
+/// slug from the benchmark harness).
+pub fn lookup_latency_scoped(scope: &str) -> String {
+    format!("{LOOKUP_LATENCY}.{scope}")
+}
+
+/// Scoped per-query-in-batch latency histogram name:
+/// `lookup.latency.<scope>.bulk`.
+pub fn lookup_latency_bulk_scoped(scope: &str) -> String {
+    format!("{LOOKUP_LATENCY}.{scope}.bulk")
+}
+
+/// True when `name` is a registered constant value or an instance of a
+/// registered dynamic family (`lookup.latency.*`).
+pub fn is_registered(name: &str) -> bool {
+    ALL.iter().any(|&(_, v)| v == name)
+        || name
+            .strip_prefix(LOOKUP_LATENCY)
+            .is_some_and(|rest| rest.starts_with('.') && rest.len() > 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn values_and_idents_are_unique() {
+        let mut idents = HashSet::new();
+        let mut values = HashSet::new();
+        for &(ident, value) in ALL {
+            assert!(idents.insert(ident), "duplicate constant {ident}");
+            assert!(values.insert(value), "duplicate metric name {value}");
+        }
+    }
+
+    #[test]
+    fn values_are_dotted_lowercase() {
+        for &(_, value) in ALL {
+            assert!(
+                value
+                    .chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '.' || c == '_'),
+                "bad metric name {value}"
+            );
+            assert!(!value.starts_with('.') && !value.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn scoped_helpers_stay_in_family() {
+        assert_eq!(lookup_latency_scoped("el_nc"), "lookup.latency.el_nc");
+        assert_eq!(lookup_latency_bulk_scoped("el"), "lookup.latency.el.bulk");
+        assert!(is_registered("lookup.latency.el_nc"));
+        assert!(is_registered(LOOKUP_BULK));
+        assert!(is_registered(LOOKUP_LATENCY));
+        assert!(!is_registered("lookup.latency."));
+        assert!(!is_registered("lookup.unknown"));
+    }
+}

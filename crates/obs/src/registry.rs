@@ -7,7 +7,7 @@
 use crate::hist::{Histogram, HistogramSnapshot};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 
 /// Monotonically increasing counter.
 #[derive(Debug, Default)]
@@ -70,28 +70,34 @@ impl MetricsRegistry {
         Self::default()
     }
 
+    /// The map, recovered from poisoning — a panic elsewhere must not
+    /// take metrics registration down with it.
+    fn locked(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Get-or-create the counter `name`. Resolve once, then use the
     /// returned handle — it never touches the registry lock again.
     pub fn counter(&self, name: &str) -> Arc<Counter> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.locked();
         Arc::clone(inner.counters.entry(name.to_string()).or_default())
     }
 
     /// Get-or-create the gauge `name`.
     pub fn gauge(&self, name: &str) -> Arc<Gauge> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.locked();
         Arc::clone(inner.gauges.entry(name.to_string()).or_default())
     }
 
     /// Get-or-create the histogram `name`.
     pub fn histogram(&self, name: &str) -> Arc<Histogram> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.locked();
         Arc::clone(inner.histograms.entry(name.to_string()).or_default())
     }
 
     /// Point-in-time copy of every metric, sorted by name.
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let inner = self.inner.lock().unwrap();
+        let inner = self.locked();
         MetricsSnapshot {
             counters: inner
                 .counters
@@ -114,7 +120,7 @@ impl MetricsRegistry {
     /// Drops every registered metric. Existing handles keep working but
     /// are no longer reachable from the registry (used by tests).
     pub fn clear(&self) {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.locked();
         *inner = Inner::default();
     }
 }

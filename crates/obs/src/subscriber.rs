@@ -9,7 +9,7 @@ use std::fmt;
 use std::fs::File;
 use std::io::{BufWriter, Write};
 use std::path::Path;
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
 use std::time::{SystemTime, UNIX_EPOCH};
 
 /// What an [`Event`] represents.
@@ -128,18 +128,18 @@ static SUBSCRIBER: RwLock<Option<Arc<dyn Subscriber>>> = RwLock::new(None);
 
 /// Installs the global subscriber (replacing any previous one).
 pub fn set_subscriber(sub: Arc<dyn Subscriber>) {
-    *SUBSCRIBER.write().unwrap() = Some(sub);
+    *SUBSCRIBER.write().unwrap_or_else(PoisonError::into_inner) = Some(sub);
 }
 
 /// Removes the global subscriber.
 pub fn clear_subscriber() {
-    *SUBSCRIBER.write().unwrap() = None;
+    *SUBSCRIBER.write().unwrap_or_else(PoisonError::into_inner) = None;
 }
 
 /// Sends an event to the installed subscriber, if any.
 pub fn emit(event: &Event<'_>) {
     // Uncontended read lock; None is the common case and returns at once.
-    if let Some(sub) = SUBSCRIBER.read().unwrap().as_ref() {
+    if let Some(sub) = SUBSCRIBER.read().unwrap_or_else(PoisonError::into_inner).as_ref() {
         sub.on_event(event);
     }
 }
@@ -174,6 +174,7 @@ pub fn init_from_env() -> bool {
     match subs.len() {
         0 => false,
         1 => {
+            // lint: allow(L001) infallible: this branch only runs when len() == 1
             set_subscriber(subs.pop().expect("one subscriber"));
             true
         }
@@ -256,7 +257,7 @@ impl Subscriber for JsonLinesSubscriber {
             line.push('}');
         }
         line.push('}');
-        let mut out = self.out.lock().unwrap();
+        let mut out = self.out.lock().unwrap_or_else(PoisonError::into_inner);
         // per-line flush: the log must survive a crashed experiment
         let _ = writeln!(out, "{line}");
         let _ = out.flush();
@@ -290,14 +291,14 @@ impl CollectingSubscriber {
 
     /// All captured events, in order.
     pub fn events(&self) -> Vec<OwnedEvent> {
-        self.events.lock().unwrap().clone()
+        self.events.lock().unwrap_or_else(PoisonError::into_inner).clone()
     }
 
     /// Number of captured events matching `name` and `kind`.
     pub fn count(&self, name: &str, kind: EventKind) -> usize {
         self.events
             .lock()
-            .unwrap()
+            .unwrap_or_else(PoisonError::into_inner)
             .iter()
             .filter(|e| e.name == name && e.kind == kind)
             .count()
@@ -306,7 +307,7 @@ impl CollectingSubscriber {
 
 impl Subscriber for CollectingSubscriber {
     fn on_event(&self, event: &Event<'_>) {
-        self.events.lock().unwrap().push(OwnedEvent {
+        self.events.lock().unwrap_or_else(PoisonError::into_inner).push(OwnedEvent {
             name: event.name.to_string(),
             kind: event.kind,
             duration_ns: event.duration_ns,

@@ -23,7 +23,9 @@ pub fn cea_targets_to_csv(dataset: &Dataset) -> String {
     let mut out = String::new();
     for table in &dataset.tables {
         for (r, c, cell) in table.entity_cells() {
-            let _ = writeln!(out, "{},{},{},{}", table.id, r, c, cell.truth.unwrap().0);
+            if let Some(truth) = cell.truth {
+                let _ = writeln!(out, "{},{},{},{}", table.id, r, c, truth.0);
+            }
         }
     }
     out

@@ -137,8 +137,8 @@ pub fn run_entity_disambiguation(
             }
             let truths: Vec<_> = row
                 .iter()
-                .filter(|c| c.truth.is_some() && !c.missing)
-                .map(|c| c.truth.unwrap())
+                .filter(|c| !c.missing)
+                .filter_map(|c| c.truth)
                 .collect();
             let result = system.disambiguate(kg, &mentions, service, k);
             lookup_time += result.lookup_time;

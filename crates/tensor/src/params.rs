@@ -100,7 +100,7 @@ impl ParamStore {
             let end = *cur + 8;
             let slice = bytes.get(*cur..end).ok_or("truncated buffer")?;
             *cur = end;
-            Ok(u64::from_le_bytes(slice.try_into().unwrap()))
+            Ok(u64::from_le_bytes(slice.try_into().map_err(|_| "truncated buffer")?))
         };
         let count = read_u64(&mut cur)? as usize;
         if count != self.params.len() {
@@ -129,7 +129,7 @@ impl ParamStore {
                 let end = cur + 4;
                 let slice = bytes.get(cur..end).ok_or("truncated buffer")?;
                 cur = end;
-                data.push(f32::from_le_bytes(slice.try_into().unwrap()));
+                data.push(f32::from_le_bytes(slice.try_into().map_err(|_| "truncated buffer")?));
             }
             self.params[i] = Tensor::from_vec(&shape, data);
         }

@@ -86,7 +86,7 @@ impl NoiseInjector {
     /// non-trivial input. Empty and single-char inputs are returned
     /// unchanged when nothing sensible can be done.
     pub fn corrupt<R: Rng + ?Sized>(&self, s: &str, rng: &mut R) -> String {
-        let kind = *self.kinds.choose(rng).expect("kinds is non-empty");
+        let Some(&kind) = self.kinds.choose(rng) else { return s.to_string() };
         apply_noise(s, kind, rng)
     }
 

@@ -14,4 +14,9 @@ cargo test -q --offline
 echo "== cargo clippy -- -D warnings =="
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
+echo "== emblookup-lint (L001 panic-freedom, L002 hot-path, L003 metric names, L004 markers) =="
+# Hard gate: exits 1 with file:line diagnostics on any violation. The
+# --fix-metric-names dry run prints the literal→constant plan for the log.
+cargo run -q -p emblookup-lint --release --offline -- --fix-metric-names
+
 echo "ci.sh: all checks passed"

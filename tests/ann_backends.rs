@@ -85,7 +85,7 @@ fn lsh_candidates_find_near_duplicates() {
     use emblookup::ann::MinHashLsh;
     use emblookup::text::distance::qgrams;
 
-    let lsh = MinHashLsh::new(LshConfig { bands: 16, rows: 3, seed: 0 });
+    let mut lsh = MinHashLsh::new(LshConfig { bands: 16, rows: 3, seed: 0 });
     let names = ["product quantization", "product quantisation", "hnsw graph", "flat index"];
     for (i, n) in names.iter().enumerate() {
         let f: Vec<u64> = qgrams(n, 3).iter().map(|g| hash_feature(g)).collect();
