@@ -45,7 +45,7 @@ impl PartialOrd for Far {
 }
 impl Ord for Far {
     fn cmp(&self, other: &Self) -> Ordering {
-        self.0.partial_cmp(&other.0).unwrap_or(Ordering::Equal)
+        self.0.total_cmp(&other.0)
     }
 }
 
@@ -60,7 +60,7 @@ impl PartialOrd for Near {
 }
 impl Ord for Near {
     fn cmp(&self, other: &Self) -> Ordering {
-        other.0.partial_cmp(&self.0).unwrap_or(Ordering::Equal)
+        other.0.total_cmp(&self.0)
     }
 }
 
@@ -156,7 +156,7 @@ impl HnswIndex {
             .iter()
             .map(|&p| (sq_l2(&base, self.vectors.get(p as usize)), p))
             .collect();
-        scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(Ordering::Equal));
+        scored.sort_by(|a, b| a.0.total_cmp(&b.0));
         scored.truncate(cap);
         self.links[node as usize][layer] = scored.into_iter().map(|(_, p)| p).collect();
     }
@@ -229,7 +229,7 @@ impl HnswIndex {
             .into_iter()
             .map(|Far(d, n)| Neighbor { index: n as usize, dist: d })
             .collect();
-        out.sort_by(|a, b| a.dist.partial_cmp(&b.dist).unwrap_or(Ordering::Equal));
+        out.sort_by(|a, b| a.dist.total_cmp(&b.dist));
         (out, visited.len())
     }
 

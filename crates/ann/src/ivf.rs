@@ -98,7 +98,7 @@ impl IvfIndex {
             .enumerate()
             .map(|(c, cent)| (c, sq_l2(query, cent)))
             .collect();
-        order.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        order.sort_by(|a, b| a.1.total_cmp(&b.1));
 
         let mut tk = TopK::new(k);
         let mut visited = 0u64;

@@ -113,7 +113,7 @@ impl IvfPqIndex {
             .enumerate()
             .map(|(c, cent)| (c, sq_l2(query, cent)))
             .collect();
-        order.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        order.sort_by(|a, b| a.1.total_cmp(&b.1));
 
         let table = self.quantizer.distance_table(query);
         let m = self.quantizer.m();

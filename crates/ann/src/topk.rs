@@ -63,8 +63,7 @@ impl TopK {
 
     /// Consumes the collector, returning hits sorted by ascending distance.
     pub fn into_sorted(mut self) -> Vec<Neighbor> {
-        self.heap
-            .sort_by(|a, b| a.dist.partial_cmp(&b.dist).unwrap_or(std::cmp::Ordering::Equal));
+        self.heap.sort_by(|a, b| a.dist.total_cmp(&b.dist));
         self.heap
     }
 

@@ -75,11 +75,7 @@ pub fn rank_candidates(
     mut scored: Vec<(EntityId, f32)>,
     k: usize,
 ) -> Vec<emblookup_kg::Candidate> {
-    scored.sort_by(|a, b| {
-        b.1.partial_cmp(&a.1)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.0.cmp(&b.0))
-    });
+    scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
     let mut seen = std::collections::HashSet::new();
     let mut out = Vec::with_capacity(k);
     for (entity, score) in scored {

@@ -11,9 +11,9 @@ use emblookup_baselines::{
     LevenshteinService, LshService, MetaSearchService, QGramService, RemoteCostModel,
     RemoteService,
 };
-use emblookup_core::{Compression, EmbLookup, EmbLookupConfig};
+use emblookup_core::{Compression, EmbLookup, EmbLookupConfig, EncoderIndex};
 use emblookup_embed::{
-    BertMini, BertMiniConfig, Corpus, EncoderIndex, FastText, FastTextConfig, LstmEncoder,
+    BertMini, BertMiniConfig, Corpus, FastText, FastTextConfig, LstmEncoder,
     LstmEncoderConfig, Word2Vec, Word2VecConfig,
 };
 use emblookup_kg::{generate, KgFlavor, KnowledgeGraph, LookupService, SynthKg};

@@ -1,9 +1,13 @@
 //! A lookup service backed by an arbitrary [`StringEncoder`] — the harness
 //! of Table VII, which swaps the embedding algorithm (word2vec, fastText,
 //! BERT-mini, LSTM, EmbLookup) under an otherwise identical pipeline.
+//!
+//! Lives in `emblookup-core` (not `emblookup-embed`) because it composes
+//! an encoder with an ANN index: the layer DAG (lint rule L005) keeps
+//! `embed` below `ann`, and only `core` may see both.
 
-use crate::encoder::StringEncoder;
 use emblookup_ann::{FlatIndex, VectorSet};
+use emblookup_embed::StringEncoder;
 use emblookup_kg::{Candidate, EntityId, KnowledgeGraph, LookupService};
 
 /// Flat nearest-neighbour index over entity-label embeddings produced by
@@ -64,8 +68,7 @@ impl<E: StringEncoder + Sync> LookupService for EncoderIndex<E> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::corpus::Corpus;
-    use crate::fasttext::{FastText, FastTextConfig};
+    use emblookup_embed::{Corpus, FastText, FastTextConfig};
     use emblookup_kg::{generate, SynthKgConfig};
 
     #[test]

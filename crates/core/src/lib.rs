@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod encoder_index;
 pub mod eval;
 pub mod index;
 pub mod mining;
@@ -30,6 +31,7 @@ pub mod service;
 pub mod trainer;
 
 pub use config::{Compression, EmbLookupConfig, LossKind};
+pub use encoder_index::EncoderIndex;
 pub use eval::Workload;
 pub use index::EntityIndex;
 pub use mining::{mine_triplets, MiningConfig, Triplet, TripletFamily};

@@ -11,7 +11,6 @@
 pub mod bert_mini;
 pub mod corpus;
 pub mod encoder;
-pub mod encoder_index;
 pub mod fasttext;
 pub mod gru_encoder;
 pub mod lstm_encoder;
@@ -22,7 +21,6 @@ pub mod word2vec;
 pub use bert_mini::{BertMini, BertMiniConfig};
 pub use corpus::Corpus;
 pub use encoder::StringEncoder;
-pub use encoder_index::EncoderIndex;
 pub use fasttext::{FastText, FastTextConfig};
 pub use gru_encoder::{GruEncoder, GruEncoderConfig};
 pub use lstm_encoder::{LstmEncoder, LstmEncoderConfig};

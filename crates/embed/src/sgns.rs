@@ -36,7 +36,7 @@ impl NegativeSampler {
         let r = rng.gen_range(0.0..total);
         match self
             .cdf
-            .binary_search_by(|x| x.partial_cmp(&r).unwrap_or(std::cmp::Ordering::Less))
+            .binary_search_by(|x| x.total_cmp(&r))
         {
             Ok(i) | Err(i) => i.min(self.cdf.len() - 1) as u32,
         }

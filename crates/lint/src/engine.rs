@@ -7,7 +7,12 @@
 //! | L002 | no locks / `sleep` / allocating formatting in `// lint: hot-path` modules |
 //! | L003 | metric & span names come from `emblookup_obs::names`, never string literals |
 //! | L004 | task-marker comments carry an issue reference (`#123` or a URL) |
+//! | L007 | float discipline: no `==`/`!=` against float operands, no panicking or inconsistent `partial_cmp` comparators (use `total_cmp`) |
 //! | L000 | the lint directives themselves are well-formed (allow needs a reason) |
+//!
+//! The workspace-level rules L005 (crate layering) and L006 (public-API
+//! drift against `API.lock`) live in [`crate::workspace`]; their allow
+//! directives share this file's machinery.
 //!
 //! A site is exempted with `// lint: allow(Lxxx) reason`, which covers the
 //! directive's own line and the next source line; the reason is mandatory.
@@ -15,8 +20,10 @@
 use crate::lexer::{lex, Token, TokenKind};
 use std::collections::{BTreeMap, HashMap, HashSet};
 
-/// All enforceable rules, in catalog order.
-pub const RULES: &[&str] = &["L001", "L002", "L003", "L004"];
+/// All enforceable rules, in catalog order. L005 (layering) and L006
+/// (API drift) are workspace-level passes run by [`crate::workspace`];
+/// the rest are per-file passes on [`SourceFile`].
+pub const RULES: &[&str] = &["L001", "L002", "L003", "L004", "L005", "L006", "L007"];
 
 /// One diagnostic produced by a lint pass.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -158,11 +165,22 @@ impl SourceFile {
         }
     }
 
-    fn in_test(&self, idx: usize) -> bool {
+    /// True when the token at `idx` sits inside a `#[cfg(test)]` /
+    /// `#[test]` item.
+    pub(crate) fn in_test(&self, idx: usize) -> bool {
         self.test_ranges.iter().any(|&(a, b)| idx >= a && idx <= b)
     }
 
-    fn allowed(&self, rule: &str, line: u32) -> bool {
+    /// The file's token stream (comments included) — shared with the
+    /// item parser and the workspace passes.
+    pub(crate) fn tokens(&self) -> &[Token] {
+        &self.tokens
+    }
+
+    /// True when rule `rule` is suppressed on `line` by an allow
+    /// directive. The workspace-level passes (L005/L006) consult this
+    /// before reporting, mirroring [`SourceFile::push`].
+    pub(crate) fn allowed(&self, rule: &str, line: u32) -> bool {
         self.allows.get(rule).is_some_and(|l| l.contains(&line))
     }
 
@@ -196,6 +214,7 @@ impl SourceFile {
         self.check_l002(&mut out);
         self.check_l003(registry, &mut out);
         self.check_l004(&mut out);
+        self.check_l007(&mut out);
         out.sort_by(|a, b| a.line.cmp(&b.line).then_with(|| a.rule.cmp(&b.rule)));
         out
     }
@@ -396,6 +415,177 @@ impl SourceFile {
                     None,
                 );
             }
+        }
+    }
+
+    /// L007 — float discipline. Three NaN hazards, all lexical
+    /// heuristics (no type inference):
+    ///
+    /// 1. `==` / `!=` where an operand is visibly a float (float
+    ///    literal, `NAN`/`INFINITY` constant, or an `as f32`/`as f64`
+    ///    cast). NaN makes float equality partial; top-k ordering built
+    ///    on it silently corrupts.
+    /// 2. `.partial_cmp(…)` chained into `.unwrap()` / `.expect(…)` —
+    ///    panics the first time a NaN distance appears.
+    /// 3. Any `.partial_cmp(…)` inside a comparator passed to
+    ///    `sort_by` / `sort_unstable_by` / `max_by` / `min_by` /
+    ///    `binary_search_by` — `unwrap_or(Equal)` and friends return
+    ///    inconsistent orderings on NaN (modern `sort_by` may even
+    ///    panic on a non-total order). `f32::total_cmp` is the fix.
+    fn check_l007(&self, out: &mut Vec<Violation>) {
+        if self.class != FileClass::Lib {
+            return;
+        }
+        let sig: Vec<usize> = (0..self.tokens.len())
+            .filter(|&i| !self.tokens[i].is_comment())
+            .collect();
+        let tok = |s: usize| sig.get(s).map(|&j| &self.tokens[j]);
+        let txt = |s: usize| tok(s).map(|t| t.text.as_str()).unwrap_or("");
+
+        let float_literal = |t: &Token| match t.kind {
+            TokenKind::Number => {
+                let s = &t.text;
+                s.contains('.')
+                    || s.ends_with("f32")
+                    || s.ends_with("f64")
+                    || (!s.starts_with("0x")
+                        && !s.starts_with("0X")
+                        && !s.starts_with("0b")
+                        && !s.starts_with("0o")
+                        && s.contains(['e', 'E']))
+            }
+            TokenKind::Ident => matches!(t.text.as_str(), "NAN" | "INFINITY" | "NEG_INFINITY"),
+            _ => false,
+        };
+
+        // 1. float equality
+        for s in 0..sig.len() {
+            let (op, lhs, rhs) = if txt(s) == "=" && txt(s + 1) == "=" && txt(s + 2) != "=" {
+                ("==", s.checked_sub(1), s + 2)
+            } else if txt(s) == "!" && txt(s + 1) == "=" {
+                ("!=", s.checked_sub(1), s + 2)
+            } else {
+                continue;
+            };
+            let Some(op_tok) = tok(s) else { continue };
+            if sig.get(s).is_some_and(|&j| self.in_test(j)) {
+                continue;
+            }
+            let lhs_float = lhs.is_some_and(|l| {
+                tok(l).is_some_and(&float_literal)
+                    || (matches!(txt(l), "f32" | "f64") && l >= 1 && txt(l - 1) == "as")
+            });
+            let rhs_float = tok(rhs).is_some_and(&float_literal);
+            if lhs_float || rhs_float {
+                self.push(
+                    out,
+                    "L007",
+                    op_tok.line,
+                    format!(
+                        "float `{op}` comparison is NaN-hazardous; compare with a tolerance, \
+                         use total_cmp, or add `// lint: allow(L007) reason`"
+                    ),
+                    None,
+                );
+            }
+        }
+
+        // comparator argument regions (significant-index ranges) of the
+        // NaN-sensitive order-taking methods, for passes 2 and 3
+        let order_takers =
+            ["sort_by", "sort_unstable_by", "max_by", "min_by", "binary_search_by"];
+        let mut comparator_sites: Vec<(usize, &str)> = Vec::new(); // (sig idx of partial_cmp, method)
+        let mut in_comparator: HashSet<usize> = HashSet::new();
+        for s in 0..sig.len() {
+            let Some(t) = tok(s) else { continue };
+            if t.kind != TokenKind::Ident
+                || !order_takers.contains(&t.text.as_str())
+                || txt(s.wrapping_sub(1)) != "."
+                || txt(s + 1) != "("
+            {
+                continue;
+            }
+            let method = t.text.as_str();
+            let mut depth = 0i32;
+            let mut k = s + 1;
+            while k < sig.len() {
+                match txt(k) {
+                    "(" => depth += 1,
+                    ")" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    "partial_cmp" if txt(k - 1) == "." => {
+                        comparator_sites.push((k, method));
+                        in_comparator.insert(k);
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+        }
+
+        // 2. panicking partial_cmp chains (outside comparator regions,
+        //    which pass 3 reports with the sharper message)
+        for s in 0..sig.len() {
+            let Some(t) = tok(s) else { continue };
+            if t.kind != TokenKind::Ident
+                || t.text != "partial_cmp"
+                || txt(s.wrapping_sub(1)) != "."
+                || txt(s + 1) != "("
+                || in_comparator.contains(&s)
+                || self.in_test(sig[s])
+            {
+                continue;
+            }
+            let mut depth = 0i32;
+            let mut k = s + 1;
+            while k < sig.len() {
+                match txt(k) {
+                    "(" => depth += 1,
+                    ")" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+            if txt(k + 1) == "." && matches!(txt(k + 2), "unwrap" | "expect") {
+                self.push(
+                    out,
+                    "L007",
+                    t.line,
+                    format!(
+                        "`.partial_cmp(..).{}()` panics on NaN; use f32::total_cmp / \
+                         f64::total_cmp or handle None",
+                        txt(k + 2)
+                    ),
+                    None,
+                );
+            }
+        }
+
+        // 3. partial_cmp-based comparators
+        for (s, method) in comparator_sites {
+            let Some(t) = tok(s) else { continue };
+            if self.in_test(sig[s]) {
+                continue;
+            }
+            self.push(
+                out,
+                "L007",
+                t.line,
+                format!(
+                    "partial_cmp-based comparator passed to `{method}` can order \
+                     inconsistently on NaN; use f32::total_cmp / f64::total_cmp"
+                ),
+                None,
+            );
         }
     }
 

@@ -1,0 +1,141 @@
+//! The `--fix-metric-names --write` rewriter.
+//!
+//! Replaces each metric-name string literal that L003 maps onto a
+//! registered `emblookup_obs::names` constant with the constant itself.
+//! The rewrite is driven by the same pass that reports the violations,
+//! so it inherits every exemption (test regions, `// lint: allow(L003)`
+//! directives, the obs crate itself) and is idempotent: once rewritten,
+//! the file produces no fixable L003 violations and [`rewrite_source`]
+//! returns `None`.
+//!
+//! Only literals with a registered mapping are touched; unregistered
+//! metric-position literals still need a human to declare the name in
+//! `emblookup_obs::names` first.
+
+use crate::engine::{NameRegistry, SourceFile};
+use crate::lexer::TokenKind;
+use std::collections::HashSet;
+
+/// Rewrites one file's source. Returns `None` when nothing changes.
+pub fn rewrite_source(path: &str, src: &str, registry: &NameRegistry) -> Option<String> {
+    let sf = SourceFile::parse(path, src);
+    let flagged: HashSet<u32> = sf
+        .check(registry)
+        .into_iter()
+        .filter(|v| v.rule == "L003" && v.suggestion.is_some())
+        .map(|v| v.line)
+        .collect();
+    if flagged.is_empty() {
+        return None;
+    }
+    let qualify = !has_names_import(&sf);
+    // (char offset, char length, replacement), ascending by offset
+    let mut edits: Vec<(usize, usize, String)> = Vec::new();
+    for (i, t) in sf.tokens().iter().enumerate() {
+        if !matches!(t.kind, TokenKind::Str | TokenKind::RawStr)
+            || sf.in_test(i)
+            || !flagged.contains(&t.line)
+        {
+            continue;
+        }
+        let Some(value) = t.str_value() else { continue };
+        let Some(ident) = registry.get(&value) else { continue };
+        let repl = if qualify {
+            format!("emblookup_obs::names::{ident}")
+        } else {
+            format!("names::{ident}")
+        };
+        edits.push((t.offset, t.text.chars().count(), repl));
+    }
+    if edits.is_empty() {
+        return None;
+    }
+    let mut chars: Vec<char> = src.chars().collect();
+    for (offset, len, repl) in edits.into_iter().rev() {
+        chars.splice(offset..offset + len, repl.chars());
+    }
+    Some(chars.into_iter().collect())
+}
+
+/// True when the file already imports `emblookup_obs::…::names`, so the
+/// short `names::CONST` form resolves.
+fn has_names_import(sf: &SourceFile) -> bool {
+    let tokens = sf.tokens();
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].kind == TokenKind::Ident && tokens[i].text == "use" {
+            let mut saw_obs = false;
+            let mut saw_names = false;
+            let mut j = i + 1;
+            while j < tokens.len() && tokens[j].text != ";" {
+                match tokens[j].text.as_str() {
+                    "emblookup_obs" => saw_obs = true,
+                    "names" => saw_names = true,
+                    _ => {}
+                }
+                j += 1;
+            }
+            if saw_obs && saw_names {
+                return true;
+            }
+            i = j;
+        }
+        i += 1;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::obs_name_registry;
+
+    #[test]
+    fn rewrites_registered_literal_fully_qualified() {
+        let src = "pub fn f(m: &emblookup_obs::Metrics) { m.counter(\"train.epochs\").inc(); }\n";
+        let out = rewrite_source("crates/x/src/lib.rs", src, &obs_name_registry())
+            .expect("should rewrite");
+        assert!(out.contains("m.counter(emblookup_obs::names::TRAIN_EPOCHS).inc()"), "{out}");
+        assert!(!out.contains("\"train.epochs\""));
+    }
+
+    #[test]
+    fn uses_short_form_when_names_is_imported() {
+        let src = "use emblookup_obs::names;\npub fn f(m: &emblookup_obs::Metrics) { m.counter(\"train.epochs\").inc(); }\n";
+        let out = rewrite_source("crates/x/src/lib.rs", src, &obs_name_registry())
+            .expect("should rewrite");
+        assert!(out.contains("m.counter(names::TRAIN_EPOCHS).inc()"), "{out}");
+    }
+
+    #[test]
+    fn rewrite_is_idempotent_and_relints_clean() {
+        let src = "pub fn f(m: &emblookup_obs::Metrics) { m.counter(\"train.epochs\").inc(); }\n";
+        let registry = obs_name_registry();
+        let once = rewrite_source("crates/x/src/lib.rs", src, &registry).expect("first pass");
+        assert!(
+            rewrite_source("crates/x/src/lib.rs", &once, &registry).is_none(),
+            "second pass must be a no-op"
+        );
+        let remaining = crate::lint_source("crates/x/src/lib.rs", &once);
+        assert!(remaining.iter().all(|v| v.rule != "L003"), "{remaining:?}");
+    }
+
+    #[test]
+    fn allowed_and_test_literals_are_untouched() {
+        let src = "\
+// lint: allow(L003) exercising the raw string deliberately
+pub fn f(m: &emblookup_obs::Metrics) { m.counter(\"train.epochs\").inc(); }
+#[cfg(test)]
+mod tests {
+    fn t(m: &emblookup_obs::Metrics) { m.counter(\"train.epochs\").inc(); }
+}
+";
+        assert!(rewrite_source("crates/x/src/lib.rs", src, &obs_name_registry()).is_none());
+    }
+
+    #[test]
+    fn unregistered_literals_are_untouched() {
+        let src = "pub fn f(m: &emblookup_obs::Metrics) { m.counter(\"no.such.metric\").inc(); }\n";
+        assert!(rewrite_source("crates/x/src/lib.rs", src, &obs_name_registry()).is_none());
+    }
+}

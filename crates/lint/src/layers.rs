@@ -1,0 +1,234 @@
+//! L005 — crate-layering conformance.
+//!
+//! The workspace architecture is a DAG of layers (see DESIGN.md):
+//!
+//! ```text
+//!   rank 0    rand, obs              (utility leaves)
+//!   rank 10   tensor, text           (substrates)
+//!   rank 20   kg                     (domain model)
+//!   rank 25   embed                  (encoders, over kg/text/tensor)
+//!   rank 30   ann                    (index structures)
+//!   rank 40   core                   (the EmbLookup pipeline)
+//!   rank 50+  baselines, semtab, bench  (consumers)
+//!   rank 100  emblookup              (root facade crate)
+//!   —         lint                   (isolated; may use obs only)
+//! ```
+//!
+//! A crate may depend only on strictly lower ranks. Both manifest edges
+//! (`[dependencies]` and `[dev-dependencies]`) and source-level
+//! `emblookup_*::` paths are checked; `#[cfg(test)]` code is exempt on
+//! the source side (its edges surface as dev-dependencies instead).
+//! `emblookup-lint` is special-cased: it may depend only on
+//! `emblookup-obs` (for the metric-name registry), and nothing may
+//! depend on it.
+
+use crate::cargo::Manifest;
+use crate::engine::{SourceFile, Violation};
+use crate::parser::CrateRef;
+
+/// Declared layer rank per workspace crate. Lower ranks are closer to
+/// the leaves; an edge is legal iff `rank(dep) < rank(crate)`.
+pub const LAYERS: &[(&str, u32)] = &[
+    ("rand", 0),
+    ("emblookup-obs", 0),
+    ("emblookup-tensor", 10),
+    ("emblookup-text", 10),
+    ("emblookup-kg", 20),
+    ("emblookup-embed", 25),
+    ("emblookup-ann", 30),
+    ("emblookup-core", 40),
+    ("emblookup-baselines", 50),
+    ("emblookup-semtab", 55),
+    ("emblookup-bench", 60),
+    ("emblookup", 100),
+];
+
+/// The isolated crate: not in the layer DAG at all.
+pub const ISOLATED: &str = "emblookup-lint";
+/// The only crates the isolated crate may depend on.
+pub const ISOLATED_ALLOWED: &[&str] = &["emblookup-obs"];
+
+/// Rank of a crate in the declared DAG, `None` for unknown crates and
+/// for the isolated lint crate.
+pub fn rank(name: &str) -> Option<u32> {
+    LAYERS.iter().find(|(n, _)| *n == name).map(|&(_, r)| r)
+}
+
+/// Is `dep` a legal dependency of `krate`? Returns an explanation when
+/// it is not. Unknown (non-workspace) dependency names are legal — the
+/// offline-build gate already constrains those.
+fn judge(krate: &str, dep: &str) -> Result<(), String> {
+    if dep == krate {
+        return Ok(());
+    }
+    if dep == ISOLATED {
+        return Err(format!("`{ISOLATED}` is isolated; no crate may depend on it"));
+    }
+    if krate == ISOLATED {
+        return if ISOLATED_ALLOWED.contains(&dep) {
+            Ok(())
+        } else {
+            Err(format!(
+                "`{ISOLATED}` is isolated and may depend only on {}",
+                ISOLATED_ALLOWED.join(", ")
+            ))
+        };
+    }
+    let (Some(rk), Some(rd)) = (rank(krate), rank(dep)) else {
+        return Ok(()); // non-workspace crate on either side
+    };
+    if rd < rk {
+        Ok(())
+    } else {
+        Err(format!(
+            "layering violation: `{krate}` (rank {rk}) may not depend on `{dep}` (rank {rd}); \
+             the layer DAG flows rand/obs -> tensor/text -> kg -> embed -> ann -> core -> \
+             baselines/semtab/bench"
+        ))
+    }
+}
+
+/// Checks every manifest's dependency edges against the DAG.
+pub fn check_manifests(manifests: &[Manifest]) -> Vec<Violation> {
+    let workspace: Vec<&str> = manifests.iter().map(|m| m.name.as_str()).collect();
+    let mut out = Vec::new();
+    for m in manifests {
+        for d in &m.deps {
+            if !workspace.contains(&d.name.as_str()) {
+                continue;
+            }
+            if let Err(why) = judge(&m.name, &d.name) {
+                out.push(Violation {
+                    file: m.path.clone(),
+                    line: d.line,
+                    rule: "L005".to_string(),
+                    message: if d.dev { format!("{why} (dev-dependency)") } else { why },
+                    suggestion: None,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Checks one source file's `emblookup_*::` references against the DAG.
+/// `krate` is the owning package name (dash form); `refs` come from
+/// [`crate::parser::crate_refs`] and exclude test regions already.
+pub fn check_source(sf: &SourceFile, krate: &str, refs: &[CrateRef]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for r in refs {
+        let dep = r.krate.replace('_', "-");
+        if let Err(why) = judge(krate, &dep) {
+            if sf.allowed("L005", r.line) {
+                continue;
+            }
+            out.push(Violation {
+                file: sf.path.clone(),
+                line: r.line,
+                rule: "L005".to_string(),
+                message: format!("use of `{}::` — {why}", r.krate),
+                suggestion: None,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cargo::parse_manifest;
+    use crate::parser::crate_refs;
+    use std::path::Path;
+
+    #[test]
+    fn declared_dag_covers_every_workspace_crate_once() {
+        let mut names: Vec<&str> = LAYERS.iter().map(|&(n, _)| n).collect();
+        names.push(ISOLATED);
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len(), "duplicate crate in LAYERS");
+    }
+
+    #[test]
+    fn reversed_manifest_edge_is_flagged() {
+        let text = "[package]\nname = \"emblookup-tensor\"\n[dependencies]\nemblookup-core.workspace = true\n";
+        let m = parse_manifest("crates/tensor/Cargo.toml", Path::new("crates/tensor"), text)
+            .expect("manifest");
+        // pretend both crates are workspace members
+        let core = parse_manifest(
+            "crates/core/Cargo.toml",
+            Path::new("crates/core"),
+            "[package]\nname = \"emblookup-core\"\n",
+        )
+        .expect("manifest");
+        let v = check_manifests(&[m, core]);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "L005");
+        assert_eq!(v[0].file, "crates/tensor/Cargo.toml");
+        assert_eq!(v[0].line, 4);
+    }
+
+    #[test]
+    fn downward_edges_are_clean() {
+        let text = "[package]\nname = \"emblookup-core\"\n[dependencies]\nemblookup-ann.workspace = true\nrand.workspace = true\n";
+        let m = parse_manifest("crates/core/Cargo.toml", Path::new("crates/core"), text)
+            .expect("manifest");
+        let ann = parse_manifest(
+            "crates/ann/Cargo.toml",
+            Path::new("crates/ann"),
+            "[package]\nname = \"emblookup-ann\"\n",
+        )
+        .expect("manifest");
+        let rand = parse_manifest(
+            "crates/rand/Cargo.toml",
+            Path::new("crates/rand"),
+            "[package]\nname = \"rand\"\n",
+        )
+        .expect("manifest");
+        assert!(check_manifests(&[m, ann, rand]).is_empty());
+    }
+
+    #[test]
+    fn depending_on_lint_is_flagged() {
+        let text = "[package]\nname = \"emblookup-core\"\n[dependencies]\nemblookup-lint.workspace = true\n";
+        let m = parse_manifest("crates/core/Cargo.toml", Path::new("crates/core"), text)
+            .expect("manifest");
+        let lint = parse_manifest(
+            "crates/lint/Cargo.toml",
+            Path::new("crates/lint"),
+            "[package]\nname = \"emblookup-lint\"\n",
+        )
+        .expect("manifest");
+        let v = check_manifests(&[m, lint]);
+        assert_eq!(v.len(), 1, "{v:?}");
+    }
+
+    #[test]
+    fn reversed_use_path_is_flagged_with_file_line() {
+        let src = "use emblookup_core::EmbLookup;\npub fn f() {}\n";
+        let sf = SourceFile::parse("crates/tensor/src/lib.rs", src);
+        let refs = crate_refs(&sf);
+        let v = check_source(&sf, "emblookup-tensor", &refs);
+        assert_eq!(v.len(), 1);
+        assert_eq!((v[0].file.as_str(), v[0].line), ("crates/tensor/src/lib.rs", 1));
+        assert_eq!(v[0].rule, "L005");
+    }
+
+    #[test]
+    fn downward_use_path_and_test_code_are_clean() {
+        let src = "use emblookup_kg::Candidate;\n#[cfg(test)]\nmod tests { use emblookup_core::EmbLookup; }\n";
+        let sf = SourceFile::parse("crates/baselines/src/lib.rs", src);
+        let refs = crate_refs(&sf);
+        assert!(check_source(&sf, "emblookup-baselines", &refs).is_empty());
+    }
+
+    #[test]
+    fn allow_directive_suppresses_source_violation() {
+        let src = "// lint: allow(L005) transitional: moving to core in PR 9\nuse emblookup_core::EmbLookup;\npub fn f() {}\n";
+        let sf = SourceFile::parse("crates/tensor/src/lib.rs", src);
+        let refs = crate_refs(&sf);
+        assert!(check_source(&sf, "emblookup-tensor", &refs).is_empty());
+    }
+}

@@ -1,26 +1,48 @@
 //! # emblookup-lint
 //!
-//! In-tree static analysis for the EmbLookup workspace. A minimal Rust
-//! lexer ([`lexer`]) feeds four repo-specific passes ([`engine`]):
-//! panic-freedom in library code (L001), lock/allocation bans in
-//! `// lint: hot-path` modules (L002), metric-name provenance from
-//! `emblookup_obs::names` (L003) and task-marker hygiene (L004). The
-//! `emblookup-lint` binary walks `crates/*/src` and `src/` and is wired
-//! into `scripts/ci.sh` as a hard gate.
+//! In-tree static analysis for the EmbLookup workspace, built on a
+//! minimal Rust lexer ([`lexer`]) and a tolerant item-level parser
+//! ([`parser`]). Two families of passes:
 //!
-//! See CONTRIBUTING.md ("Static analysis") for the rule catalog and the
-//! `// lint: allow(Lxxx) reason` escape-hatch policy.
+//! * **Per-file** ([`engine`]): panic-freedom in library code (L001),
+//!   lock/allocation bans in `// lint: hot-path` modules (L002),
+//!   metric-name provenance from `emblookup_obs::names` (L003),
+//!   task-marker hygiene (L004) and float discipline — NaN-hazardous
+//!   `==`/`partial_cmp` patterns (L007).
+//! * **Workspace-level** ([`workspace`]): crate-layering conformance
+//!   against the declared layer DAG (L005, [`layers`]) and public-API
+//!   drift gating against the checked-in `API.lock` (L006, [`api`]),
+//!   fed by the [`cargo`] manifest reader and [`parser`] item extractor.
+//!
+//! The `emblookup-lint` binary walks `crates/*/src` and `src/`
+//! ([`walk`]), renders text or golden-stable JSON ([`report`]) and can
+//! rewrite metric-name literals in place ([`fix`]). It is wired into
+//! `scripts/ci.sh` as a hard gate (with `--api-check`).
+//!
+//! See CONTRIBUTING.md ("Static analysis") for the rule catalog, the
+//! `// lint: allow(Lxxx) reason` escape-hatch policy and the
+//! `--api-bless` workflow.
 
 #![warn(missing_docs)]
 
+pub mod api;
+pub mod cargo;
 pub mod engine;
+pub mod fix;
+pub mod layers;
 pub mod lexer;
+pub mod parser;
+pub mod report;
 pub mod walk;
+pub mod workspace;
 
 pub use engine::{classify, obs_name_registry, FileClass, NameRegistry, SourceFile, Violation};
+pub use workspace::Workspace;
 
 /// Lints a single in-memory source file against the obs name registry —
-/// the entry point the fixture tests use.
+/// the entry point the fixture tests use. Runs the per-file passes
+/// (L001–L004, L007); the workspace passes need manifests and a lockfile
+/// and run through [`Workspace`].
 pub fn lint_source(path: &str, src: &str) -> Vec<Violation> {
     SourceFile::parse(path, src).check(&obs_name_registry())
 }

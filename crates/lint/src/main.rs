@@ -1,15 +1,41 @@
-//! `emblookup-lint` CLI: walks the workspace, runs every pass and reports
-//! violations. Exit code 0 = clean, 1 = violations, 2 = usage/IO error.
+//! `emblookup-lint` CLI: loads the workspace model, runs every pass and
+//! reports violations. Exit code 0 = clean, 1 = violations, 2 =
+//! usage/IO error.
 //!
 //! ```text
-//! emblookup-lint [--root DIR] [--format text|json] [--fix-metric-names]
+//! emblookup-lint [--root DIR] [--format text|json]
+//!                [--api-check | --api-bless]
+//!                [--fix-metric-names [--write]]
 //! ```
 //!
-//! `--fix-metric-names` additionally prints a dry-run plan mapping each
-//! metric-name literal onto its `emblookup_obs::names` constant; no files
-//! are modified.
+//! * `--api-check` additionally diffs the current public-API snapshot
+//!   against the checked-in `API.lock` (rule L006).
+//! * `--api-bless` regenerates `API.lock` from the current tree and
+//!   exits; commit the result to acknowledge an API change.
+//! * `--fix-metric-names` prints a dry-run plan mapping each metric-name
+//!   literal onto its `emblookup_obs::names` constant; with `--write`
+//!   the files are rewritten in place (idempotently) and the report
+//!   reflects the rewritten tree.
+//!
+//! # JSON output schema (`--format json`)
+//!
+//! One line, stable field order (goldenable):
+//!
+//! ```json
+//! {"violations":[
+//!    {"file":"crates/x/src/lib.rs","line":3,"rule":"L001",
+//!     "message":"…","suggestion":"…"}],
+//!  "files_checked":42,
+//!  "rule_counts":{"L000":0,"L001":1,"L002":0,"L003":0,"L004":0,
+//!                 "L005":0,"L006":0,"L007":0}}
+//! ```
+//!
+//! `violations` is sorted by (file, line, rule); `suggestion` appears
+//! only on violations that carry one (L003 literals with a registered
+//! constant); `rule_counts` always lists every catalog rule, zeros
+//! included, in catalog order.
 
-use emblookup_lint::{engine::SourceFile, obs_name_registry, walk, Violation};
+use emblookup_lint::{api, fix, obs_name_registry, report, walk, workspace, Workspace};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -17,10 +43,20 @@ struct Options {
     root: Option<PathBuf>,
     json: bool,
     fix_metric_names: bool,
+    write: bool,
+    api_check: bool,
+    api_bless: bool,
 }
 
 fn parse_args() -> Result<Options, String> {
-    let mut opts = Options { root: None, json: false, fix_metric_names: false };
+    let mut opts = Options {
+        root: None,
+        json: false,
+        fix_metric_names: false,
+        write: false,
+        api_check: false,
+        api_bless: false,
+    };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -34,55 +70,27 @@ fn parse_args() -> Result<Options, String> {
                 other => return Err(format!("--format expects text|json, got {other:?}")),
             },
             "--fix-metric-names" => opts.fix_metric_names = true,
+            "--write" => opts.write = true,
+            "--api-check" => opts.api_check = true,
+            "--api-bless" => opts.api_bless = true,
             "--help" | "-h" => {
                 println!(
-                    "emblookup-lint [--root DIR] [--format text|json] [--fix-metric-names]\n\
-                     Repo-specific lints: L001 panic-freedom, L002 hot-path, L003 metric names, L004 TODO hygiene."
+                    "emblookup-lint [--root DIR] [--format text|json] [--api-check | --api-bless] [--fix-metric-names [--write]]\n\
+                     Repo-specific lints: L001 panic-freedom, L002 hot-path, L003 metric names,\n\
+                     L004 TODO hygiene, L005 crate layering, L006 API drift (API.lock), L007 float discipline."
                 );
                 std::process::exit(0);
             }
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
+    if opts.write && !opts.fix_metric_names {
+        return Err("--write only makes sense with --fix-metric-names".to_string());
+    }
+    if opts.api_check && opts.api_bless {
+        return Err("--api-check and --api-bless are mutually exclusive".to_string());
+    }
     Ok(opts)
-}
-
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
-
-fn render_json(violations: &[Violation], files_checked: usize) -> String {
-    let mut out = String::from("{\"violations\":[");
-    for (i, v) in violations.iter().enumerate() {
-        if i > 0 {
-            out.push(',');
-        }
-        out.push_str(&format!(
-            "{{\"file\":\"{}\",\"line\":{},\"rule\":\"{}\",\"message\":\"{}\"",
-            json_escape(&v.file),
-            v.line,
-            json_escape(&v.rule),
-            json_escape(&v.message)
-        ));
-        if let Some(s) = &v.suggestion {
-            out.push_str(&format!(",\"suggestion\":\"{}\"", json_escape(s)));
-        }
-        out.push('}');
-    }
-    out.push_str(&format!("],\"files_checked\":{files_checked}}}"));
-    out
 }
 
 fn run() -> Result<ExitCode, String> {
@@ -93,41 +101,77 @@ fn run() -> Result<ExitCode, String> {
         None => walk::find_root(&cwd)
             .ok_or("no workspace root found (run inside the repo or pass --root)")?,
     };
-    let files = walk::lintable_files(&root).map_err(|e| format!("walking {}: {e}", root.display()))?;
     let registry = obs_name_registry();
+    let mut ws = Workspace::load(&root)?;
 
-    let mut violations: Vec<Violation> = Vec::new();
-    for rel in &files {
-        let display = rel.to_string_lossy().replace('\\', "/");
-        let src = std::fs::read_to_string(root.join(rel))
-            .map_err(|e| format!("reading {display}: {e}"))?;
-        violations.extend(SourceFile::parse(&display, &src).check(&registry));
+    if opts.api_bless {
+        let snapshot = ws.api_snapshot();
+        let lock_path = root.join(api::LOCK_FILE);
+        std::fs::write(&lock_path, snapshot.render())
+            .map_err(|e| format!("writing {}: {e}", lock_path.display()))?;
+        println!(
+            "emblookup-lint: blessed {} ({} crates, {} public items)",
+            api::LOCK_FILE,
+            snapshot.sections.len(),
+            snapshot.sections.values().map(|s| s.len()).sum::<usize>()
+        );
+        return Ok(ExitCode::SUCCESS);
     }
-    violations.sort_by(|a, b| {
-        a.file
-            .cmp(&b.file)
-            .then(a.line.cmp(&b.line))
-            .then_with(|| a.rule.cmp(&b.rule))
-    });
+
+    if opts.fix_metric_names && opts.write {
+        let mut rewritten = 0usize;
+        for f in &ws.files {
+            let path = root.join(&f.rel);
+            let src = std::fs::read_to_string(&path)
+                .map_err(|e| format!("reading {}: {e}", f.rel))?;
+            if let Some(fixed) = fix::rewrite_source(&f.rel, &src, &registry) {
+                std::fs::write(&path, fixed)
+                    .map_err(|e| format!("writing {}: {e}", f.rel))?;
+                println!("--fix-metric-names: rewrote {}", f.rel);
+                rewritten += 1;
+            }
+        }
+        println!("--fix-metric-names: {rewritten} file(s) rewritten");
+        // report on the rewritten tree
+        ws = Workspace::load(&root)?;
+    }
+
+    let mut violations = ws.check(&registry);
+    if opts.api_check {
+        let lock_path = root.join(api::LOCK_FILE);
+        let lock_text = std::fs::read_to_string(&lock_path).map_err(|e| {
+            format!(
+                "reading {}: {e} (run `emblookup-lint --api-bless` to create it)",
+                lock_path.display()
+            )
+        })?;
+        violations.extend(api::diff(&lock_text, &ws.api_snapshot()));
+        workspace::sort(&mut violations);
+    }
 
     if opts.json {
-        println!("{}", render_json(&violations, files.len()));
+        println!("{}", report::render_json(&violations, ws.files.len()));
     } else {
         for v in &violations {
             println!("{}:{}: {}: {}", v.file, v.line, v.rule, v.message);
         }
+        println!("emblookup-lint: {}", report::render_rule_summary(&violations));
         println!(
-            "emblookup-lint: {} files checked, {} violation{}",
-            files.len(),
+            "emblookup-lint: {} files checked, {} violation{}{}",
+            ws.files.len(),
             violations.len(),
-            if violations.len() == 1 { "" } else { "s" }
+            if violations.len() == 1 { "" } else { "s" },
+            if opts.api_check { " (API.lock checked)" } else { "" }
         );
     }
 
-    if opts.fix_metric_names {
-        let fixable: Vec<&Violation> =
+    if opts.fix_metric_names && !opts.write {
+        let fixable: Vec<&emblookup_lint::Violation> =
             violations.iter().filter(|v| v.suggestion.is_some()).collect();
-        println!("--fix-metric-names (dry run): {} literal(s) map onto constants", fixable.len());
+        println!(
+            "--fix-metric-names (dry run): {} literal(s) map onto constants (pass --write to apply)",
+            fixable.len()
+        );
         for v in fixable {
             if let Some(s) = &v.suggestion {
                 println!("  {}:{}: replace literal with emblookup_obs::names::{s}", v.file, v.line);

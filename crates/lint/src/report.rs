@@ -1,0 +1,136 @@
+//! Report rendering: the machine-readable JSON document and the
+//! per-rule count summary shared by the text output and CI.
+//!
+//! The JSON schema is documented on [`render_json`]; field order is
+//! stable by construction (hand-rolled serialization, no map iteration
+//! over unordered containers), so the output is goldenable.
+
+use crate::engine::{Violation, RULES};
+
+/// Escapes a string for embedding in a JSON document.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Violation count per rule, zeros included, in catalog order
+/// (`L000` first, then [`RULES`]).
+pub fn rule_counts(violations: &[Violation]) -> Vec<(&'static str, usize)> {
+    let mut out = Vec::with_capacity(RULES.len() + 1);
+    for rule in std::iter::once(&"L000").chain(RULES.iter()) {
+        let n = violations.iter().filter(|v| v.rule == *rule).count();
+        out.push((*rule, n));
+    }
+    out
+}
+
+/// Renders the JSON report. Schema (stable field order, one line):
+///
+/// ```json
+/// {
+///   "violations": [
+///     {"file": "crates/x/src/lib.rs", "line": 3, "rule": "L001",
+///      "message": "…", "suggestion": "…"}
+///   ],
+///   "files_checked": 42,
+///   "rule_counts": {"L000": 0, "L001": 1, "…": 0}
+/// }
+/// ```
+///
+/// `suggestion` is present only when the violation carries one (today:
+/// L003 literals that map onto a registered constant). `rule_counts`
+/// always lists every catalog rule, zeros included, in catalog order.
+pub fn render_json(violations: &[Violation], files_checked: usize) -> String {
+    let mut out = String::from("{\"violations\":[");
+    for (i, v) in violations.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"file\":\"{}\",\"line\":{},\"rule\":\"{}\",\"message\":\"{}\"",
+            json_escape(&v.file),
+            v.line,
+            json_escape(&v.rule),
+            json_escape(&v.message)
+        ));
+        if let Some(s) = &v.suggestion {
+            out.push_str(&format!(",\"suggestion\":\"{}\"", json_escape(s)));
+        }
+        out.push('}');
+    }
+    out.push_str(&format!("],\"files_checked\":{files_checked},\"rule_counts\":{{"));
+    for (i, (rule, n)) in rule_counts(violations).iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{rule}\":{n}"));
+    }
+    out.push_str("}}");
+    out
+}
+
+/// Renders the one-line per-rule summary for the text report and CI
+/// logs: `per-rule: L000=0 L001=2 …`.
+pub fn render_rule_summary(violations: &[Violation]) -> String {
+    let parts: Vec<String> = rule_counts(violations)
+        .iter()
+        .map(|(rule, n)| format!("{rule}={n}"))
+        .collect();
+    format!("per-rule: {}", parts.join(" "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(file: &str, line: u32, rule: &str, suggestion: Option<&str>) -> Violation {
+        Violation {
+            file: file.to_string(),
+            line,
+            rule: rule.to_string(),
+            message: "m".to_string(),
+            suggestion: suggestion.map(str::to_string),
+        }
+    }
+
+    #[test]
+    fn counts_include_zeros_in_catalog_order() {
+        let vs = vec![v("a", 1, "L003", None), v("b", 2, "L003", None), v("c", 3, "L007", None)];
+        let counts = rule_counts(&vs);
+        assert_eq!(counts[0], ("L000", 0));
+        assert!(counts.contains(&("L003", 2)));
+        assert!(counts.contains(&("L005", 0)));
+        assert!(counts.contains(&("L007", 1)));
+        assert_eq!(counts.len(), RULES.len() + 1);
+    }
+
+    #[test]
+    fn json_escapes_and_orders_fields() {
+        let vs = vec![v("a\"b.rs", 7, "L001", Some("X"))];
+        let j = render_json(&vs, 3);
+        assert!(j.starts_with("{\"violations\":["));
+        assert!(j.contains("\"file\":\"a\\\"b.rs\""));
+        assert!(j.contains("\"suggestion\":\"X\""));
+        assert!(j.contains("\"files_checked\":3"));
+        assert!(j.contains("\"rule_counts\":{\"L000\":0,\"L001\":1,"));
+    }
+
+    #[test]
+    fn summary_lists_every_rule() {
+        let s = render_rule_summary(&[]);
+        for rule in RULES {
+            assert!(s.contains(&format!("{rule}=0")), "{s}");
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Workspace-level analysis: loads every manifest and lintable source
+//! file once, then runs the per-file passes (L001–L004, L007), the
+//! layering pass (L005) and the API snapshot (L006) over the shared
+//! model. This is what the `emblookup-lint` binary drives.
+
+use crate::api::Snapshot;
+use crate::cargo::{read_manifests, Manifest};
+use crate::engine::{NameRegistry, SourceFile, Violation};
+use crate::parser::crate_refs;
+use crate::{layers, walk};
+use std::path::{Path, PathBuf};
+
+/// One lintable source file with its owning crate resolved.
+pub struct WorkspaceFile {
+    /// Workspace-relative display path (`crates/ann/src/topk.rs`).
+    pub rel: String,
+    /// Path inside the owning crate's `src/` (`topk.rs`); drives the
+    /// module-path derivation of the API snapshot.
+    pub src_rel: String,
+    /// Owning package name (`emblookup-ann`); empty when the file sits
+    /// outside any known package.
+    pub krate: String,
+    /// Lexed and analyzed source.
+    pub source: SourceFile,
+}
+
+/// The loaded workspace model.
+pub struct Workspace {
+    /// Absolute workspace root.
+    pub root: PathBuf,
+    /// Parsed member manifests (root package + `crates/*`).
+    pub manifests: Vec<Manifest>,
+    /// Parsed source files, sorted by path.
+    pub files: Vec<WorkspaceFile>,
+}
+
+impl Workspace {
+    /// Reads manifests and sources under `root`.
+    pub fn load(root: &Path) -> Result<Workspace, String> {
+        let manifests = read_manifests(root)
+            .map_err(|e| format!("reading manifests under {}: {e}", root.display()))?;
+        let rels = walk::lintable_files(root)
+            .map_err(|e| format!("walking {}: {e}", root.display()))?;
+        let mut files = Vec::with_capacity(rels.len());
+        for rel_path in rels {
+            let rel = rel_path.to_string_lossy().replace('\\', "/");
+            let src = std::fs::read_to_string(root.join(&rel_path))
+                .map_err(|e| format!("reading {rel}: {e}"))?;
+            let (krate, src_rel) = owner(&manifests, &rel);
+            files.push(WorkspaceFile {
+                source: SourceFile::parse(&rel, &src),
+                rel,
+                src_rel,
+                krate,
+            });
+        }
+        Ok(Workspace { root: root.to_path_buf(), manifests, files })
+    }
+
+    /// Runs every per-file pass plus L005 layering. (L006 runs
+    /// separately via [`Workspace::api_snapshot`] + [`crate::api::diff`]
+    /// because it needs the checked-in lockfile.)
+    pub fn check(&self, registry: &NameRegistry) -> Vec<Violation> {
+        let mut out = Vec::new();
+        out.extend(layers::check_manifests(&self.manifests));
+        for f in &self.files {
+            out.extend(f.source.check(registry));
+            if !f.krate.is_empty() {
+                let refs = crate_refs(&f.source);
+                out.extend(layers::check_source(&f.source, &f.krate, &refs));
+            }
+        }
+        sort(&mut out);
+        out
+    }
+
+    /// Builds the current public-API snapshot over every library file.
+    pub fn api_snapshot(&self) -> Snapshot {
+        let mut snap = Snapshot::default();
+        for f in &self.files {
+            if f.krate.is_empty() {
+                continue;
+            }
+            snap.add_file(&f.krate, &f.rel, &f.src_rel, &f.source);
+        }
+        snap
+    }
+}
+
+/// Stable report order: file, then line, then rule.
+pub fn sort(violations: &mut [Violation]) {
+    violations.sort_by(|a, b| {
+        a.file
+            .cmp(&b.file)
+            .then(a.line.cmp(&b.line))
+            .then_with(|| a.rule.cmp(&b.rule))
+    });
+}
+
+/// Resolves a workspace-relative source path to its owning package and
+/// its path inside that package's `src/`.
+fn owner(manifests: &[Manifest], rel: &str) -> (String, String) {
+    for m in manifests {
+        let prefix = if m.dir == Path::new(".") {
+            "src/".to_string()
+        } else {
+            format!("{}/src/", m.dir.to_string_lossy().replace('\\', "/"))
+        };
+        if let Some(inner) = rel.strip_prefix(&prefix) {
+            return (m.name.clone(), inner.to_string());
+        }
+    }
+    (String::new(), rel.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cargo::parse_manifest;
+
+    fn manifest(name: &str, dir: &str) -> Manifest {
+        parse_manifest(
+            &format!("{dir}/Cargo.toml"),
+            Path::new(dir),
+            &format!("[package]\nname = \"{name}\"\n"),
+        )
+        .expect("manifest")
+    }
+
+    #[test]
+    fn owner_maps_crates_and_root_src() {
+        let ms = vec![manifest("emblookup", "."), manifest("emblookup-ann", "crates/ann")];
+        assert_eq!(
+            owner(&ms, "crates/ann/src/topk.rs"),
+            ("emblookup-ann".to_string(), "topk.rs".to_string())
+        );
+        assert_eq!(
+            owner(&ms, "src/lib.rs"),
+            ("emblookup".to_string(), "lib.rs".to_string())
+        );
+        assert_eq!(owner(&ms, "crates/unknown/src/lib.rs").0, "");
+    }
+}

@@ -184,3 +184,141 @@ fn cfg_not_test_is_still_linted() {
     let src = "#[cfg(not(test))]\npub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
     assert_eq!(rules_at(LIB, src), vec![("L001".to_string(), 2)]);
 }
+
+// ----------------------------------------------------------------- L005
+
+#[test]
+fn l005_reversed_dep_in_tensor_fails_with_file_and_line() {
+    // acceptance scenario: `use emblookup_core` inside crates/tensor
+    let path = "crates/tensor/src/lib.rs";
+    let src = "pub mod tensor;\nuse emblookup_core::EmbLookup;\n";
+    let sf = emblookup_lint::SourceFile::parse(path, src);
+    let refs = emblookup_lint::parser::crate_refs(&sf);
+    let vs = emblookup_lint::layers::check_source(&sf, "emblookup-tensor", &refs);
+    assert_eq!(vs.len(), 1, "got {vs:?}");
+    assert_eq!(vs[0].rule, "L005");
+    assert_eq!((vs[0].file.as_str(), vs[0].line), (path, 2));
+    assert!(vs[0].message.contains("emblookup-core"), "{}", vs[0].message);
+}
+
+#[test]
+fn l005_downward_dep_is_clean() {
+    let path = "crates/core/src/service.rs";
+    let src = "use emblookup_ann::FlatIndex;\nuse emblookup_embed::StringEncoder;\n";
+    let sf = emblookup_lint::SourceFile::parse(path, src);
+    let refs = emblookup_lint::parser::crate_refs(&sf);
+    assert_eq!(
+        emblookup_lint::layers::check_source(&sf, "emblookup-core", &refs),
+        vec![]
+    );
+}
+
+// ----------------------------------------------------------------- L006
+
+#[test]
+fn l006_deleting_a_pub_fn_without_bless_fails() {
+    // acceptance scenario: a pub fn disappears but API.lock still lists it
+    let before = "pub fn kept() {}\npub fn deleted() {}\n";
+    let after = "pub fn kept() {}\n";
+    let mut old = emblookup_lint::api::Snapshot::default();
+    old.add_file(
+        "emblookup-demo",
+        "crates/demo/src/lib.rs",
+        "lib.rs",
+        &emblookup_lint::SourceFile::parse("crates/demo/src/lib.rs", before),
+    );
+    let lock = old.render();
+    let mut new = emblookup_lint::api::Snapshot::default();
+    new.add_file(
+        "emblookup-demo",
+        "crates/demo/src/lib.rs",
+        "lib.rs",
+        &emblookup_lint::SourceFile::parse("crates/demo/src/lib.rs", after),
+    );
+    let vs = emblookup_lint::api::diff(&lock, &new);
+    assert_eq!(vs.len(), 1, "got {vs:?}");
+    assert_eq!(vs[0].rule, "L006");
+    assert_eq!(vs[0].file, emblookup_lint::api::LOCK_FILE);
+    assert!(vs[0].line > 0, "removed item must point at the stale lock line");
+    assert!(vs[0].message.contains("removed `. pub fn deleted()`"), "{}", vs[0].message);
+    assert!(vs[0].message.contains("--api-bless"), "{}", vs[0].message);
+}
+
+// ----------------------------------------------------------------- L007
+
+#[test]
+fn l007_float_equality_in_ann_fires() {
+    // acceptance scenario: adding `f32 ==` in crates/ann
+    let src = "pub fn same(a: f32, b: f32) -> bool {\n    a == 0.0 || b != 1.5\n}\n";
+    let got = rules_at("crates/ann/src/flat.rs", src);
+    assert_eq!(
+        got,
+        vec![("L007".to_string(), 2), ("L007".to_string(), 2)]
+    );
+}
+
+#[test]
+fn l007_panicking_partial_cmp_chain_fires() {
+    let src = "pub fn cmp(a: f32, b: f32) -> std::cmp::Ordering {\n    a.partial_cmp(&b).unwrap()\n}\n";
+    // the chain is both a panic site (L001) and a NaN hazard (L007)
+    assert_eq!(
+        rules_at(LIB, src),
+        vec![("L001".to_string(), 2), ("L007".to_string(), 2)]
+    );
+}
+
+#[test]
+fn l007_partial_cmp_comparator_fires_and_total_cmp_is_clean() {
+    let bad = "pub fn s(v: &mut [f32]) {\n    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));\n}\n";
+    assert_eq!(rules_at(LIB, bad), vec![("L007".to_string(), 2)]);
+    let good = "pub fn s(v: &mut [f32]) {\n    v.sort_by(|a, b| a.total_cmp(b));\n}\n";
+    assert_eq!(rules_at(LIB, good), vec![]);
+}
+
+#[test]
+fn l007_allow_with_reason_and_test_code_are_exempt() {
+    let src = "pub fn f(a: f32) -> bool {\n    // lint: allow(L007) exact-zero sparsity check\n    a == 0.0\n}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { assert!(super::f(0.0) == true); let x = 1.0; let _ = x == 1.0; }\n}\n";
+    assert_eq!(rules_at(LIB, src), vec![]);
+}
+
+#[test]
+fn l007_integer_comparisons_are_clean() {
+    let src = "pub fn f(a: usize, n: u32) -> bool {\n    a == 0 && n != 3 && a <= 4\n}\n";
+    assert_eq!(rules_at(LIB, src), vec![]);
+}
+
+// ------------------------------------------------------- JSON golden
+
+#[test]
+fn json_report_is_golden_stable() {
+    let src = "pub fn f(x: Option<u32>) -> u32 {\n    emblookup_obs::global().counter(\"train.epochs\");\n    x.unwrap()\n}\n";
+    let violations = lint_source("crates/demo/src/a \"b.rs", src);
+    let got = emblookup_lint::report::render_json(&violations, 1);
+    let want = concat!(
+        "{\"violations\":[",
+        "{\"file\":\"crates/demo/src/a \\\"b.rs\",\"line\":2,\"rule\":\"L003\",",
+        "\"message\":\"metric name literal \\\"train.epochs\\\"; use emblookup_obs::names::TRAIN_EPOCHS\",",
+        "\"suggestion\":\"TRAIN_EPOCHS\"},",
+        "{\"file\":\"crates/demo/src/a \\\"b.rs\",\"line\":3,\"rule\":\"L001\",",
+        "\"message\":\".unwrap() can panic; propagate a Result or add `// lint: allow(L001) reason`\"}",
+        "],\"files_checked\":1,",
+        "\"rule_counts\":{\"L000\":0,\"L001\":1,\"L002\":0,\"L003\":1,\"L004\":0,\"L005\":0,\"L006\":0,\"L007\":0}}"
+    );
+    assert_eq!(got, want);
+}
+
+// ------------------------------------------- --fix-metric-names --write
+
+#[test]
+fn fix_write_round_trips_and_relints_clean() {
+    let src = "pub fn f() {\n    emblookup_obs::global().counter(\"train.epochs\").inc();\n    emblookup_obs::global().histogram(\"lookup.latency\");\n}\n";
+    let registry = emblookup_lint::obs_name_registry();
+    let fixed = emblookup_lint::fix::rewrite_source(LIB, src, &registry)
+        .expect("two literals should be rewritten");
+    assert!(fixed.contains("counter(emblookup_obs::names::TRAIN_EPOCHS)"), "{fixed}");
+    assert!(fixed.contains("histogram(emblookup_obs::names::LOOKUP_LATENCY)"), "{fixed}");
+    // idempotent: a second pass changes nothing
+    assert!(emblookup_lint::fix::rewrite_source(LIB, &fixed, &registry).is_none());
+    // and the result re-lints clean
+    assert_eq!(rules_at(LIB, &fixed), vec![]);
+}

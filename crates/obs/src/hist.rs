@@ -332,4 +332,60 @@ mod tests {
     fn quantile_rejects_out_of_range() {
         Histogram::new().snapshot().quantile(1.5);
     }
+
+    #[test]
+    fn record_n_zero_is_a_no_op() {
+        let h = Histogram::new();
+        h.record_n(12_345, 0);
+        let s = h.snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.sum, 0);
+        // min/max untouched: an empty histogram still reports zeros
+        assert_eq!(s.min(), 0);
+        assert_eq!(s.max(), 0);
+        assert_eq!(s.p99(), 0);
+    }
+
+    #[test]
+    fn record_n_one_matches_record() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        a.record(777);
+        b.record_n(777, 1);
+        let (sa, sb) = (a.snapshot(), b.snapshot());
+        assert_eq!(sa.count, sb.count);
+        assert_eq!(sa.sum, sb.sum);
+        assert_eq!(sa.min(), sb.min());
+        assert_eq!(sa.max(), sb.max());
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(sa.quantile(q), sb.quantile(q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn record_n_matches_n_records() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for _ in 0..1_000 {
+            a.record(42);
+        }
+        b.record_n(42, 1_000);
+        let (sa, sb) = (a.snapshot(), b.snapshot());
+        assert_eq!(sa.count, sb.count);
+        assert_eq!(sa.sum, sb.sum);
+        assert_eq!(sa.p50(), sb.p50());
+        assert_eq!(sa.p99(), sb.p99());
+    }
+
+    #[test]
+    fn record_n_saturates_sum_instead_of_overflowing() {
+        let h = Histogram::new();
+        h.record_n(u64::MAX / 2, 3); // value * n overflows u64
+        let s = h.snapshot();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.sum, u64::MAX, "sum must saturate, not wrap");
+        assert_eq!(s.max(), u64::MAX / 2);
+        // quantiles stay within the observed range despite the saturated sum
+        assert!(s.p99() <= s.max());
+    }
 }

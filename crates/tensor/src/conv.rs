@@ -52,6 +52,7 @@ pub fn conv1d_forward(x: &Tensor, w: &Tensor, b: &Tensor, pad: usize) -> Tensor 
             let wbase = co * c_in * k + ci * k;
             for kk in 0..k {
                 let wv = wd[wbase + kk];
+                // lint: allow(L007) exact-zero sparsity skip; any nonzero (or NaN) takes the dense path
                 if wv == 0.0 {
                     continue;
                 }
@@ -108,6 +109,7 @@ pub fn conv1d_backward(
                     gwd[wbase + kk] += acc;
                     // gx[t+shift] += gy[t] * w
                     let wv = wd[wbase + kk];
+                    // lint: allow(L007) exact-zero sparsity skip mirroring the forward pass
                     if wv != 0.0 {
                         for (gx_v, &g) in gxrow[xs0..xs1].iter_mut().zip(&grow[t0..t1]) {
                             *gx_v += g * wv;

@@ -14,9 +14,11 @@ cargo test -q --offline
 echo "== cargo clippy -- -D warnings =="
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
-echo "== emblookup-lint (L001 panic-freedom, L002 hot-path, L003 metric names, L004 markers) =="
-# Hard gate: exits 1 with file:line diagnostics on any violation. The
+echo "== emblookup-lint --api-check (L001-L007 incl. layering, API drift, float discipline) =="
+# Hard gate: exits 1 with file:line diagnostics on any violation. Prints a
+# per-rule violation count summary (zeros included); --api-check diffs the
+# public-API snapshot against API.lock (bless with --api-bless); the
 # --fix-metric-names dry run prints the literal→constant plan for the log.
-cargo run -q -p emblookup-lint --release --offline -- --fix-metric-names
+cargo run -q -p emblookup-lint --release --offline -- --api-check --fix-metric-names
 
 echo "ci.sh: all checks passed"
