@@ -70,18 +70,22 @@ impl FlatIndex {
         tk.into_sorted()
     }
 
-    /// Searches many queries, optionally in parallel across threads.
+    /// Searches many queries, optionally in parallel across the pool.
     ///
-    /// `threads == 1` runs sequentially; larger values split the query
-    /// batch across scoped std threads. This is the GPU-surrogate
-    /// bulk path of the speedup tables.
+    /// `threads == 1` runs sequentially; larger values fan the query
+    /// batch out over the persistent compute pool. This is the
+    /// GPU-surrogate bulk path of the speedup tables.
     pub fn search_batch(&self, queries: &VectorSet, k: usize, threads: usize) -> Vec<Vec<Neighbor>> {
         batch_search(queries, k, threads, |q, k| self.search(q, k))
     }
 }
 
-/// Splits `queries` into `threads` chunks and applies `search` to each,
-/// preserving order. Shared by every index type in this crate.
+/// Applies `search` to every query, preserving order. `threads == 1`
+/// stays on the calling thread; otherwise the batch runs on the
+/// persistent work-stealing pool ([`emblookup_pool::Pool::global`]) in
+/// chunks, with each result written to its own slot — output is
+/// bit-identical across thread counts. Shared by every index type in
+/// this crate.
 pub fn batch_search<F>(
     queries: &VectorSet,
     k: usize,
@@ -99,20 +103,8 @@ where
     if threads == 1 {
         return queries.iter().map(|q| search(q, k)).collect();
     }
-    let chunk = n.div_ceil(threads);
-    let mut results: Vec<Vec<Neighbor>> = vec![Vec::new(); n];
-    std::thread::scope(|scope| {
-        for (t, slot) in results.chunks_mut(chunk).enumerate() {
-            let search = &search;
-            scope.spawn(move || {
-                for (offset, out) in slot.iter_mut().enumerate() {
-                    let qi = t * chunk + offset;
-                    *out = search(queries.get(qi), k);
-                }
-            });
-        }
-    });
-    results
+    let grain = n.div_ceil(threads * 2).max(1);
+    emblookup_pool::Pool::global().parallel_map(n, grain, |i| search(queries.get(i), k))
 }
 
 #[cfg(test)]
@@ -178,12 +170,19 @@ mod tests {
             queries.push(&v);
         }
         let seq = idx.search_batch(&queries, 5, 1);
-        let par = idx.search_batch(&queries, 5, 4);
-        assert_eq!(seq.len(), par.len());
-        for (a, b) in seq.iter().zip(par.iter()) {
-            let ia: Vec<usize> = a.iter().map(|n| n.index).collect();
-            let ib: Vec<usize> = b.iter().map(|n| n.index).collect();
-            assert_eq!(ia, ib);
+        for threads in [1usize, 4] {
+            let par = idx.search_batch(&queries, 5, threads);
+            assert_eq!(seq.len(), par.len());
+            for (a, b) in seq.iter().zip(par.iter()) {
+                let ia: Vec<usize> = a.iter().map(|n| n.index).collect();
+                let ib: Vec<usize> = b.iter().map(|n| n.index).collect();
+                assert_eq!(ia, ib, "ids differ at {threads} threads");
+                // distances must be bit-identical, not just close: every
+                // thread count runs the same kernel on the same slots
+                let da: Vec<u32> = a.iter().map(|n| n.dist.to_bits()).collect();
+                let db: Vec<u32> = b.iter().map(|n| n.dist.to_bits()).collect();
+                assert_eq!(da, db, "dists differ at {threads} threads");
+            }
         }
     }
 

@@ -48,15 +48,16 @@ impl KMeans {
         let mut assignment = vec![0usize; n];
 
         for _ in 0..config.max_iters {
-            // assignment step
-            let mut changed = false;
-            for (i, v) in data.iter().enumerate() {
-                let c = nearest_centroid(&centroids, v).0;
-                if assignment[i] != c {
-                    assignment[i] = c;
-                    changed = true;
-                }
-            }
+            // assignment step: pure per-point, so it fans out over the
+            // pool on large inputs (deterministic — disjoint slots)
+            let next_assign: Vec<usize> = if n >= 2048 {
+                emblookup_pool::Pool::global()
+                    .parallel_map(n, 256, |i| nearest_centroid(&centroids, data.get(i)).0)
+            } else {
+                data.iter().map(|v| nearest_centroid(&centroids, v).0).collect()
+            };
+            let changed = next_assign != assignment;
+            assignment = next_assign;
             if !changed {
                 break;
             }

@@ -8,7 +8,6 @@
 //! distances turns each distance evaluation into `m` table lookups.
 // lint: hot-path
 
-use crate::flat::batch_search;
 use crate::kmeans::{KMeans, KMeansConfig};
 use crate::topk::{Neighbor, TopK};
 use crate::vectors::{sq_l2, VectorSet};
@@ -137,25 +136,51 @@ impl ProductQuantizer {
     /// ADC lookup table for `query`: entry `[j * ks + c]` holds the squared
     /// distance between the query's `j`-th sub-vector and centroid `c`.
     pub fn distance_table(&self, query: &[f32]) -> Vec<f32> {
+        let mut table = Vec::new();
+        self.distance_table_into(query, &mut table);
+        table
+    }
+
+    /// Fills `table` with the ADC lookup table for `query`, reusing its
+    /// allocation — the batched-search path calls this once per query on
+    /// a single buffer per query block instead of allocating `m * ks`
+    /// floats every time.
+    pub fn distance_table_into(&self, query: &[f32], table: &mut Vec<f32>) {
         assert_eq!(query.len(), self.dim(), "query dim {} != {}", query.len(), self.dim());
-        let mut table = vec![0.0f32; self.m * self.ks];
+        table.clear();
+        table.resize(self.m * self.ks, 0.0);
         for j in 0..self.m {
             let sub = &query[j * self.dsub..(j + 1) * self.dsub];
             for (c, cent) in self.codebooks[j].iter().enumerate() {
                 table[j * self.ks + c] = sq_l2(sub, cent);
             }
         }
-        table
     }
 
     /// Approximate squared distance via the ADC table.
+    ///
+    /// Four independent accumulators keep the gathers in flight instead
+    /// of serializing them behind one float dependency chain; both the
+    /// single-query and batched paths call this same function, so their
+    /// results are exactly equal.
     #[inline]
     pub fn adc(&self, table: &[f32], code: &[u8]) -> f32 {
-        let mut acc = 0.0f32;
-        for (j, &c) in code.iter().enumerate() {
-            acc += table[j * self.ks + c as usize];
+        let ks = self.ks;
+        let mut quads = code.chunks_exact(4);
+        let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+        let mut j = 0;
+        for q in &mut quads {
+            s0 += table[j * ks + q[0] as usize];
+            s1 += table[(j + 1) * ks + q[1] as usize];
+            s2 += table[(j + 2) * ks + q[2] as usize];
+            s3 += table[(j + 3) * ks + q[3] as usize];
+            j += 4;
         }
-        acc
+        let mut rest = 0.0f32;
+        for (off, &c) in quads.remainder().iter().enumerate() {
+            rest += table[(j + off) * ks + c as usize];
+        }
+        (s0 + s1) + (s2 + s3) + rest
     }
 }
 
@@ -225,21 +250,48 @@ impl PqIndex {
         if self.n == 0 || k == 0 {
             return Vec::new();
         }
+        let table = self.quantizer.distance_table(query);
+        self.search_with_table(&table, k)
+    }
+
+    /// Scan under an already-built ADC table — the shared tail of the
+    /// single-query and batched paths.
+    fn search_with_table(&self, table: &[f32], k: usize) -> Vec<Neighbor> {
         crate::metrics::pq_searches().inc();
         crate::metrics::pq_visited().add(self.n as u64);
-        let table = self.quantizer.distance_table(query);
         let m = self.quantizer.m();
         let mut tk = TopK::new(k);
-        for i in 0..self.n {
-            let code = &self.codes[i * m..(i + 1) * m];
-            tk.push(i, self.quantizer.adc(&table, code));
+        for (i, code) in self.codes.chunks_exact(m).enumerate() {
+            tk.push(i, self.quantizer.adc(table, code));
         }
         tk.into_sorted()
     }
 
-    /// Batch search; `threads > 1` splits the queries across threads.
+    /// Batch search; `threads > 1` fans the queries out over the
+    /// persistent compute pool. Either way, one distance-table buffer is
+    /// reused across each query block (per chunk when parallel) instead
+    /// of being reallocated per query, and the scan itself goes through
+    /// the same [`ProductQuantizer::adc`] as [`PqIndex::search`], so
+    /// results are exactly equal to the single-query path.
     pub fn search_batch(&self, queries: &VectorSet, k: usize, threads: usize) -> Vec<Vec<Neighbor>> {
-        batch_search(queries, k, threads, |q, k| self.search(q, k))
+        let n = queries.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        if self.n == 0 || k == 0 {
+            return vec![Vec::new(); n];
+        }
+        let threads = threads.max(1).min(n);
+        let run = |table: &mut Vec<f32>, i: usize| {
+            self.quantizer.distance_table_into(queries.get(i), table);
+            self.search_with_table(table, k)
+        };
+        if threads == 1 {
+            let mut table = Vec::new();
+            return (0..n).map(|i| run(&mut table, i)).collect();
+        }
+        let grain = n.div_ceil(threads * 2).max(1);
+        emblookup_pool::Pool::global().parallel_map_with(n, grain, Vec::new, run)
     }
 }
 
@@ -289,6 +341,27 @@ mod tests {
             let adc = pq.adc(&table, &code);
             let exact = sq_l2(&q, &pq.decode(&code));
             assert!((adc - exact).abs() < 1e-4, "adc {adc} vs exact {exact}");
+        }
+        // the reusable-buffer table fill must match the allocating one
+        let mut reused = vec![9.0f32; 3]; // wrong size and stale content
+        pq.distance_table_into(&q, &mut reused);
+        assert_eq!(table, reused);
+    }
+
+    #[test]
+    fn batched_adc_matches_single_query_search() {
+        // the batched path (shared table buffer, pool fan-out) must be
+        // exactly equal to per-query search, ids and distances both
+        let data = random_set(400, 16, 9);
+        let idx = PqIndex::build(&data, small_config());
+        let queries = random_set(33, 16, 10);
+        for threads in [1, 4] {
+            let batched = idx.search_batch(&queries, 7, threads);
+            assert_eq!(batched.len(), queries.len());
+            for (q, hits) in queries.iter().zip(&batched) {
+                let single = idx.search(q, 7);
+                assert_eq!(hits, &single, "threads={threads}");
+            }
         }
     }
 

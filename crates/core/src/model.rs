@@ -116,13 +116,16 @@ impl EmbLookupModel {
         b: &mut Bindings,
         s: &str,
     ) -> Var {
-        let mut x = g.leaf(self.encode_chars(s));
+        // Constant leaves: neither the one-hot character planes nor the frozen
+        // fastText vector ever receive gradients, so marking them `constant`
+        // lets `backward` skip the first conv layer's input-gradient pass.
+        let mut x = g.constant(self.encode_chars(s));
         for conv in &self.convs {
             x = conv.forward(g, b, &self.store, x);
             x = g.relu(x);
         }
         let pooled = g.max_pool_segments(x, self.config.pool_segments); // [kernels * segments]
-        let sem = g.leaf(Tensor::vector(&self.semantic.embed(s))); // frozen
+        let sem = g.constant(Tensor::vector(&self.semantic.embed(s))); // frozen
         let cat = g.concat(&[pooled, sem]);
         let h = self.fuse1.forward(g, b, &self.store, cat);
         let h = g.relu(h);
@@ -176,8 +179,11 @@ impl EmbLookupModel {
         out
     }
 
-    /// Embeds a batch of mentions across `threads` threads, preserving
-    /// order — the bulk path behind index building and batched queries.
+    /// Embeds a batch of mentions, preserving order — the bulk path
+    /// behind index building and batched queries. `threads == 1` stays
+    /// on the calling thread; larger values fan out over the persistent
+    /// compute pool. Each mention's embedding lands in its own output
+    /// slot, so results are bit-identical across thread counts.
     pub fn embed_batch(&self, mentions: &[&str], threads: usize) -> Vec<Vec<f32>> {
         let n = mentions.len();
         if n == 0 {
@@ -187,18 +193,8 @@ impl EmbLookupModel {
         if threads == 1 {
             return mentions.iter().map(|m| self.embed(m)).collect();
         }
-        let chunk = n.div_ceil(threads);
-        let mut out: Vec<Vec<f32>> = vec![Vec::new(); n];
-        std::thread::scope(|scope| {
-            for (t, slot) in out.chunks_mut(chunk).enumerate() {
-                scope.spawn(move || {
-                    for (offset, dst) in slot.iter_mut().enumerate() {
-                        *dst = self.embed(mentions[t * chunk + offset]);
-                    }
-                });
-            }
-        });
-        out
+        let grain = n.div_ceil(threads * 2).max(1);
+        emblookup_pool::Pool::global().parallel_map(n, grain, |i| self.embed(mentions[i]))
     }
 }
 
@@ -256,9 +252,18 @@ mod tests {
     fn batch_matches_sequential() {
         let m = tiny_model();
         let mentions = ["germany", "tokyo", "berlin", "paris", "rome"];
+        let bits = |vs: &[Vec<f32>]| -> Vec<Vec<u32>> {
+            vs.iter().map(|v| v.iter().map(|x| x.to_bits()).collect()).collect()
+        };
         let seq = m.embed_batch(&mentions, 1);
-        let par = m.embed_batch(&mentions, 3);
-        assert_eq!(seq, par);
+        for threads in [1usize, 4] {
+            let par = m.embed_batch(&mentions, threads);
+            assert_eq!(
+                bits(&seq),
+                bits(&par),
+                "embed_batch not bit-identical at {threads} threads"
+            );
+        }
     }
 
     #[test]

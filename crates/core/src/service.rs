@@ -191,11 +191,12 @@ impl LookupService for EmbLookup {
     }
 }
 
-/// Degree of parallelism for bulk paths: all cores minus one, at least 1.
+/// Degree of parallelism for bulk paths. Delegates to the pool's cached
+/// [`emblookup_pool::default_threads`] (`EMBLOOKUP_THREADS` override,
+/// else cores minus one, at least 1) — resolved once per process instead
+/// of re-querying `available_parallelism` on every call.
 pub fn num_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get().saturating_sub(1).max(1))
-        .unwrap_or(1)
+    emblookup_pool::default_threads()
 }
 
 #[cfg(test)]

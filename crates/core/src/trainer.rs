@@ -8,14 +8,21 @@
 use crate::mining::Triplet;
 use crate::model::EmbLookupModel;
 use emblookup_ann::sq_l2;
-use emblookup_tensor::loss;
-use emblookup_tensor::optim::{Adam, Optimizer};
 use emblookup_obs::names;
-use emblookup_tensor::{Bindings, Graph};
+use emblookup_tensor::loss;
+use emblookup_tensor::optim::{Adam, GradBuffer, Optimizer};
+use emblookup_tensor::{Bindings, Graph, Var};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use std::collections::HashMap;
+
+/// Triplets per micro-batch graph. Each micro-batch builds its own tape
+/// (possibly on the compute pool) and its gradients merge in index order
+/// before a single optimizer step, so the size is a fixed constant — never
+/// derived from the thread count — to keep training bit-identical across
+/// `EMBLOOKUP_THREADS` settings.
+const MICRO_BATCH: usize = 32;
 
 /// Per-epoch training statistics.
 #[derive(Debug, Clone)]
@@ -102,27 +109,21 @@ pub fn train(model: &mut EmbLookupModel, triplets: &[Triplet]) -> TrainReport {
         }
         let mut epoch_loss = 0.0f64;
         for chunk in active.chunks(config.batch_size) {
-            let mut g = Graph::new();
-            let mut b = Bindings::new();
-            let mut losses = Vec::with_capacity(chunk.len());
-            for &i in chunk {
-                let t = &triplets[i];
-                let ea = model.forward(&mut g, &mut b, &t.anchor);
-                let ep = model.forward(&mut g, &mut b, &t.positive);
-                let en = model.forward(&mut g, &mut b, &t.negative);
-                losses.push(match config.loss {
-                    crate::config::LossKind::Triplet => {
-                        loss::triplet(&mut g, ea, ep, en, config.margin)
-                    }
-                    crate::config::LossKind::Contrastive => {
-                        loss::contrastive_triplet(&mut g, ea, ep, en, config.margin)
-                    }
+            let micros: Vec<&[usize]> = chunk.chunks(MICRO_BATCH).collect();
+            let shared: &EmbLookupModel = model;
+            let outs: Vec<(f64, GradBuffer)> = emblookup_pool::Pool::global()
+                .parallel_map(micros.len(), 1, |mi| {
+                    run_micro_batch(shared, triplets, micros[mi])
                 });
+            // summed micro-batch gradients, folded in index order then
+            // scaled, reproduce the old single-graph batch mean exactly
+            let mut merged = GradBuffer::new();
+            for (loss_sum, grads) in &outs {
+                epoch_loss += loss_sum;
+                merged.merge(grads);
             }
-            let total = loss::batch_mean(&mut g, &losses);
-            g.backward(total);
-            epoch_loss += g.value(total).item() as f64 * chunk.len() as f64;
-            optimizer.step(&mut model.store, &g, &b);
+            merged.scale(1.0 / chunk.len() as f32);
+            optimizer.step_grads(&mut model.store, &merged);
         }
         let stats = EpochStats {
             epoch,
@@ -136,18 +137,85 @@ pub fn train(model: &mut EmbLookupModel, triplets: &[Triplet]) -> TrainReport {
     report
 }
 
+/// Records one mention's forward pass, reusing the graph nodes of an
+/// earlier identical mention in the same micro-batch. Triplet mining
+/// repeats anchors heavily (`triplets_per_entity` triplets share one
+/// anchor), so sharing the subgraph removes most forward legs; gradients
+/// still accumulate correctly because backward sums over every fan-out of
+/// the shared node.
+fn memo_forward<'t>(
+    model: &EmbLookupModel,
+    g: &mut Graph,
+    b: &mut Bindings,
+    memo: &mut HashMap<&'t str, Var>,
+    s: &'t str,
+) -> Var {
+    if let Some(v) = memo.get(s) {
+        return *v;
+    }
+    let v = model.forward(g, b, s);
+    memo.insert(s, v);
+    v
+}
+
+/// Builds one micro-batch's graph, backpropagates its *summed* loss, and
+/// returns that sum together with the collected gradients. Dividing the
+/// merged gradients by the full batch length afterwards recovers the
+/// batch-mean update.
+fn run_micro_batch(
+    model: &EmbLookupModel,
+    triplets: &[Triplet],
+    micro: &[usize],
+) -> (f64, GradBuffer) {
+    let config = model.config();
+    let mut g = Graph::new();
+    let mut b = Bindings::new();
+    let mut memo: HashMap<&str, Var> = HashMap::new();
+    let mut total: Option<Var> = None;
+    for &i in micro {
+        let t = &triplets[i];
+        let ea = memo_forward(model, &mut g, &mut b, &mut memo, &t.anchor);
+        let ep = memo_forward(model, &mut g, &mut b, &mut memo, &t.positive);
+        let en = memo_forward(model, &mut g, &mut b, &mut memo, &t.negative);
+        let l = match config.loss {
+            crate::config::LossKind::Triplet => {
+                loss::triplet(&mut g, ea, ep, en, config.margin)
+            }
+            crate::config::LossKind::Contrastive => {
+                loss::contrastive_triplet(&mut g, ea, ep, en, config.margin)
+            }
+        };
+        total = Some(match total {
+            Some(acc) => g.add(acc, l),
+            None => l,
+        });
+    }
+    let Some(total) = total else {
+        return (0.0, GradBuffer::new());
+    };
+    g.backward(total);
+    (f64::from(g.value(total).item()), GradBuffer::from_graph(&g, &b))
+}
+
 /// Indices of triplets with non-zero loss under the current model — the
 /// hard and semi-hard set of the paper's online phase. Embeddings are
-/// computed once per distinct mention through the fast inference path.
+/// computed once per distinct mention through the fast inference path,
+/// fanned out over the compute pool.
 fn select_hard(model: &EmbLookupModel, triplets: &[Triplet], margin: f32) -> Vec<usize> {
     // embed each distinct mention once; keys borrow from `triplets`
+    let mut distinct: Vec<&str> = Vec::new();
     let mut cache: HashMap<&str, Vec<f32>> = HashMap::new();
     for t in triplets {
         for s in [t.anchor.as_str(), t.positive.as_str(), t.negative.as_str()] {
             if !cache.contains_key(s) {
-                cache.insert(s, model.embed(s));
+                cache.insert(s, Vec::new());
+                distinct.push(s);
             }
         }
+    }
+    let embedded = model.embed_batch(&distinct, emblookup_pool::default_threads());
+    for (s, e) in distinct.into_iter().zip(embedded) {
+        cache.insert(s, e);
     }
     triplets
         .iter()

@@ -76,10 +76,16 @@ impl FastText {
         let mut model = SgnsModel::new(config.buckets, corpus.vocab_size(), config.dim, &mut rng);
         let sampler = NegativeSampler::new(corpus.counts());
 
-        // precompute per-word n-gram feature ids
-        let features: Vec<Vec<u32>> = (0..corpus.vocab_size() as u32)
-            .map(|id| Self::ngram_ids(corpus.token(id), &config))
-            .collect();
+        // precompute per-word n-gram feature ids, fanned out over the
+        // compute pool; each word hashes independently into its own
+        // output slot, so the table is identical at any thread count.
+        // The SGNS pair loop below stays serial — its RNG stream is the
+        // determinism contract (`deterministic_given_seed`).
+        let features: Vec<Vec<u32>> = emblookup_pool::Pool::global().parallel_map(
+            corpus.vocab_size(),
+            64,
+            |id| Self::ngram_ids(corpus.token(id as u32), &config),
+        );
 
         let mut negs = vec![0u32; config.negatives];
         for _ in 0..config.epochs {

@@ -4,6 +4,7 @@
 //!
 //! ```text
 //!   rank 0    rand, obs              (utility leaves)
+//!   rank 5    pool                   (compute pool, over obs only)
 //!   rank 10   tensor, text           (substrates)
 //!   rank 20   kg                     (domain model)
 //!   rank 25   embed                  (encoders, over kg/text/tensor)
@@ -31,6 +32,7 @@ use crate::parser::CrateRef;
 pub const LAYERS: &[(&str, u32)] = &[
     ("rand", 0),
     ("emblookup-obs", 0),
+    ("emblookup-pool", 5),
     ("emblookup-tensor", 10),
     ("emblookup-text", 10),
     ("emblookup-kg", 20),

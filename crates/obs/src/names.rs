@@ -71,6 +71,12 @@ names! {
     ANN_IVFPQ_SEARCHES => "ann.ivfpq.searches",
     /// Counter of codes visited by IVFPQ searches.
     ANN_IVFPQ_VISITED => "ann.ivfpq.visited_nodes",
+    /// Counter of tasks executed by the compute pool.
+    POOL_TASKS => "pool.tasks",
+    /// Gauge: tasks currently queued in the compute pool.
+    POOL_QUEUE_DEPTH => "pool.queue.depth",
+    /// Counter of tasks stolen from another worker's deque.
+    POOL_STEALS => "pool.steal",
 }
 
 /// Scoped single-query latency histogram name:

@@ -1,0 +1,716 @@
+//! # emblookup-pool
+//!
+//! A persistent work-stealing compute pool built on std primitives only —
+//! the shared parallel substrate behind bulk embedding, batched ANN
+//! search, k-means assignment and minibatch training.
+//!
+//! Before this crate, every batched call site spawned fresh OS threads
+//! through `std::thread::scope`, paying thread start-up per call. The
+//! pool keeps its workers alive for the process lifetime (FAISS-style)
+//! and hands out work through per-worker deques plus a global injector:
+//!
+//! * a submitting worker pushes chunks onto **its own deque** and pops
+//!   them LIFO (cache-warm); idle workers **steal FIFO** from the other
+//!   end or from the injector;
+//! * the **caller participates**: while waiting for its job it executes
+//!   pending tasks instead of blocking, which makes nested
+//!   [`Pool::parallel_for`] calls deadlock-free even on a single worker;
+//! * task closures borrow from the caller's stack. This is safe because
+//!   the submitting call does not return until every chunk of its job
+//!   has completed (the job handle counts outstanding chunks).
+//!
+//! Sizing is resolved once per process by [`default_threads`]
+//! (`EMBLOOKUP_THREADS` override, else `available_parallelism() - 1`,
+//! min 1) and shared through the lazily-initialized [`Pool::global`].
+//! Tests that need explicit widths construct their own
+//! [`Pool::with_threads`].
+//!
+//! Panics inside tasks are contained per L001: [`Pool::try_parallel_for`]
+//! surfaces them as a [`TaskPanic`] error; the panicking variants rethrow
+//! the message as a panic on the calling thread, so a poisoned job never
+//! takes a worker down.
+
+#![warn(missing_docs)]
+
+use emblookup_obs::names;
+use emblookup_obs::{Counter, Gauge};
+use std::any::Any;
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Locks a mutex, ignoring poison: pool state stays consistent because
+/// every critical section is a plain field update and task panics are
+/// already contained by `catch_unwind` before completion bookkeeping.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A task raised a panic; carries the payload's message when extractable.
+#[derive(Debug, Clone)]
+pub struct TaskPanic {
+    /// Human-readable panic message (`"task panicked"` when the payload
+    /// was not a string).
+    pub message: String,
+}
+
+impl TaskPanic {
+    fn from_payload(payload: &(dyn Any + Send)) -> Self {
+        let message = if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_owned()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "task panicked".to_owned()
+        };
+        TaskPanic { message }
+    }
+
+    fn resume(self) -> ! {
+        panic::resume_unwind(Box::new(self.message))
+    }
+}
+
+impl std::fmt::Display for TaskPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "pool task panicked: {}", self.message)
+    }
+}
+
+impl std::error::Error for TaskPanic {}
+
+/// One outstanding `parallel_for` (or `join`) invocation: a lifetime- and
+/// type-erased chunk runner plus completion bookkeeping. The raw pointer
+/// stays valid because the submitting call blocks (work-helping) until
+/// `pending` reaches zero, and only then lets the pointee drop.
+struct JobCore {
+    data: *const (),
+    call: unsafe fn(*const (), usize, usize),
+    pending: AtomicUsize,
+    panic_payload: Mutex<Option<Box<dyn Any + Send>>>,
+    done: Mutex<bool>,
+    done_cv: Condvar,
+}
+
+// SAFETY: `data` points at a `Sync` closure owned by the submitting
+// frame, which outlives every task of the job (see struct docs).
+unsafe impl Send for JobCore {}
+unsafe impl Sync for JobCore {}
+
+/// Monomorphized trampoline re-typing `data` back to the concrete
+/// closure; pairing it with `data` in [`job_for`] is what keeps the
+/// erasure sound (no dyn fat pointers involved).
+unsafe fn call_chunk<F: Fn(usize, usize) + Sync>(data: *const (), lo: usize, hi: usize) {
+    unsafe { (*(data as *const F))(lo, hi) }
+}
+
+/// Erases `runner` into a [`JobCore`] expecting `pending` chunks.
+fn job_for<F: Fn(usize, usize) + Sync>(runner: &F, pending: usize) -> Arc<JobCore> {
+    Arc::new(JobCore {
+        data: runner as *const F as *const (),
+        call: call_chunk::<F>,
+        pending: AtomicUsize::new(pending),
+        panic_payload: Mutex::new(None),
+        done: Mutex::new(false),
+        done_cv: Condvar::new(),
+    })
+}
+
+/// A half-open index range of one job, executable by any thread.
+struct Task {
+    job: Arc<JobCore>,
+    lo: usize,
+    hi: usize,
+}
+
+struct Shared {
+    /// One deque per worker; owners pop LIFO, thieves steal FIFO.
+    deques: Vec<Mutex<VecDeque<Task>>>,
+    /// Overflow queue for submissions from non-worker threads.
+    injector: Mutex<VecDeque<Task>>,
+    /// Tasks currently sitting in any queue (not yet picked up).
+    queued: AtomicUsize,
+    sleep: Mutex<()>,
+    wake: Condvar,
+    shutdown: AtomicBool,
+    tasks_total: Arc<Counter>,
+    steals: Arc<Counter>,
+    queue_depth: Arc<Gauge>,
+}
+
+impl Shared {
+    fn note_enqueued(&self, added: usize) {
+        let now = self.queued.fetch_add(added, Ordering::AcqRel) + added;
+        self.queue_depth.set(now as f64);
+    }
+
+    fn note_dequeued(&self) {
+        let prev = self.queued.fetch_sub(1, Ordering::AcqRel);
+        self.queue_depth.set(prev.saturating_sub(1) as f64);
+    }
+
+    /// Pops a task: own deque back (LIFO) first when called from worker
+    /// `me`, then the injector, then the other deques' front (steal).
+    fn find_task(&self, me: Option<usize>) -> Option<Task> {
+        if let Some(i) = me {
+            if let Some(t) = lock(&self.deques[i]).pop_back() {
+                self.note_dequeued();
+                return Some(t);
+            }
+        }
+        if let Some(t) = lock(&self.injector).pop_front() {
+            self.note_dequeued();
+            return Some(t);
+        }
+        let n = self.deques.len();
+        let start = me.map(|i| i + 1).unwrap_or(0);
+        for off in 0..n {
+            let j = (start + off) % n;
+            if Some(j) == me {
+                continue;
+            }
+            if let Some(t) = lock(&self.deques[j]).pop_front() {
+                self.note_dequeued();
+                self.steals.inc();
+                return Some(t);
+            }
+        }
+        None
+    }
+
+    /// Runs one task under `catch_unwind`, recording the first panic
+    /// payload on its job and signalling completion of the last chunk.
+    fn run_task(&self, task: Task) {
+        self.tasks_total.inc();
+        let result = panic::catch_unwind(AssertUnwindSafe(|| unsafe {
+            (task.job.call)(task.job.data, task.lo, task.hi)
+        }));
+        if let Err(payload) = result {
+            let mut slot = lock(&task.job.panic_payload);
+            if slot.is_none() {
+                *slot = Some(payload);
+            }
+        }
+        if task.job.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let mut done = lock(&task.job.done);
+            *done = true;
+            task.job.done_cv.notify_all();
+        }
+    }
+
+    fn push_tasks(&self, tasks: Vec<Task>, me: Option<usize>) {
+        let n = tasks.len();
+        match me {
+            Some(i) => lock(&self.deques[i]).extend(tasks),
+            None => lock(&self.injector).extend(tasks),
+        }
+        self.note_enqueued(n);
+        // taking the sleep lock orders this notify after any in-progress
+        // queue check inside the workers' park sequence
+        let _g = lock(&self.sleep);
+        self.wake.notify_all();
+    }
+}
+
+thread_local! {
+    /// `(Shared address, worker index)` of the pool this thread works for.
+    static WORKER: Cell<Option<(usize, usize)>> = const { Cell::new(None) };
+}
+
+fn worker_loop(shared: Arc<Shared>, me: usize) {
+    WORKER.with(|w| w.set(Some((Arc::as_ptr(&shared) as usize, me))));
+    loop {
+        if let Some(task) = shared.find_task(Some(me)) {
+            shared.run_task(task);
+            continue;
+        }
+        if shared.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        let guard = lock(&shared.sleep);
+        if shared.queued.load(Ordering::Acquire) == 0 && !shared.shutdown.load(Ordering::Acquire) {
+            // timed wait as a lost-wakeup backstop; producers notify under
+            // the same lock, so this normally wakes promptly on new work
+            let _ = shared
+                .wake
+                .wait_timeout(guard, Duration::from_millis(50))
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+/// Persistent work-stealing pool; see the crate docs for the design.
+pub struct Pool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Pool {
+    /// Builds a pool with `threads` total parallelism **including the
+    /// submitting thread**: `threads - 1` workers are spawned, and the
+    /// caller of [`Pool::parallel_for`] works alongside them.
+    /// `with_threads(1)` spawns no workers and executes everything inline
+    /// on the caller — the deterministic serial configuration.
+    pub fn with_threads(threads: usize) -> Self {
+        let workers = threads.max(1) - 1;
+        let reg = emblookup_obs::global();
+        let shared = Arc::new(Shared {
+            deques: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            injector: Mutex::new(VecDeque::new()),
+            queued: AtomicUsize::new(0),
+            sleep: Mutex::new(()),
+            wake: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            tasks_total: reg.counter(names::POOL_TASKS),
+            steals: reg.counter(names::POOL_STEALS),
+            queue_depth: reg.gauge(names::POOL_QUEUE_DEPTH),
+        });
+        let handles = (0..workers)
+            .filter_map(|i| {
+                let shared = Arc::clone(&shared);
+                // a failed spawn only narrows parallelism: the missing
+                // worker's deque is still drained through steals
+                std::thread::Builder::new()
+                    .name(format!("emblookup-pool-{i}"))
+                    .spawn(move || worker_loop(shared, i))
+                    .ok()
+            })
+            .collect();
+        Pool { shared, workers: handles }
+    }
+
+    /// The process-wide pool, created on first use with
+    /// [`default_threads`] parallelism.
+    pub fn global() -> &'static Pool {
+        static GLOBAL: OnceLock<Pool> = OnceLock::new();
+        GLOBAL.get_or_init(|| Pool::with_threads(default_threads()))
+    }
+
+    /// Total parallelism of this pool (workers + the submitting thread).
+    pub fn threads(&self) -> usize {
+        self.shared.deques.len() + 1
+    }
+
+    /// Worker index when the current thread belongs to this pool.
+    fn current_worker(&self) -> Option<usize> {
+        let key = Arc::as_ptr(&self.shared) as usize;
+        WORKER.with(|w| match w.get() {
+            Some((pool, idx)) if pool == key => Some(idx),
+            _ => None,
+        })
+    }
+
+    /// Runs `f(i)` for every `i in 0..n`, splitting the range into chunks
+    /// of at least `grain` indices executed across the pool. Returns a
+    /// [`TaskPanic`] error if any invocation panicked (every chunk still
+    /// runs to completion or unwinds before this returns).
+    pub fn try_parallel_for<F>(&self, n: usize, grain: usize, f: F) -> Result<(), TaskPanic>
+    where
+        F: Fn(usize) + Sync,
+    {
+        let runner = |lo: usize, hi: usize| {
+            for i in lo..hi {
+                f(i);
+            }
+        };
+        self.run_chunked(n, grain, &runner)
+    }
+
+    /// Like [`Pool::try_parallel_for`], but rethrows a task panic on the
+    /// calling thread.
+    pub fn parallel_for<F>(&self, n: usize, grain: usize, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        if let Err(e) = self.try_parallel_for(n, grain, f) {
+            e.resume();
+        }
+    }
+
+    /// Maps `f` over `0..n` into a `Vec` in index order, computing the
+    /// entries across the pool. Chunking follows `grain` as in
+    /// [`Pool::parallel_for`]. Task panics are rethrown on the caller.
+    pub fn parallel_map<U, F>(&self, n: usize, grain: usize, f: F) -> Vec<U>
+    where
+        U: Send,
+        F: Fn(usize) -> U + Sync,
+    {
+        match self.try_parallel_map(n, grain, f) {
+            Ok(v) => v,
+            Err(e) => e.resume(),
+        }
+    }
+
+    /// Fallible variant of [`Pool::parallel_map`].
+    pub fn try_parallel_map<U, F>(&self, n: usize, grain: usize, f: F) -> Result<Vec<U>, TaskPanic>
+    where
+        U: Send,
+        F: Fn(usize) -> U + Sync,
+    {
+        self.try_parallel_map_with(n, grain, || (), |(), i| f(i))
+    }
+
+    /// Like [`Pool::parallel_map`] with per-chunk scratch state: `init`
+    /// builds one `S` per executed chunk and `f(&mut scratch, i)` reuses
+    /// it across that chunk's indices — the pattern for amortizing a
+    /// work buffer (e.g. an ADC distance table) over a block of queries
+    /// without allocating per element. Task panics are rethrown.
+    pub fn parallel_map_with<S, U, I, F>(&self, n: usize, grain: usize, init: I, f: F) -> Vec<U>
+    where
+        U: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, usize) -> U + Sync,
+    {
+        match self.try_parallel_map_with(n, grain, init, f) {
+            Ok(v) => v,
+            Err(e) => e.resume(),
+        }
+    }
+
+    /// Fallible variant of [`Pool::parallel_map_with`].
+    pub fn try_parallel_map_with<S, U, I, F>(
+        &self,
+        n: usize,
+        grain: usize,
+        init: I,
+        f: F,
+    ) -> Result<Vec<U>, TaskPanic>
+    where
+        U: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, usize) -> U + Sync,
+    {
+        struct SlotPtr<U>(*mut Option<U>);
+        unsafe impl<U: Send> Sync for SlotPtr<U> {}
+        unsafe impl<U: Send> Send for SlotPtr<U> {}
+        impl<U> SlotPtr<U> {
+            /// # Safety
+            /// Each index must be written at most once while the backing
+            /// buffer is alive and no other reference observes slot `i`.
+            unsafe fn write(&self, i: usize, v: U) {
+                unsafe { *self.0.add(i) = Some(v) }
+            }
+        }
+
+        let mut out: Vec<Option<U>> = Vec::with_capacity(n);
+        out.resize_with(n, || None);
+        let slots = SlotPtr(out.as_mut_ptr());
+        let runner = |lo: usize, hi: usize| {
+            let mut scratch = init();
+            for i in lo..hi {
+                let v = f(&mut scratch, i);
+                // SAFETY: chunks partition 0..n, so each index is visited
+                // exactly once and writes land in disjoint slots of a
+                // buffer that outlives the call.
+                unsafe { slots.write(i, v) };
+            }
+        };
+        self.run_chunked(n, grain, &runner)?;
+        let collected: Vec<U> = out.into_iter().flatten().collect();
+        debug_assert_eq!(collected.len(), n, "parallel_map lost a slot");
+        Ok(collected)
+    }
+
+    /// Runs two closures, potentially in parallel: `b` is offered to the
+    /// pool while the caller runs `a`, then the caller helps until `b`
+    /// finishes. Panics from either side are rethrown once both settled.
+    pub fn join<A, B, RA, RB>(&self, a: A, b: B) -> (RA, RB)
+    where
+        A: FnOnce() -> RA + Send,
+        B: FnOnce() -> RB + Send,
+        RA: Send,
+        RB: Send,
+    {
+        if self.shared.deques.is_empty() {
+            return (a(), b());
+        }
+        let cell: Mutex<(Option<B>, Option<RB>)> = Mutex::new((Some(b), None));
+        let runner = |_lo: usize, _hi: usize| {
+            let mut g = lock(&cell);
+            if let Some(bf) = g.0.take() {
+                let rb = bf();
+                g.1 = Some(rb);
+            }
+        };
+        let job = job_for(&runner, 1);
+        let me = self.current_worker();
+        self.shared
+            .push_tasks(vec![Task { job: Arc::clone(&job), lo: 0, hi: 1 }], me);
+        // run `a` on the caller; contain its panic so we never unwind
+        // while `b` may still borrow `runner`/`cell` from this frame
+        let ra = panic::catch_unwind(AssertUnwindSafe(a));
+        self.help_until_done(&job);
+        let b_panic = lock(&job.panic_payload).take();
+        match ra {
+            Err(payload) => panic::resume_unwind(payload),
+            Ok(ra) => {
+                if let Some(payload) = b_panic {
+                    panic::resume_unwind(payload);
+                }
+                let rb = lock(&cell).1.take();
+                match rb {
+                    Some(rb) => (ra, rb),
+                    // unreachable: no recorded panic implies `b` stored
+                    // its result; keep a structured fallback regardless
+                    None => TaskPanic { message: "join: task result missing".to_owned() }.resume(),
+                }
+            }
+        }
+    }
+
+    /// Splits `0..n` into chunks and executes `runner(lo, hi)` for each
+    /// across the pool, helping from the calling thread until done.
+    fn run_chunked<F>(&self, n: usize, grain: usize, runner: &F) -> Result<(), TaskPanic>
+    where
+        F: Fn(usize, usize) + Sync,
+    {
+        if n == 0 {
+            return Ok(());
+        }
+        let grain = grain.max(1);
+        let workers = self.shared.deques.len();
+        // enough chunks for balance, not so many that queue traffic wins
+        let max_chunks = (workers + 1) * 4;
+        let chunks = n.div_ceil(grain).min(max_chunks).max(1);
+        if workers == 0 || chunks == 1 {
+            // inline execution still counts as one task so `pool.tasks`
+            // reflects throughput on single-core hosts
+            self.shared.tasks_total.inc();
+            let result = panic::catch_unwind(AssertUnwindSafe(|| runner(0, n)));
+            return result.map_err(|p| TaskPanic::from_payload(p.as_ref()));
+        }
+        let chunk = n.div_ceil(chunks);
+        let ranges: Vec<(usize, usize)> = (0..chunks)
+            .map(|t| (t * chunk, ((t + 1) * chunk).min(n)))
+            .filter(|&(lo, hi)| lo < hi)
+            .collect();
+        let job = job_for(runner, ranges.len());
+        let me = self.current_worker();
+        let tasks = ranges
+            .into_iter()
+            .map(|(lo, hi)| Task { job: Arc::clone(&job), lo, hi })
+            .collect();
+        self.shared.push_tasks(tasks, me);
+        self.help_until_done(&job);
+        let panicked = lock(&job.panic_payload).take();
+        match panicked {
+            Some(payload) => Err(TaskPanic::from_payload(payload.as_ref())),
+            None => Ok(()),
+        }
+    }
+
+    /// Executes pending tasks (any job) until `job` completes; parks on
+    /// the job's condvar only when no runnable task exists.
+    fn help_until_done(&self, job: &Arc<JobCore>) {
+        let me = self.current_worker();
+        loop {
+            if *lock(&job.done) {
+                return;
+            }
+            if let Some(task) = self.shared.find_task(me) {
+                self.shared.run_task(task);
+                continue;
+            }
+            let guard = lock(&job.done);
+            if *guard {
+                return;
+            }
+            // short timeout: a nested job may enqueue helpable tasks
+            // without signalling this job's condvar
+            let _ = job
+                .done_cv
+                .wait_timeout(guard, Duration::from_millis(1))
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        {
+            let _g = lock(&self.shared.sleep);
+            self.shared.wake.notify_all();
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Process-wide parallelism: the `EMBLOOKUP_THREADS` environment variable
+/// when set to a positive integer, else `available_parallelism() - 1`
+/// (at least 1). Resolved once and cached — every sizing decision in the
+/// workspace routes through this single point.
+pub fn default_threads() -> usize {
+    static CACHED: OnceLock<usize> = OnceLock::new();
+    *CACHED.get_or_init(|| {
+        if let Some(n) = std::env::var("EMBLOOKUP_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+        {
+            return n;
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get().saturating_sub(1).max(1))
+            .unwrap_or(1)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn parallel_for_visits_every_index_once() {
+        for threads in [1, 2, 4] {
+            let pool = Pool::with_threads(threads);
+            let n = 1000;
+            let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+            pool.parallel_for(n, 7, |i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        }
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        for threads in [1, 4] {
+            let pool = Pool::with_threads(threads);
+            let out = pool.parallel_map(257, 16, |i| i * i);
+            assert_eq!(out.len(), 257);
+            assert!(out.iter().enumerate().all(|(i, &v)| v == i * i));
+        }
+    }
+
+    #[test]
+    fn parallel_map_with_reuses_scratch_per_chunk() {
+        for threads in [1, 4] {
+            let pool = Pool::with_threads(threads);
+            let inits = AtomicUsize::new(0);
+            let out = pool.parallel_map_with(
+                100,
+                10,
+                || {
+                    inits.fetch_add(1, Ordering::Relaxed);
+                    Vec::<usize>::with_capacity(16)
+                },
+                |scratch, i| {
+                    scratch.push(i);
+                    i * 2
+                },
+            );
+            assert!(out.iter().enumerate().all(|(i, &v)| v == i * 2));
+            let built = inits.load(Ordering::Relaxed);
+            assert!((1..=10).contains(&built), "scratch built {built} times");
+        }
+    }
+
+    #[test]
+    fn zero_len_and_single_index_work() {
+        let pool = Pool::with_threads(4);
+        pool.parallel_for(0, 8, |_| unreachable!("no indices"));
+        let out = pool.parallel_map(1, 8, |i| i + 41);
+        assert_eq!(out, vec![41]);
+    }
+
+    #[test]
+    fn nested_parallel_for_completes() {
+        let pool = Pool::with_threads(4);
+        let total = AtomicU64::new(0);
+        pool.parallel_for(8, 1, |i| {
+            // nested submission from both worker and caller threads
+            let local: u64 = pool
+                .parallel_map(10, 2, |j| (i * 10 + j) as u64)
+                .into_iter()
+                .sum();
+            total.fetch_add(local, Ordering::Relaxed);
+        });
+        let expect: u64 = (0..80u64).sum();
+        assert_eq!(total.load(Ordering::Relaxed), expect);
+    }
+
+    #[test]
+    fn try_parallel_for_surfaces_panic_as_error() {
+        for threads in [1, 4] {
+            let pool = Pool::with_threads(threads);
+            let err = pool
+                .try_parallel_for(64, 4, |i| {
+                    if i == 13 {
+                        panic!("boom at 13");
+                    }
+                })
+                .expect_err("panic must surface");
+            assert!(err.message.contains("boom at 13"), "got: {}", err.message);
+            // the pool must stay usable afterwards
+            let out = pool.parallel_map(8, 2, |i| i);
+            assert_eq!(out.len(), 8);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "deliberate")]
+    fn parallel_for_rethrows_panic() {
+        let pool = Pool::with_threads(4);
+        pool.parallel_for(16, 1, |i| {
+            if i == 5 {
+                panic!("deliberate");
+            }
+        });
+    }
+
+    #[test]
+    fn join_runs_both_sides() {
+        for threads in [1, 4] {
+            let pool = Pool::with_threads(threads);
+            let (a, b) = pool.join(|| 2 + 2, || "ok".len());
+            assert_eq!((a, b), (4, 2));
+        }
+    }
+
+    #[test]
+    fn join_from_inside_parallel_for() {
+        let pool = Pool::with_threads(3);
+        let acc = AtomicU64::new(0);
+        pool.parallel_for(6, 1, |i| {
+            let (a, b) = pool.join(|| i as u64, || (i * i) as u64);
+            acc.fetch_add(a + b, Ordering::Relaxed);
+        });
+        let expect: u64 = (0..6u64).map(|i| i + i * i).sum();
+        assert_eq!(acc.load(Ordering::Relaxed), expect);
+    }
+
+    #[test]
+    fn results_identical_across_thread_counts() {
+        let serial = Pool::with_threads(1);
+        let wide = Pool::with_threads(4);
+        let f = |i: usize| (i as f32).sqrt() * 1.5 + (i % 7) as f32;
+        let a = serial.parallel_map(500, 8, f);
+        let b = wide.parallel_map(500, 8, f);
+        assert!(a.iter().zip(b.iter()).all(|(x, y)| x.to_bits() == y.to_bits()));
+    }
+
+    #[test]
+    fn drop_joins_workers() {
+        let pool = Pool::with_threads(4);
+        pool.parallel_for(100, 5, |_| {});
+        drop(pool); // must not hang
+    }
+
+    #[test]
+    fn global_pool_is_shared_and_sized() {
+        let p1 = Pool::global();
+        let p2 = Pool::global();
+        assert!(std::ptr::eq(p1, p2));
+        assert!(p1.threads() >= 1);
+        let out = p1.parallel_map(32, 4, |i| i as u32);
+        assert_eq!(out.len(), 32);
+    }
+}

@@ -41,6 +41,35 @@ pub fn conv1d_forward(x: &Tensor, w: &Tensor, b: &Tensor, pad: usize) -> Tensor 
     let xd = x.data();
     let wd = w.data();
     let od = out.data_mut();
+    if let Some(cols) = column_onehot(xd, c_in, l) {
+        // One-hot fast path: each input column holds a single nonzero
+        // (the first conv layer sees one-hot character columns), so the
+        // convolution degenerates to gathering k weight taps per column —
+        // C_out * L * K work instead of C_out * C_in * L * K.
+        for co in 0..c_out {
+            let orow = &mut od[co * l_out..(co + 1) * l_out];
+            let bias = b.data()[co];
+            for o in orow.iter_mut() {
+                *o = bias;
+            }
+            let wrow = &wd[co * c_in * k..(co + 1) * c_in * k];
+            for (u, &(row, val)) in cols.iter().enumerate() {
+                if row == u32::MAX {
+                    continue;
+                }
+                let wbase = row as usize * k;
+                // input column u feeds output t where t + kk - pad == u
+                for kk in 0..k.min(u + pad + 1) {
+                    let t = u + pad - kk;
+                    if t < l_out {
+                        orow[t] += val * wrow[wbase + kk];
+                    }
+                }
+            }
+        }
+        return out;
+    }
+    let occupied = channel_occupancy(xd, c_in, l);
     for co in 0..c_out {
         let orow = &mut od[co * l_out..(co + 1) * l_out];
         let bias = b.data()[co];
@@ -48,6 +77,9 @@ pub fn conv1d_forward(x: &Tensor, w: &Tensor, b: &Tensor, pad: usize) -> Tensor 
             *o = bias;
         }
         for ci in 0..c_in {
+            if !occupied[ci] {
+                continue;
+            }
             let xrow = &xd[ci * l..(ci + 1) * l];
             let wbase = co * c_in * k + ci * k;
             for kk in 0..k {
@@ -67,6 +99,46 @@ pub fn conv1d_forward(x: &Tensor, w: &Tensor, b: &Tensor, pad: usize) -> Tensor 
     out
 }
 
+/// Marks input channels with at least one nonzero sample. The first conv
+/// layer sees one-hot character rows, so on a typical mention only a
+/// handful of the alphabet-sized channel set is occupied — every other
+/// channel contributes nothing to the output (or to `gw`) and its
+/// `c_out * k` kernel taps can be skipped wholesale.
+#[inline]
+fn channel_occupancy(xd: &[f32], c_in: usize, l: usize) -> Vec<bool> {
+    (0..c_in)
+        // lint: allow(L007) exact-zero occupancy test; NaN counts as occupied and takes the dense path
+        .map(|ci| xd[ci * l..(ci + 1) * l].iter().any(|&v| v != 0.0))
+        .collect()
+}
+
+/// Detects a column-wise one-hot input: every time column holds at most one
+/// nonzero sample. Returns the `(channel, value)` per column (`u32::MAX`
+/// marks an all-zero column), or `None` as soon as any column has two
+/// nonzeros — for dense activations that bail-out triggers within the first
+/// couple of rows, so the probe costs roughly one row scan. Narrow inputs
+/// skip the probe: the dense kernel is already cheap there.
+#[inline]
+fn column_onehot(xd: &[f32], c_in: usize, l: usize) -> Option<Vec<(u32, f32)>> {
+    if c_in < 8 {
+        return None;
+    }
+    let mut cols = vec![(u32::MAX, 0.0f32); l];
+    for ci in 0..c_in {
+        let xrow = &xd[ci * l..(ci + 1) * l];
+        for (t, &v) in xrow.iter().enumerate() {
+            // lint: allow(L007) exact-zero sparsity test; a NaN column entry stays on this path and propagates through the gather exactly like the dense sum
+            if v != 0.0 {
+                if cols[t].0 != u32::MAX {
+                    return None;
+                }
+                cols[t] = (ci as u32, v);
+            }
+        }
+    }
+    Some(cols)
+}
+
 /// Gradients of the forward convolution. Returns `(gx, gw, gb)`.
 pub fn conv1d_backward(
     x: &Tensor,
@@ -74,24 +146,47 @@ pub fn conv1d_backward(
     gy: &Tensor,
     pad: usize,
 ) -> (Tensor, Tensor, Tensor) {
+    let (gx, gw, gb) = conv1d_backward_masked(x, w, gy, pad, true, true);
+    (
+        gx.unwrap_or_else(|| Tensor::zeros(x.shape())),
+        gw.unwrap_or_else(|| Tensor::zeros(w.shape())),
+        gb,
+    )
+}
+
+/// Gradients of the forward convolution with per-output masking: `gx` and
+/// `gw` are only computed when requested, so the autograd tape can skip
+/// the input gradient entirely when the conv reads a constant leaf (the
+/// first layer's one-hot characters — its `gx` is the single most
+/// expensive useless tensor of a training step). `gb` is always produced.
+pub(crate) fn conv1d_backward_masked(
+    x: &Tensor,
+    w: &Tensor,
+    gy: &Tensor,
+    pad: usize,
+    need_gx: bool,
+    need_gw: bool,
+) -> (Option<Tensor>, Option<Tensor>, Tensor) {
     let (c_in, l) = (x.shape()[0], x.shape()[1]);
     let (c_out, _, k) = (w.shape()[0], w.shape()[1], w.shape()[2]);
     let l_out = gy.shape()[1];
-    let mut gx = Tensor::zeros(x.shape());
-    let mut gw = Tensor::zeros(w.shape());
-    let mut gb = Tensor::zeros(&[c_out]);
     let xd = x.data();
     let wd = w.data();
     let gyd = gy.data();
-    {
+
+    let mut gb = Tensor::zeros(&[c_out]);
+    for co in 0..c_out {
+        gb.data_mut()[co] = gyd[co * l_out..(co + 1) * l_out].iter().sum();
+    }
+
+    let gw = need_gw.then(|| conv1d_grad_weight(xd, c_in, l, w.shape(), gyd, l_out, pad));
+
+    let gx = need_gx.then(|| {
+        let mut gx = Tensor::zeros(x.shape());
         let gxd = gx.data_mut();
-        let gwd = gw.data_mut();
-        let gbd = gb.data_mut();
         for co in 0..c_out {
             let grow = &gyd[co * l_out..(co + 1) * l_out];
-            gbd[co] = grow.iter().sum();
             for ci in 0..c_in {
-                let xrow = &xd[ci * l..(ci + 1) * l];
                 let gxrow = &mut gxd[ci * l..(ci + 1) * l];
                 let wbase = co * c_in * k + ci * k;
                 for kk in 0..k {
@@ -101,13 +196,6 @@ pub fn conv1d_backward(
                     }
                     let xs0 = (t0 as isize + shift) as usize;
                     let xs1 = (t1 as isize + shift) as usize;
-                    // gw[co,ci,kk] = Σ_t gy[t] * x[t+shift]
-                    let mut acc = 0.0f32;
-                    for (&g, &xv) in grow[t0..t1].iter().zip(&xrow[xs0..xs1]) {
-                        acc += g * xv;
-                    }
-                    gwd[wbase + kk] += acc;
-                    // gx[t+shift] += gy[t] * w
                     let wv = wd[wbase + kk];
                     // lint: allow(L007) exact-zero sparsity skip mirroring the forward pass
                     if wv != 0.0 {
@@ -118,8 +206,84 @@ pub fn conv1d_backward(
                 }
             }
         }
-    }
+        gx
+    });
+
     (gx, gw, gb)
+}
+
+/// Weight gradient `gw[co,ci,kk] = Σ_t gy[co,t] * x[ci, t + kk - pad]`,
+/// choosing between the one-hot gather (scatter one tap per nonzero input
+/// column) and the dense occupancy-gated unrolled reduction.
+fn conv1d_grad_weight(
+    xd: &[f32],
+    c_in: usize,
+    l: usize,
+    w_shape: &[usize],
+    gyd: &[f32],
+    l_out: usize,
+    pad: usize,
+) -> Tensor {
+    let (c_out, k) = (w_shape[0], w_shape[2]);
+    let mut gw = Tensor::zeros(w_shape);
+    let gwd = gw.data_mut();
+    if let Some(cols) = column_onehot(xd, c_in, l) {
+        for co in 0..c_out {
+            let grow = &gyd[co * l_out..(co + 1) * l_out];
+            let gwrow = &mut gwd[co * c_in * k..(co + 1) * c_in * k];
+            for (u, &(row, val)) in cols.iter().enumerate() {
+                if row == u32::MAX {
+                    continue;
+                }
+                let wbase = row as usize * k;
+                for kk in 0..k.min(u + pad + 1) {
+                    let t = u + pad - kk;
+                    if t < l_out {
+                        gwrow[wbase + kk] += grow[t] * val;
+                    }
+                }
+            }
+        }
+        return gw;
+    }
+    let occupied = channel_occupancy(xd, c_in, l);
+    for co in 0..c_out {
+        let grow = &gyd[co * l_out..(co + 1) * l_out];
+        for ci in 0..c_in {
+            if !occupied[ci] {
+                continue;
+            }
+            let xrow = &xd[ci * l..(ci + 1) * l];
+            let wbase = co * c_in * k + ci * k;
+            for kk in 0..k {
+                let (t0, t1, shift) = valid_range(kk, pad, l, l_out);
+                if t1 <= t0 {
+                    continue;
+                }
+                let xs0 = (t0 as isize + shift) as usize;
+                let xs1 = (t1 as isize + shift) as usize;
+                // the unrolled reduction keeps four sums in flight (the
+                // compiler cannot reassociate a single float accumulator)
+                let mut cg = grow[t0..t1].chunks_exact(4);
+                let mut cx = xrow[xs0..xs1].chunks_exact(4);
+                let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+                for (kg, kx) in (&mut cg).zip(&mut cx) {
+                    s0 += kg[0] * kx[0];
+                    s1 += kg[1] * kx[1];
+                    s2 += kg[2] * kx[2];
+                    s3 += kg[3] * kx[3];
+                }
+                let rest: f32 = cg
+                    .remainder()
+                    .iter()
+                    .zip(cx.remainder())
+                    .map(|(&g, &xv)| g * xv)
+                    .sum();
+                gwd[wbase + kk] += (s0 + s1) + (s2 + s3) + rest;
+            }
+        }
+    }
+    gw
 }
 
 #[cfg(test)]
@@ -168,6 +332,93 @@ mod tests {
                 assert!((a - bb).abs() < 1e-5, "mismatch {a} vs {bb} at {c_in},{l},{c_out},{k},{pad}");
             }
         }
+    }
+
+    /// Naive per-element backward for differential testing.
+    fn backward_reference(x: &Tensor, w: &Tensor, gy: &Tensor, pad: usize) -> (Tensor, Tensor, Tensor) {
+        let (c_in, l) = (x.shape()[0], x.shape()[1]);
+        let (c_out, _, k) = (w.shape()[0], w.shape()[1], w.shape()[2]);
+        let l_out = gy.shape()[1];
+        let mut gx = Tensor::zeros(x.shape());
+        let mut gw = Tensor::zeros(w.shape());
+        let mut gb = Tensor::zeros(&[c_out]);
+        for co in 0..c_out {
+            for t in 0..l_out {
+                let g = gy.data()[co * l_out + t];
+                gb.data_mut()[co] += g;
+                for ci in 0..c_in {
+                    for kk in 0..k {
+                        let src = t + kk;
+                        if src < pad || src - pad >= l {
+                            continue;
+                        }
+                        gw.data_mut()[co * c_in * k + ci * k + kk] += g * x.data()[ci * l + src - pad];
+                        gx.data_mut()[ci * l + src - pad] += g * w.data()[co * c_in * k + ci * k + kk];
+                    }
+                }
+            }
+        }
+        (gx, gw, gb)
+    }
+
+    #[test]
+    fn backward_matches_reference_with_zero_channels() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for (c_in, l, c_out, k, pad) in [(5, 9, 4, 3, 1), (3, 6, 2, 5, 2), (6, 11, 3, 3, 1)] {
+            let mut x = Tensor::uniform(&[c_in, l], -1.0, 1.0, &mut rng);
+            // zero out alternating channels to exercise the occupancy skip
+            for ci in (0..c_in).step_by(2) {
+                for v in &mut x.data_mut()[ci * l..(ci + 1) * l] {
+                    *v = 0.0;
+                }
+            }
+            let w = Tensor::uniform(&[c_out, c_in, k], -1.0, 1.0, &mut rng);
+            let l_out = l + 2 * pad - k + 1;
+            let gy = Tensor::uniform(&[c_out, l_out], -1.0, 1.0, &mut rng);
+            let (gx, gw, gb) = conv1d_backward(&x, &w, &gy, pad);
+            let (rx, rw, rb) = backward_reference(&x, &w, &gy, pad);
+            for (name, fast, slow) in [("gx", &gx, &rx), ("gw", &gw, &rw), ("gb", &gb, &rb)] {
+                for (a, b) in fast.data().iter().zip(slow.data()) {
+                    assert!((a - b).abs() < 1e-4, "{name} mismatch {a} vs {b} at {c_in},{l},{c_out},{k},{pad}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn onehot_fast_path_matches_reference() {
+        let mut rng = StdRng::seed_from_u64(11);
+        // column-one-hot input shaped like the first layer's character
+        // encoding, with empty columns and non-unit values
+        let (c_in, l, c_out, k, pad) = (24usize, 13usize, 5, 3, 1);
+        let mut x = Tensor::zeros(&[c_in, l]);
+        for t in 0..l {
+            if t % 5 == 4 {
+                continue;
+            }
+            let ci = (t * 7 + 3) % c_in;
+            x.data_mut()[ci * l + t] = 0.25 + t as f32 * 0.5;
+        }
+        let w = Tensor::uniform(&[c_out, c_in, k], -1.0, 1.0, &mut rng);
+        let b = Tensor::uniform(&[c_out], -0.5, 0.5, &mut rng);
+        let fast = conv1d_forward(&x, &w, &b, pad);
+        let slow = conv_reference(&x, &w, &b, pad);
+        for (a, bb) in fast.data().iter().zip(slow.data()) {
+            assert!((a - bb).abs() < 1e-5, "fwd mismatch {a} vs {bb}");
+        }
+        let l_out = l + 2 * pad - k + 1;
+        let gy = Tensor::uniform(&[c_out, l_out], -1.0, 1.0, &mut rng);
+        let (gx, gw, gb) = conv1d_backward(&x, &w, &gy, pad);
+        let (rx, rw, rb) = backward_reference(&x, &w, &gy, pad);
+        for (name, fast, slow) in [("gx", &gx, &rx), ("gw", &gw, &rw), ("gb", &gb, &rb)] {
+            for (a, b) in fast.data().iter().zip(slow.data()) {
+                assert!((a - b).abs() < 1e-4, "{name} mismatch {a} vs {b}");
+            }
+        }
+        // masked call skips the unwanted outputs entirely
+        let (no_gx, no_gw, gb2) = conv1d_backward_masked(&x, &w, &gy, pad, false, false);
+        assert!(no_gx.is_none() && no_gw.is_none());
+        assert_eq!(gb.data(), gb2.data());
     }
 
     #[test]

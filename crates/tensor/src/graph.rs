@@ -10,7 +10,7 @@
 //! and attention baselines, triplet / cross-entropy losses); it is not a
 //! general tensor algebra.
 
-use crate::conv::{conv1d_backward, conv1d_forward};
+use crate::conv::{conv1d_backward_masked, conv1d_forward};
 use crate::tensor::Tensor;
 
 /// Handle to a node on a [`Graph`] tape.
@@ -98,6 +98,53 @@ struct Node {
     aux: Vec<u32>,
     /// Float side-channel (cached softmax, layernorm statistics).
     cache: Vec<f32>,
+    /// Constant leaf: the backward pass never materializes a gradient for
+    /// it, and whole gradient branches that reach only constants are
+    /// skipped (see [`Graph::constant`]).
+    no_grad: bool,
+}
+
+/// Visits every parent [`Var`] an op reads, in recorded order.
+fn for_each_input(op: &Op, mut f: impl FnMut(Var)) {
+    match op {
+        Op::Leaf => {}
+        Op::Add(a, b) | Op::AddBias(a, b) | Op::Sub(a, b) | Op::Mul(a, b) | Op::Matmul(a, b) => {
+            f(*a);
+            f(*b);
+        }
+        Op::AddScalar(a, _)
+        | Op::Scale(a, _)
+        | Op::Transpose(a)
+        | Op::Relu(a)
+        | Op::Sigmoid(a)
+        | Op::Tanh(a)
+        | Op::SoftmaxRows(a)
+        | Op::MaxPoolTime(a)
+        | Op::MaxPoolSegments(a, _)
+        | Op::Slice(a, _, _)
+        | Op::Reshape(a)
+        | Op::SumAll(a)
+        | Op::MeanAll(a)
+        | Op::Rows(a)
+        | Op::MeanRows(a)
+        | Op::CrossEntropyRows(a)
+        | Op::L2Normalize(a) => f(*a),
+        Op::Conv1d { input, weight, bias, .. } => {
+            f(*input);
+            f(*weight);
+            f(*bias);
+        }
+        Op::Concat(parts) | Op::StackRows(parts) => {
+            for p in parts {
+                f(*p);
+            }
+        }
+        Op::LayerNorm { x, gamma, beta } => {
+            f(*x);
+            f(*gamma);
+            f(*beta);
+        }
+    }
 }
 
 /// Epsilon used inside layer normalization.
@@ -111,12 +158,16 @@ const LN_EPS: f32 = 1e-5;
 #[derive(Default)]
 pub struct Graph {
     nodes: Vec<Node>,
+    /// Per-node "gradient reaches a non-constant leaf" marks, rebuilt by
+    /// every [`Graph::backward`] call; `accum` consults it to skip dead
+    /// gradient branches.
+    needs: Vec<bool>,
 }
 
 impl Graph {
     /// Creates an empty tape.
     pub fn new() -> Self {
-        Graph { nodes: Vec::new() }
+        Graph { nodes: Vec::new(), needs: Vec::new() }
     }
 
     /// Number of nodes currently on the tape.
@@ -140,6 +191,7 @@ impl Graph {
             op,
             aux,
             cache,
+            no_grad: false,
         });
         Var(self.nodes.len() - 1)
     }
@@ -147,6 +199,19 @@ impl Graph {
     /// Adds an input/parameter leaf holding `value`.
     pub fn leaf(&mut self, value: Tensor) -> Var {
         self.push(value, Op::Leaf)
+    }
+
+    /// Adds a constant input leaf: like [`Graph::leaf`], but declares that
+    /// no gradient is wanted. The backward pass prunes every gradient
+    /// branch that reaches only constants — for EmbLookup's model this
+    /// skips the first conv layer's input gradient (a dense
+    /// `[|A|, L]` tensor flowing into the one-hot characters) and the
+    /// frozen fastText vector, the two biggest dead computations of a
+    /// training step. [`Graph::grad`] returns `None` for constants.
+    pub fn constant(&mut self, value: Tensor) -> Var {
+        let v = self.push(value, Op::Leaf);
+        self.nodes[v.0].no_grad = true;
+        v
     }
 
     /// Borrows the value computed at `v`.
@@ -515,6 +580,21 @@ impl Graph {
         for node in &mut self.nodes {
             node.grad = None;
         }
+        // A node's gradient is worth computing only if some non-constant
+        // leaf sits in its input subtree; the tape is topologically
+        // ordered, so one ascending sweep settles every mark.
+        self.needs.clear();
+        self.needs.resize(self.nodes.len(), false);
+        for i in 0..self.nodes.len() {
+            let mut needed = match &self.nodes[i].op {
+                Op::Leaf => !self.nodes[i].no_grad,
+                _ => false,
+            };
+            if !needed {
+                for_each_input(&self.nodes[i].op, |v| needed |= self.needs[v.0]);
+            }
+            self.needs[i] = needed;
+        }
         self.nodes[root.0].grad = Some(Tensor::full(self.nodes[root.0].value.shape(), 1.0));
 
         for i in (0..self.nodes.len()).rev() {
@@ -544,14 +624,20 @@ impl Graph {
                 Op::AddScalar(a, _) => self.accum(a, &gy),
                 Op::Sub(a, b) => {
                     self.accum(a, &gy);
-                    let neg = gy.map(|x| -x);
-                    self.accum(b, &neg);
+                    if self.needs[b.0] {
+                        let neg = gy.map(|x| -x);
+                        self.accum(b, &neg);
+                    }
                 }
                 Op::Mul(a, b) => {
-                    let ga = gy.mul(&self.nodes[b.0].value);
-                    let gb = gy.mul(&self.nodes[a.0].value);
-                    self.accum(a, &ga);
-                    self.accum(b, &gb);
+                    if self.needs[a.0] {
+                        let ga = gy.mul(&self.nodes[b.0].value);
+                        self.accum(a, &ga);
+                    }
+                    if self.needs[b.0] {
+                        let gb = gy.mul(&self.nodes[a.0].value);
+                        self.accum(b, &gb);
+                    }
                 }
                 Op::Scale(a, s) => {
                     let mut g = gy.clone();
@@ -559,12 +645,16 @@ impl Graph {
                     self.accum(a, &g);
                 }
                 Op::Matmul(a, b) => {
-                    let at = self.nodes[a.0].value.transpose();
-                    let bt = self.nodes[b.0].value.transpose();
-                    let ga = gy.matmul(&bt);
-                    let gb = at.matmul(&gy);
-                    self.accum(a, &ga);
-                    self.accum(b, &gb);
+                    if self.needs[a.0] {
+                        let bt = self.nodes[b.0].value.transpose();
+                        let ga = gy.matmul(&bt);
+                        self.accum(a, &ga);
+                    }
+                    if self.needs[b.0] {
+                        let at = self.nodes[a.0].value.transpose();
+                        let gb = at.matmul(&gy);
+                        self.accum(b, &gb);
+                    }
                 }
                 Op::Transpose(a) => {
                     let g = gy.transpose();
@@ -624,11 +714,13 @@ impl Graph {
                     let mut offset = 0;
                     for p in parts {
                         let len = self.nodes[p.0].value.len();
-                        let g = Tensor::from_vec(
-                            self.nodes[p.0].value.shape(),
-                            gy.data()[offset..offset + len].to_vec(),
-                        );
-                        self.accum(p, &g);
+                        if self.needs[p.0] {
+                            let g = Tensor::from_vec(
+                                self.nodes[p.0].value.shape(),
+                                gy.data()[offset..offset + len].to_vec(),
+                            );
+                            self.accum(p, &g);
+                        }
                         offset += len;
                     }
                 }
@@ -719,12 +811,21 @@ impl Graph {
     }
 
     fn conv1d_backward(&mut self, _node: usize, input: Var, weight: Var, bias: Var, pad: usize, gy: &Tensor) {
+        // The input-gradient pass is the single most expensive arm of the
+        // backward sweep; when the conv input is a `constant` leaf (one-hot
+        // character planes) `needs` lets us skip it entirely.
+        let need_gx = self.needs[input.0];
+        let need_gw = self.needs[weight.0];
         let x = self.nodes[input.0].value.clone();
         let w = self.nodes[weight.0].value.clone();
-        let (gx, gw, gb) = conv1d_backward(&x, &w, gy, pad);
+        let (gx, gw, gb) = conv1d_backward_masked(&x, &w, gy, pad, need_gx, need_gw);
         let gb = gb.reshape(self.nodes[bias.0].value.shape());
-        self.accum(input, &gx);
-        self.accum(weight, &gw);
+        if let Some(gx) = gx {
+            self.accum(input, &gx);
+        }
+        if let Some(gw) = gw {
+            self.accum(weight, &gw);
+        }
         self.accum(bias, &gb);
     }
 
@@ -765,6 +866,12 @@ impl Graph {
     }
 
     fn accum(&mut self, v: Var, g: &Tensor) {
+        // Dead-branch pruning: `backward` rebuilds `needs` before the reverse
+        // sweep, so a node whose subtree contains only `constant` leaves never
+        // materializes a gradient.
+        if !self.needs[v.0] {
+            return;
+        }
         match &mut self.nodes[v.0].grad {
             Some(existing) => existing.axpy(1.0, g),
             slot @ None => *slot = Some(g.clone()),
@@ -900,6 +1007,54 @@ mod tests {
             let sq = g.mul(y, y);
             g.sum_all(sq)
         }, 10, 1e-2);
+    }
+
+    #[test]
+    fn constant_leaves_skip_gradients_without_changing_param_grads() {
+        // Build the same conv -> concat -> matmul network twice: once with the
+        // data inputs as ordinary leaves, once as constants. Parameter
+        // gradients must be bit-identical; constants must receive no gradient.
+        let mut rng = StdRng::seed_from_u64(42);
+        let x0 = Tensor::uniform(&[3, 7], -1.0, 1.0, &mut rng);
+        let sem0 = Tensor::uniform(&[4], -1.0, 1.0, &mut rng);
+        let w0 = Tensor::uniform(&[2, 3, 3], -1.0, 1.0, &mut rng);
+        let b0 = Tensor::uniform(&[2], -0.1, 0.1, &mut rng);
+        let m0 = Tensor::uniform(&[6, 3], -1.0, 1.0, &mut rng);
+
+        let run = |as_constant: bool| {
+            let mut g = Graph::new();
+            let x = if as_constant { g.constant(x0.clone()) } else { g.leaf(x0.clone()) };
+            let sem = if as_constant { g.constant(sem0.clone()) } else { g.leaf(sem0.clone()) };
+            let w = g.leaf(w0.clone());
+            let b = g.leaf(b0.clone());
+            let m = g.leaf(m0.clone());
+            let y = g.conv1d(x, w, b, 1);
+            let pooled = g.max_pool_time(y);
+            let cat = g.concat(&[pooled, sem]);
+            let row = g.reshape(cat, &[1, 6]);
+            let out = g.matmul(row, m);
+            let sq = g.mul(out, out);
+            let loss = g.sum_all(sq);
+            g.backward(loss);
+            let grads: Vec<Vec<f32>> = [w, b, m]
+                .iter()
+                .map(|&v| g.grad(v).expect("param grad missing").data().to_vec())
+                .collect();
+            let data_grads =
+                (g.grad(x).is_some(), g.grad(sem).is_some());
+            (grads, data_grads)
+        };
+
+        let (leaf_grads, leaf_has) = run(false);
+        let (const_grads, const_has) = run(true);
+        assert_eq!(leaf_has, (true, true), "leaf inputs should receive grads");
+        assert_eq!(const_has, (false, false), "constants must receive no grad");
+        for (a, b) in leaf_grads.iter().zip(&const_grads) {
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(b) {
+                assert_eq!(x.to_bits(), y.to_bits(), "param grads must be bit-identical");
+            }
+        }
     }
 
     #[test]

@@ -4,11 +4,96 @@ use crate::graph::Graph;
 use crate::params::{Bindings, ParamId, ParamStore};
 use crate::tensor::Tensor;
 
+/// Gradients for a set of parameters, indexed by [`ParamId`] — the bridge
+/// between micro-batch backward passes (each on its own graph, possibly
+/// computed on the compute pool) and a single optimizer update. Merging
+/// buffers in a fixed order makes the combined gradient independent of
+/// which thread produced which micro-batch.
+#[derive(Default)]
+pub struct GradBuffer {
+    grads: Vec<Option<Tensor>>,
+}
+
+impl GradBuffer {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        GradBuffer { grads: Vec::new() }
+    }
+
+    /// Collects every bound parameter's gradient from a finished graph.
+    pub fn from_graph(graph: &Graph, bindings: &Bindings) -> Self {
+        let mut buf = Self::new();
+        for (id, var) in bindings.iter() {
+            if let Some(g) = graph.grad(var) {
+                buf.accumulate(id, g);
+            }
+        }
+        buf
+    }
+
+    /// Adds `g` into the slot for `id` (element-wise), creating it on
+    /// first touch.
+    pub fn accumulate(&mut self, id: ParamId, g: &Tensor) {
+        if self.grads.len() <= id.0 {
+            self.grads.resize_with(id.0 + 1, || None);
+        }
+        match &mut self.grads[id.0] {
+            Some(t) => t.axpy(1.0, g),
+            slot => *slot = Some(g.clone()),
+        }
+    }
+
+    /// Adds every gradient of `other` into `self`. Slots combine in
+    /// ascending [`ParamId`] order, so folding micro-batch buffers in a
+    /// fixed sequence yields a deterministic result.
+    pub fn merge(&mut self, other: &GradBuffer) {
+        for (i, g) in other.grads.iter().enumerate() {
+            if let Some(g) = g {
+                self.accumulate(ParamId(i), g);
+            }
+        }
+    }
+
+    /// Scales every stored gradient by `s` (e.g. `1 / batch_len` to turn
+    /// summed micro-batch losses into a mean).
+    pub fn scale(&mut self, s: f32) {
+        for g in self.grads.iter_mut().flatten() {
+            g.scale_mut(s);
+        }
+    }
+
+    /// The gradient stored for `id`, if any.
+    pub fn get(&self, id: ParamId) -> Option<&Tensor> {
+        self.grads.get(id.0).and_then(Option::as_ref)
+    }
+
+    /// Iterates stored `(id, gradient)` pairs in ascending id order.
+    pub fn iter(&self) -> impl Iterator<Item = (ParamId, &Tensor)> {
+        self.grads
+            .iter()
+            .enumerate()
+            .filter_map(|(i, g)| g.as_ref().map(|g| (ParamId(i), g)))
+    }
+
+    /// True when no gradient is stored.
+    pub fn is_empty(&self) -> bool {
+        self.grads.iter().all(Option::is_none)
+    }
+}
+
 /// A gradient-descent style optimizer.
 pub trait Optimizer {
     /// Applies one update step from the gradients accumulated in `graph`
     /// for every parameter recorded in `bindings`.
-    fn step(&mut self, store: &mut ParamStore, graph: &Graph, bindings: &Bindings);
+    fn step(&mut self, store: &mut ParamStore, graph: &Graph, bindings: &Bindings) {
+        let grads = GradBuffer::from_graph(graph, bindings);
+        self.step_grads(store, &grads);
+    }
+
+    /// Applies one update step from pre-collected gradients — the entry
+    /// point for micro-batch training, where several graphs' gradients
+    /// are merged into one [`GradBuffer`] before a single update.
+    fn step_grads(&mut self, store: &mut ParamStore, grads: &GradBuffer);
 }
 
 /// Plain stochastic gradient descent with optional gradient clipping.
@@ -27,9 +112,8 @@ impl Sgd {
 }
 
 impl Optimizer for Sgd {
-    fn step(&mut self, store: &mut ParamStore, graph: &Graph, bindings: &Bindings) {
-        for (id, var) in bindings.iter() {
-            let Some(grad) = graph.grad(var) else { continue };
+    fn step_grads(&mut self, store: &mut ParamStore, grads: &GradBuffer) {
+        for (id, grad) in grads.iter() {
             let mut g = grad.clone();
             maybe_clip(&mut g, self.clip_norm);
             store.get_mut(id).axpy(-self.lr, &g);
@@ -78,13 +162,12 @@ impl Adam {
 }
 
 impl Optimizer for Adam {
-    fn step(&mut self, store: &mut ParamStore, graph: &Graph, bindings: &Bindings) {
+    fn step_grads(&mut self, store: &mut ParamStore, grads: &GradBuffer) {
         self.step += 1;
         let t = self.step as f32;
         let bc1 = 1.0 - self.beta1.powf(t);
         let bc2 = 1.0 - self.beta2.powf(t);
-        for (id, var) in bindings.iter() {
-            let Some(grad) = graph.grad(var) else { continue };
+        for (id, grad) in grads.iter() {
             let mut g = grad.clone();
             maybe_clip(&mut g, self.clip_norm);
             let (beta1, beta2, eps, lr) = (self.beta1, self.beta2, self.eps, self.lr);
@@ -166,6 +249,56 @@ mod tests {
         let after = store.get(x).data()[0];
         // gradient is 2000 but clipped to norm 1 -> step of exactly lr * 1
         assert!((before - after - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn step_grads_from_merged_microbatches_matches_single_graph() {
+        // two half-batches summed then scaled must update exactly like
+        // one graph whose loss already averaged the same terms
+        let targets = [Tensor::vector(&[2.0, -1.0]), Tensor::vector(&[4.0, 3.0])];
+        let run = |micro: bool| -> Vec<f32> {
+            let mut store = ParamStore::new();
+            let x = store.register("x", Tensor::vector(&[0.0, 0.0]));
+            let mut opt = Sgd::new(0.5);
+            if micro {
+                let mut total = GradBuffer::new();
+                for target in &targets {
+                    let mut graph = Graph::new();
+                    let mut bindings = Bindings::new();
+                    let xv = bindings.bind(&mut graph, &store, x);
+                    let t = graph.leaf(target.clone());
+                    let d = graph.sub(xv, t);
+                    let sq = graph.mul(d, d);
+                    let loss = graph.sum_all(sq);
+                    graph.backward(loss);
+                    total.merge(&GradBuffer::from_graph(&graph, &bindings));
+                }
+                total.scale(1.0 / targets.len() as f32);
+                opt.step_grads(&mut store, &total);
+            } else {
+                let mut graph = Graph::new();
+                let mut bindings = Bindings::new();
+                let xv = bindings.bind(&mut graph, &store, x);
+                let mut halves = Vec::new();
+                for target in &targets {
+                    let t = graph.leaf(target.clone());
+                    let d = graph.sub(xv, t);
+                    let sq = graph.mul(d, d);
+                    halves.push(graph.sum_all(sq));
+                }
+                let sum = graph.add(halves[0], halves[1]);
+                let half = graph.leaf(Tensor::scalar(0.5));
+                let loss = graph.mul(sum, half);
+                graph.backward(loss);
+                opt.step(&mut store, &graph, &bindings);
+            }
+            store.get(x).data().to_vec()
+        };
+        let a = run(true);
+        let b = run(false);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-6, "micro {a:?} vs single {b:?}");
+        }
     }
 
     #[test]

@@ -312,8 +312,18 @@ impl Tensor {
 
     /// Matrix product of two rank-2 tensors: `[m,k] x [k,n] -> [m,n]`.
     ///
-    /// Uses an ikj loop order so the inner loop walks both operands
-    /// contiguously; adequate for the model sizes EmbLookup trains.
+    /// Two kernels, picked by shape:
+    ///
+    /// * **Row-vector / skinny lhs** (`m == 1` or `k < 8`): the original
+    ///   ikj axpy order with an exact-zero sparsity skip. The inference
+    ///   hot path (`[1,k] x [k,n]` in `Linear::infer`) always lands here,
+    ///   so its summation order — and therefore its output bits — are
+    ///   unchanged.
+    /// * **Blocked** (everything else, i.e. training batches): packs
+    ///   `other` transposed once so every inner product walks contiguous
+    ///   memory, then computes 4-wide-unrolled dots in column blocks that
+    ///   keep the packed panel resident in cache. The unroll breaks the
+    ///   serial float dependency chain the compiler cannot reassociate.
     ///
     /// # Panics
     /// Panics unless both tensors are rank-2 with compatible inner dims.
@@ -324,17 +334,32 @@ impl Tensor {
         let (k2, n) = (other.shape[0], other.shape[1]);
         assert_eq!(k, k2, "matmul inner dim mismatch: {:?} x {:?}", self.shape, other.shape);
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            let arow = &self.data[i * k..(i + 1) * k];
-            let orow = &mut out[i * n..(i + 1) * n];
-            for (p, &a) in arow.iter().enumerate() {
-                // lint: allow(L007) exact-zero sparsity skip; any nonzero (or NaN) takes the dense path
-                if a == 0.0 {
-                    continue; // one-hot inputs make lhs extremely sparse
+        if m == 1 || k < 8 {
+            for i in 0..m {
+                let arow = &self.data[i * k..(i + 1) * k];
+                let orow = &mut out[i * n..(i + 1) * n];
+                for (p, &a) in arow.iter().enumerate() {
+                    // lint: allow(L007) exact-zero sparsity skip; any nonzero (or NaN) takes the dense path
+                    if a == 0.0 {
+                        continue; // one-hot inputs make lhs extremely sparse
+                    }
+                    let brow = &other.data[p * n..(p + 1) * n];
+                    for (o, &b) in orow.iter_mut().zip(brow.iter()) {
+                        *o += a * b;
+                    }
                 }
-                let brow = &other.data[p * n..(p + 1) * n];
-                for (o, &b) in orow.iter_mut().zip(brow.iter()) {
-                    *o += a * b;
+            }
+        } else {
+            let bt = other.transpose();
+            const JB: usize = 32; // 32 packed rows of k floats ≈ one L1 panel
+            for j0 in (0..n).step_by(JB) {
+                let j1 = (j0 + JB).min(n);
+                for i in 0..m {
+                    let arow = &self.data[i * k..(i + 1) * k];
+                    let orow = &mut out[i * n..(i + 1) * n];
+                    for (j, o) in (j0..j1).zip(orow[j0..j1].iter_mut()) {
+                        *o = dot_unrolled(arow, bt.row(j));
+                    }
                 }
             }
         }
@@ -389,6 +414,30 @@ impl Tensor {
     pub fn all_finite(&self) -> bool {
         self.data.iter().all(|x| x.is_finite())
     }
+}
+
+/// Inner product over four independent accumulators; the building block
+/// of the blocked matmul kernel. `chunks_exact` keeps the body free of
+/// bounds checks.
+#[inline]
+pub(crate) fn dot_unrolled(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut ca = a.chunks_exact(4);
+    let mut cb = b.chunks_exact(4);
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+    for (ka, kb) in (&mut ca).zip(&mut cb) {
+        s0 += ka[0] * kb[0];
+        s1 += ka[1] * kb[1];
+        s2 += ka[2] * kb[2];
+        s3 += ka[3] * kb[3];
+    }
+    let rest: f32 = ca
+        .remainder()
+        .iter()
+        .zip(cb.remainder())
+        .map(|(&x, &y)| x * y)
+        .sum();
+    (s0 + s1) + (s2 + s3) + rest
 }
 
 impl fmt::Debug for Tensor {
@@ -457,6 +506,37 @@ mod tests {
         let c = a.matmul(&eye);
         for (x, y) in a.data().iter().zip(c.data()) {
             assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn blocked_matmul_matches_naive_on_odd_shapes() {
+        // shapes straddling the kernel-selection boundary and the 4-wide
+        // unroll / 32-column block edges, none a multiple of the tile
+        let shapes = [
+            (7, 13, 5),   // blocked (k >= 8), n smaller than one block
+            (7, 5, 13),   // axpy fallback (k < 8)
+            (1, 64, 33),  // row-vector path
+            (3, 9, 67),   // blocked, n spans three partial blocks
+            (5, 8, 32),   // exact unroll and block multiples
+            (2, 130, 31), // k leaves a 2-element unroll remainder
+        ];
+        let mut rng = StdRng::seed_from_u64(11);
+        for &(m, k, n) in &shapes {
+            let a = Tensor::uniform(&[m, k], -1.0, 1.0, &mut rng);
+            let b = Tensor::uniform(&[k, n], -1.0, 1.0, &mut rng);
+            let fast = a.matmul(&b);
+            assert_eq!(fast.shape(), &[m, n]);
+            for i in 0..m {
+                for j in 0..n {
+                    let naive: f32 = (0..k).map(|p| a.at2(i, p) * b.at2(p, j)).sum();
+                    let got = fast.at2(i, j);
+                    assert!(
+                        (got - naive).abs() <= 1e-4 * naive.abs().max(1.0),
+                        "({m},{k},{n}) at ({i},{j}): {got} vs {naive}"
+                    );
+                }
+            }
         }
     }
 

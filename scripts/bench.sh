@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Micro-benchmark harness. Runs the full repro pipeline (pass --smoke for a
+# quick pass), regenerates BENCH_lookup.json in the repo root, and prints a
+# delta table of histogram means against the previously checked-in snapshot
+# so a perf PR can paste before/after numbers straight from CI output.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+prev=$(mktemp)
+trap 'rm -f "$prev"' EXIT
+if [[ -f BENCH_lookup.json ]]; then
+  cp BENCH_lookup.json "$prev"
+else
+  echo '{"histograms":{}}' > "$prev"
+fi
+
+echo "== cargo run --release -p emblookup-bench --bin repro -- $* =="
+cargo run --release --offline -p emblookup-bench --bin repro -- "$@"
+
+python3 - "$prev" BENCH_lookup.json <<'PY'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    prev = json.load(f).get("histograms", {})
+with open(sys.argv[2]) as f:
+    cur = json.load(f).get("histograms", {})
+
+names = sorted(set(prev) | set(cur))
+if not names:
+    sys.exit(0)
+
+def fmt(ns):
+    if ns is None:
+        return "-"
+    if ns >= 1e9:
+        return f"{ns / 1e9:.2f}s"
+    if ns >= 1e6:
+        return f"{ns / 1e6:.2f}ms"
+    if ns >= 1e3:
+        return f"{ns / 1e3:.2f}us"
+    return f"{ns:.0f}ns"
+
+rows = [("metric", "prev mean", "new mean", "speedup")]
+for name in names:
+    p = prev.get(name, {}).get("mean_ns")
+    c = cur.get(name, {}).get("mean_ns")
+    speed = f"{p / c:.2f}x" if p and c else "-"
+    rows.append((name, fmt(p), fmt(c), speed))
+
+widths = [max(len(r[i]) for r in rows) for i in range(4)]
+print("\n== mean latency vs previous BENCH_lookup.json ==")
+for i, r in enumerate(rows):
+    print("  ".join(cell.ljust(widths[j]) for j, cell in enumerate(r)))
+    if i == 0:
+        print("  ".join("-" * w for w in widths))
+PY

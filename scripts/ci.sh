@@ -8,7 +8,13 @@ cd "$(dirname "$0")/.."
 echo "== cargo build --release --offline =="
 cargo build --release --offline
 
-echo "== cargo test -q --offline =="
+# Tests run twice: pinned to one thread (pure serial pool paths) and at the
+# machine default. Batch kernels write disjoint output slots, so both
+# configurations must produce identical results — divergence is a bug.
+echo "== cargo test -q --offline (EMBLOOKUP_THREADS=1) =="
+EMBLOOKUP_THREADS=1 cargo test -q --offline
+
+echo "== cargo test -q --offline (default threads) =="
 cargo test -q --offline
 
 echo "== cargo clippy -- -D warnings =="
