@@ -23,6 +23,7 @@
 
 pub mod config;
 pub mod encoder_index;
+pub mod errors;
 pub mod eval;
 pub mod index;
 pub mod mining;
@@ -32,6 +33,7 @@ pub mod trainer;
 
 pub use config::{Compression, EmbLookupConfig, LossKind};
 pub use encoder_index::EncoderIndex;
+pub use errors::{LookupError, TrainError};
 pub use eval::Workload;
 pub use index::EntityIndex;
 pub use mining::{mine_triplets, MiningConfig, Triplet, TripletFamily};

@@ -2,6 +2,7 @@
 // lint: hot-path
 
 use crate::config::{Compression, EmbLookupConfig};
+use crate::errors::{LookupError, TrainError};
 use crate::index::EntityIndex;
 use crate::mining::{mine_triplets, MiningConfig};
 use crate::model::EmbLookupModel;
@@ -39,12 +40,38 @@ impl EmbLookup {
     /// corpus verbalization → fastText → triplet mining → two-phase
     /// triplet training → entity index build.
     ///
+    /// Thin panicking wrapper over [`EmbLookup::try_train_on`] for
+    /// callers that treat a bad config or empty KG as a programming
+    /// error; the serving layer uses the fallible twin and answers `400`.
+    ///
     /// # Panics
     /// Panics on an empty KG or invalid configuration.
     pub fn train_on(kg: &KnowledgeGraph, config: EmbLookupConfig) -> Self {
-        // lint: allow(L001) documented panic contract: config is validated up front, before any work
-        config.validate().expect("invalid EmbLookup config");
-        assert!(kg.num_entities() > 0, "training on an empty knowledge graph");
+        match Self::try_train_on(kg, config) {
+            Ok(service) => service,
+            // lint: allow(L001) documented panic contract of the thin wrapper; try_train_on is the fallible path
+            Err(e) => panic!("EmbLookup::train_on: {e}"),
+        }
+    }
+
+    /// Fallible twin of [`EmbLookup::train_on`]: rejects invalid
+    /// configuration, an empty knowledge graph, or a mining setup that
+    /// yields no triplets as typed [`TrainError`]s instead of aborting
+    /// the process.
+    ///
+    /// # Errors
+    /// [`TrainError::InvalidConfig`] when `config` fails validation,
+    /// [`TrainError::EmptyKg`] when `kg` has no entities, and
+    /// [`TrainError::NoTriplets`] when mining produces nothing to train
+    /// on.
+    pub fn try_train_on(kg: &KnowledgeGraph, config: EmbLookupConfig) -> Result<Self, TrainError> {
+        config.validate().map_err(TrainError::InvalidConfig)?;
+        if kg.num_entities() == 0 {
+            return Err(TrainError::EmptyKg);
+        }
+        if config.triplets_per_entity == 0 {
+            return Err(TrainError::NoTriplets);
+        }
         let total = emblookup_obs::Span::enter(names::TRAIN_TOTAL)
             .field("entities", kg.num_entities() as u64);
 
@@ -68,10 +95,13 @@ impl EmbLookup {
             kg,
             &MiningConfig::with_budget(config.triplets_per_entity, config.seed),
         );
+        if triplets.is_empty() {
+            return Err(TrainError::NoTriplets);
+        }
         let report = train(&mut model, &triplets);
         let index = EntityIndex::build(&model, kg, config.compression, num_threads());
         drop(total);
-        Self::assemble(Arc::new(model), index, report)
+        Ok(Self::assemble(Arc::new(model), index, report))
     }
 
     /// Wraps an already-trained (shared) model, building a fresh index
@@ -164,6 +194,44 @@ impl EmbLookup {
         }
         self.bulk_queries.add(queries.len() as u64);
         hits
+    }
+
+    /// Fallible twin of [`EmbLookup::lookup_with_distances`]: a panic
+    /// escaping the embed or search stage (e.g. a pool [`TaskPanic`]
+    /// rethrown by a batched backend) is contained and surfaced as a
+    /// [`LookupError`] so one poisoned query cannot take the process
+    /// down — the serving layer maps it to a per-request `500`.
+    ///
+    /// # Errors
+    /// [`LookupError`] carrying the contained panic message.
+    ///
+    /// [`TaskPanic`]: emblookup_pool::TaskPanic
+    pub fn try_lookup_with_distances(
+        &self,
+        q: &str,
+        k: usize,
+    ) -> Result<Vec<(EntityId, f32)>, LookupError> {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.lookup_with_distances(q, k)
+        }))
+        .map_err(LookupError::from_panic)
+    }
+
+    /// Fallible twin of [`EmbLookup::bulk_lookup`]; see
+    /// [`EmbLookup::try_lookup_with_distances`] for the containment
+    /// contract.
+    ///
+    /// # Errors
+    /// [`LookupError`] carrying the contained panic message.
+    pub fn try_bulk_lookup(
+        &self,
+        queries: &[&str],
+        k: usize,
+    ) -> Result<Vec<Vec<(EntityId, f32)>>, LookupError> {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.bulk_lookup(queries, k)
+        }))
+        .map_err(LookupError::from_panic)
     }
 }
 
@@ -266,5 +334,58 @@ mod tests {
         let (el, _) = trained();
         assert_eq!(el.report().epochs.len(), 4);
         assert!(el.report().final_loss().is_finite());
+    }
+
+    #[test]
+    fn try_train_on_rejects_bad_inputs_without_panicking() {
+        let s = generate(SynthKgConfig::tiny(8));
+        let mut bad = EmbLookupConfig::tiny(8);
+        bad.epochs = 0;
+        match EmbLookup::try_train_on(&s.kg, bad) {
+            Err(crate::errors::TrainError::InvalidConfig(why)) => {
+                assert!(why.contains("epochs"), "{why}")
+            }
+            Err(other) => panic!("expected InvalidConfig, got {other:?}"),
+            Ok(_) => panic!("expected InvalidConfig, got a trained service"),
+        }
+        let empty = emblookup_kg::KnowledgeGraph::new();
+        assert!(matches!(
+            EmbLookup::try_train_on(&empty, EmbLookupConfig::tiny(8)),
+            Err(crate::errors::TrainError::EmptyKg)
+        ));
+        let mut no_triplets = EmbLookupConfig::tiny(8);
+        no_triplets.triplets_per_entity = 0;
+        assert!(matches!(
+            EmbLookup::try_train_on(&s.kg, no_triplets),
+            Err(crate::errors::TrainError::NoTriplets)
+        ));
+    }
+
+    #[test]
+    fn try_train_on_succeeds_and_matches_wrapper_contract() {
+        let s = generate(SynthKgConfig::tiny(8));
+        let el = EmbLookup::try_train_on(&s.kg, EmbLookupConfig::tiny(8)).expect("valid setup");
+        assert_eq!(el.report().epochs.len(), 4);
+        assert_eq!(el.lookup("anything", 2).len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "EmbLookup::train_on")]
+    fn train_on_wrapper_panics_on_invalid_config() {
+        let s = generate(SynthKgConfig::tiny(8));
+        let mut bad = EmbLookupConfig::tiny(8);
+        bad.batch_size = 0;
+        let _ = EmbLookup::train_on(&s.kg, bad);
+    }
+
+    #[test]
+    fn try_lookup_matches_infallible_path() {
+        let (el, s) = trained();
+        let label = &s.kg.entities().next().unwrap().label;
+        let fallible = el.try_lookup_with_distances(label, 5).expect("healthy index");
+        let direct = el.lookup_with_distances(label, 5);
+        assert_eq!(fallible, direct);
+        let bulk = el.try_bulk_lookup(&[label.as_str()], 5).expect("healthy index");
+        assert_eq!(bulk[0], direct);
     }
 }

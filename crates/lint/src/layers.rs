@@ -10,6 +10,7 @@
 //!   rank 25   embed                  (encoders, over kg/text/tensor)
 //!   rank 30   ann                    (index structures)
 //!   rank 40   core                   (the EmbLookup pipeline)
+//!   rank 45   serve                  (hardened HTTP serving layer)
 //!   rank 50+  baselines, semtab, bench  (consumers)
 //!   rank 100  emblookup              (root facade crate)
 //!   —         lint                   (isolated; may use obs only)
@@ -39,6 +40,7 @@ pub const LAYERS: &[(&str, u32)] = &[
     ("emblookup-embed", 25),
     ("emblookup-ann", 30),
     ("emblookup-core", 40),
+    ("emblookup-serve", 45),
     ("emblookup-baselines", 50),
     ("emblookup-semtab", 55),
     ("emblookup-bench", 60),
@@ -85,7 +87,7 @@ fn judge(krate: &str, dep: &str) -> Result<(), String> {
         Err(format!(
             "layering violation: `{krate}` (rank {rk}) may not depend on `{dep}` (rank {rd}); \
              the layer DAG flows rand/obs -> tensor/text -> kg -> embed -> ann -> core -> \
-             baselines/semtab/bench"
+             serve -> baselines/semtab/bench"
         ))
     }
 }

@@ -71,6 +71,28 @@ names! {
     ANN_IVFPQ_SEARCHES => "ann.ivfpq.searches",
     /// Counter of codes visited by IVFPQ searches.
     ANN_IVFPQ_VISITED => "ann.ivfpq.visited_nodes",
+    /// Counter of HTTP requests received by the serving layer.
+    SERVE_REQUESTS => "serve.requests",
+    /// Counter of lookup requests admitted past admission control.
+    SERVE_ADMITTED => "serve.admitted",
+    /// Counter of lookup requests shed with `429` by the bounded injector.
+    SERVE_SHED => "serve.shed",
+    /// Gauge: lookup requests waiting in the serving pool's injector.
+    SERVE_QUEUE_DEPTH => "serve.queue.depth",
+    /// Histogram of served request wall time (admission to response).
+    SERVE_LATENCY => "serve.latency",
+    /// Counter of requests answered `500` (contained per-request failure).
+    SERVE_ERRORS => "serve.errors",
+    /// Counter of requests answered `504` (deadline exhausted).
+    SERVE_DEADLINE_EXCEEDED => "serve.deadline.exceeded",
+    /// Counter of lookups served by the exact capped flat rung of the
+    /// degradation ladder.
+    SERVE_DEGRADED_FLAT => "serve.degraded.flat",
+    /// Counter of lookups served by the q-gram string-similarity rung of
+    /// the degradation ladder.
+    SERVE_DEGRADED_QGRAM => "serve.degraded.qgram",
+    /// Counter of per-request panics contained by the serving layer.
+    SERVE_PANICS => "serve.panics",
     /// Counter of tasks executed by the compute pool.
     POOL_TASKS => "pool.tasks",
     /// Gauge: tasks currently queued in the compute pool.

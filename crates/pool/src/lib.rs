@@ -29,6 +29,12 @@
 //! surfaces them as a [`TaskPanic`] error; the panicking variants rethrow
 //! the message as a panic on the calling thread, so a poisoned job never
 //! takes a worker down.
+//!
+//! For network-facing serving, [`Pool::with_threads_bounded`] builds a
+//! pool in **bounded-injector mode**: [`Pool::try_submit`] enqueues
+//! detached (fire-and-forget) tasks but refuses with [`QueueFull`] once
+//! [`BoundedQueue::cap`] tasks are already waiting, so a server sheds
+//! load with `429` instead of queueing unboundedly.
 
 #![warn(missing_docs)]
 
@@ -120,11 +126,42 @@ fn job_for<F: Fn(usize, usize) + Sync>(runner: &F, pending: usize) -> Arc<JobCor
     })
 }
 
-/// A half-open index range of one job, executable by any thread.
-struct Task {
-    job: Arc<JobCore>,
-    lo: usize,
-    hi: usize,
+/// Capacity of the bounded-injector backpressure mode: at most `cap`
+/// detached tasks (submitted through [`Pool::try_submit`]) may wait in
+/// the injector at once. Chunked jobs (`parallel_for` family) are not
+/// bounded — their callers help-execute and thus self-limit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BoundedQueue {
+    /// Maximum queued (not yet running) detached tasks.
+    pub cap: usize,
+}
+
+/// A detached submission was rejected because the bounded injector is at
+/// capacity — the caller should shed load (HTTP 429) or retry later.
+#[derive(Debug, Clone)]
+pub struct QueueFull {
+    /// Configured injector capacity.
+    pub cap: usize,
+    /// Detached tasks queued at the time of rejection.
+    pub depth: usize,
+}
+
+impl std::fmt::Display for QueueFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "pool injector full: {} queued / cap {}", self.depth, self.cap)
+    }
+}
+
+impl std::error::Error for QueueFull {}
+
+/// A unit of executable work: either one chunk of a `parallel_for`-style
+/// job, or a detached fire-and-forget closure from [`Pool::try_submit`].
+enum Task {
+    /// A half-open index range of one chunked job.
+    Chunk { job: Arc<JobCore>, lo: usize, hi: usize },
+    /// An owned closure with no completion handle; panics are contained
+    /// and dropped so the worker survives.
+    Detached(Box<dyn FnOnce() + Send + 'static>),
 }
 
 struct Shared {
@@ -134,6 +171,11 @@ struct Shared {
     injector: Mutex<VecDeque<Task>>,
     /// Tasks currently sitting in any queue (not yet picked up).
     queued: AtomicUsize,
+    /// Detached tasks currently waiting in the injector (the quantity the
+    /// bounded mode caps).
+    detached_queued: AtomicUsize,
+    /// `usize::MAX` when unbounded.
+    injector_cap: usize,
     sleep: Mutex<()>,
     wake: Condvar,
     shutdown: AtomicBool,
@@ -163,6 +205,9 @@ impl Shared {
             }
         }
         if let Some(t) = lock(&self.injector).pop_front() {
+            if matches!(t, Task::Detached(_)) {
+                self.detached_queued.fetch_sub(1, Ordering::AcqRel);
+            }
             self.note_dequeued();
             return Some(t);
         }
@@ -182,23 +227,33 @@ impl Shared {
         None
     }
 
-    /// Runs one task under `catch_unwind`, recording the first panic
-    /// payload on its job and signalling completion of the last chunk.
+    /// Runs one task under `catch_unwind`. Chunk panics record the first
+    /// payload on their job and signal completion of the last chunk;
+    /// detached panics are contained and dropped — the submitting side
+    /// (e.g. the serving layer) is responsible for converting its own
+    /// panics into error responses before they reach the pool boundary.
     fn run_task(&self, task: Task) {
         self.tasks_total.inc();
-        let result = panic::catch_unwind(AssertUnwindSafe(|| unsafe {
-            (task.job.call)(task.job.data, task.lo, task.hi)
-        }));
-        if let Err(payload) = result {
-            let mut slot = lock(&task.job.panic_payload);
-            if slot.is_none() {
-                *slot = Some(payload);
+        match task {
+            Task::Chunk { job, lo, hi } => {
+                let result = panic::catch_unwind(AssertUnwindSafe(|| unsafe {
+                    (job.call)(job.data, lo, hi)
+                }));
+                if let Err(payload) = result {
+                    let mut slot = lock(&job.panic_payload);
+                    if slot.is_none() {
+                        *slot = Some(payload);
+                    }
+                }
+                if job.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+                    let mut done = lock(&job.done);
+                    *done = true;
+                    job.done_cv.notify_all();
+                }
             }
-        }
-        if task.job.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
-            let mut done = lock(&task.job.done);
-            *done = true;
-            task.job.done_cv.notify_all();
+            Task::Detached(f) => {
+                let _ = panic::catch_unwind(AssertUnwindSafe(f));
+            }
         }
     }
 
@@ -256,12 +311,26 @@ impl Pool {
     /// `with_threads(1)` spawns no workers and executes everything inline
     /// on the caller — the deterministic serial configuration.
     pub fn with_threads(threads: usize) -> Self {
-        let workers = threads.max(1) - 1;
+        Self::build(threads.max(1) - 1, usize::MAX)
+    }
+
+    /// Builds a pool in **bounded-injector mode** for serving workloads:
+    /// `workers` dedicated worker threads (min 1 — detached submissions
+    /// have no help-waiting caller, so every unit of parallelism must be
+    /// a real worker) and an injector that admits at most `queue.cap`
+    /// waiting detached tasks. [`Pool::try_submit`] sheds beyond the cap.
+    pub fn with_threads_bounded(workers: usize, queue: BoundedQueue) -> Self {
+        Self::build(workers.max(1), queue.cap)
+    }
+
+    fn build(workers: usize, injector_cap: usize) -> Self {
         let reg = emblookup_obs::global();
         let shared = Arc::new(Shared {
             deques: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
             injector: Mutex::new(VecDeque::new()),
             queued: AtomicUsize::new(0),
+            detached_queued: AtomicUsize::new(0),
+            injector_cap,
             sleep: Mutex::new(()),
             wake: Condvar::new(),
             shutdown: AtomicBool::new(false),
@@ -293,6 +362,55 @@ impl Pool {
     /// Total parallelism of this pool (workers + the submitting thread).
     pub fn threads(&self) -> usize {
         self.shared.deques.len() + 1
+    }
+
+    /// Detached tasks currently waiting in the injector — the serving
+    /// layer mirrors this into its `serve.queue.depth` gauge.
+    pub fn detached_depth(&self) -> usize {
+        self.shared.detached_queued.load(Ordering::Acquire)
+    }
+
+    /// Configured bounded-injector capacity, `None` when unbounded.
+    pub fn injector_cap(&self) -> Option<usize> {
+        (self.shared.injector_cap != usize::MAX).then_some(self.shared.injector_cap)
+    }
+
+    /// Submits a detached fire-and-forget task, refusing with [`QueueFull`]
+    /// when the bounded injector already holds `cap` waiting tasks — the
+    /// admission-control primitive of the serving layer: reject work while
+    /// it is still cheap instead of queueing unboundedly.
+    ///
+    /// The capacity check and the push happen under the injector lock, so
+    /// the cap is exact. Tasks already *executing* on a worker do not
+    /// count against the cap — the bound is on waiting work. A panic
+    /// inside `f` is contained by the worker and dropped.
+    ///
+    /// On a pool built with no workers (`with_threads(1)`) the task runs
+    /// inline on the calling thread — the degenerate serial mode; real
+    /// serving pools come from [`Pool::with_threads_bounded`], which
+    /// always spawns at least one worker.
+    pub fn try_submit<F>(&self, f: F) -> Result<(), QueueFull>
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        if self.shared.deques.is_empty() {
+            self.shared.tasks_total.inc();
+            let _ = panic::catch_unwind(AssertUnwindSafe(f));
+            return Ok(());
+        }
+        {
+            let mut inj = lock(&self.shared.injector);
+            let depth = self.shared.detached_queued.load(Ordering::Acquire);
+            if depth >= self.shared.injector_cap {
+                return Err(QueueFull { cap: self.shared.injector_cap, depth });
+            }
+            self.shared.detached_queued.fetch_add(1, Ordering::AcqRel);
+            inj.push_back(Task::Detached(Box::new(f)));
+        }
+        self.shared.note_enqueued(1);
+        let _g = lock(&self.shared.sleep);
+        self.shared.wake.notify_all();
+        Ok(())
     }
 
     /// Worker index when the current thread belongs to this pool.
@@ -439,7 +557,7 @@ impl Pool {
         let job = job_for(&runner, 1);
         let me = self.current_worker();
         self.shared
-            .push_tasks(vec![Task { job: Arc::clone(&job), lo: 0, hi: 1 }], me);
+            .push_tasks(vec![Task::Chunk { job: Arc::clone(&job), lo: 0, hi: 1 }], me);
         // run `a` on the caller; contain its panic so we never unwind
         // while `b` may still borrow `runner`/`cell` from this frame
         let ra = panic::catch_unwind(AssertUnwindSafe(a));
@@ -492,7 +610,7 @@ impl Pool {
         let me = self.current_worker();
         let tasks = ranges
             .into_iter()
-            .map(|(lo, hi)| Task { job: Arc::clone(&job), lo, hi })
+            .map(|(lo, hi)| Task::Chunk { job: Arc::clone(&job), lo, hi })
             .collect();
         self.shared.push_tasks(tasks, me);
         self.help_until_done(&job);
@@ -695,6 +813,85 @@ mod tests {
         let a = serial.parallel_map(500, 8, f);
         let b = wide.parallel_map(500, 8, f);
         assert!(a.iter().zip(b.iter()).all(|(x, y)| x.to_bits() == y.to_bits()));
+    }
+
+    #[test]
+    fn try_submit_runs_detached_tasks() {
+        let pool = Pool::with_threads_bounded(2, BoundedQueue { cap: 64 });
+        let hits = Arc::new(AtomicUsize::new(0));
+        for _ in 0..20 {
+            let hits = Arc::clone(&hits);
+            pool.try_submit(move || {
+                hits.fetch_add(1, Ordering::SeqCst);
+            })
+            .expect("under cap");
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while hits.load(Ordering::SeqCst) < 20 {
+            assert!(std::time::Instant::now() < deadline, "detached tasks not drained");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    #[test]
+    fn try_submit_sheds_at_capacity() {
+        // one worker, blocked; cap 2 → two queued tasks admitted, third shed
+        let pool = Pool::with_threads_bounded(1, BoundedQueue { cap: 2 });
+        let release = Arc::new(AtomicBool::new(false));
+        let gate = Arc::clone(&release);
+        pool.try_submit(move || {
+            while !gate.load(Ordering::Acquire) {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        })
+        .expect("blocker admitted");
+        // give the worker a moment to pick the blocker up
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while pool.detached_depth() > 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        pool.try_submit(|| {}).expect("first queued");
+        pool.try_submit(|| {}).expect("second queued");
+        let err = pool.try_submit(|| {}).expect_err("cap reached");
+        assert_eq!(err.cap, 2);
+        assert!(err.depth >= 2, "depth {}", err.depth);
+        release.store(true, Ordering::Release);
+    }
+
+    #[test]
+    fn detached_panic_leaves_pool_serving() {
+        let pool = Pool::with_threads_bounded(1, BoundedQueue { cap: 8 });
+        pool.try_submit(|| panic!("injected detached panic")).expect("admitted");
+        let done = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&done);
+        pool.try_submit(move || flag.store(true, Ordering::Release))
+            .expect("admitted after panic");
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while !done.load(Ordering::Acquire) {
+            assert!(std::time::Instant::now() < deadline, "worker died after panic");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // chunked jobs still work on the same pool
+        let out = pool.parallel_map(8, 2, |i| i);
+        assert_eq!(out.len(), 8);
+    }
+
+    #[test]
+    fn zero_worker_pool_runs_submissions_inline() {
+        let pool = Pool::with_threads(1);
+        let ran = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&ran);
+        pool.try_submit(move || flag.store(true, Ordering::Release))
+            .expect("inline execution");
+        assert!(ran.load(Ordering::Acquire));
+        assert_eq!(pool.injector_cap(), None);
+    }
+
+    #[test]
+    fn bounded_pool_reports_cap() {
+        let pool = Pool::with_threads_bounded(2, BoundedQueue { cap: 7 });
+        assert_eq!(pool.injector_cap(), Some(7));
+        assert_eq!(pool.detached_depth(), 0);
     }
 
     #[test]

@@ -1,0 +1,129 @@
+//! A tiny blocking HTTP/1.1 client on `std::net::TcpStream`.
+//!
+//! Exists so the integration tests and the `emblookup-cli query`
+//! subcommand can exercise the server without pulling in an external
+//! HTTP dependency. One request per connection, mirroring the server's
+//! `Connection: close` contract.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A parsed response: status, lower-cased headers, body.
+#[derive(Debug, Clone)]
+pub struct HttpResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Header `(name, value)` pairs with names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// Response body as text.
+    pub body: String,
+}
+
+impl HttpResponse {
+    /// First value of header `name` (lower-case), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Sends one request and reads the response to EOF.
+///
+/// # Errors
+/// Propagates connect/read/write failures and malformed response
+/// framing as `io::Error`.
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: &str,
+) -> std::io::Result<HttpResponse> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    let mut out = String::with_capacity(body.len() + 128);
+    out.push_str(method);
+    out.push(' ');
+    out.push_str(path);
+    out.push_str(" HTTP/1.1\r\nhost: emblookup\r\ncontent-length: ");
+    out.push_str(&body.len().to_string());
+    for (name, value) in headers {
+        out.push_str("\r\n");
+        out.push_str(name);
+        out.push_str(": ");
+        out.push_str(value);
+    }
+    out.push_str("\r\nconnection: close\r\n\r\n");
+    out.push_str(body);
+    stream.write_all(out.as_bytes())?;
+    stream.flush()?;
+
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    parse_response(&raw)
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed response"))
+}
+
+/// `GET path`.
+///
+/// # Errors
+/// See [`request`].
+pub fn get(addr: SocketAddr, path: &str) -> std::io::Result<HttpResponse> {
+    request(addr, "GET", path, &[], "")
+}
+
+/// `POST path` with a JSON body.
+///
+/// # Errors
+/// See [`request`].
+pub fn post_json(
+    addr: SocketAddr,
+    path: &str,
+    body: &str,
+    headers: &[(&str, &str)],
+) -> std::io::Result<HttpResponse> {
+    let mut all = vec![("content-type", "application/json")];
+    all.extend_from_slice(headers);
+    request(addr, "POST", path, &all, body)
+}
+
+fn parse_response(raw: &[u8]) -> Option<HttpResponse> {
+    let text = String::from_utf8_lossy(raw);
+    let (head, body) = text.split_once("\r\n\r\n")?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next()?;
+    let status: u16 = status_line.split_ascii_whitespace().nth(1)?.parse().ok()?;
+    let mut headers = Vec::new();
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        }
+    }
+    Some(HttpResponse {
+        status,
+        headers,
+        body: body.to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_response_framing() {
+        let raw = b"HTTP/1.1 429 Too Many Requests\r\nRetry-After: 1\r\n\r\n{\"error\":\"shed\"}";
+        let resp = parse_response(raw).unwrap();
+        assert_eq!(resp.status, 429);
+        assert_eq!(resp.header("retry-after"), Some("1"));
+        assert_eq!(resp.body, "{\"error\":\"shed\"}");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_response(b"not http at all").is_none());
+    }
+}

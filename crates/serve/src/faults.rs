@@ -1,0 +1,298 @@
+//! Deterministic fault injection and deadline accounting.
+//!
+//! Faults exist to prove the serving layer degrades instead of dying:
+//! the harness can stretch any pipeline stage, make the ANN backend
+//! fail or return poisoned scores, or panic inside the search — and do
+//! it **reproducibly**. Scripted plans replay a fixed fault sequence;
+//! random plans derive a per-request generator from `seed ^ request
+//! index`, so run N of a test sees bit-for-bit the run N-1 saw.
+//!
+//! Injected latency can run in *virtual time*: instead of sleeping, the
+//! fault advances the request's [`DeadlineClock`] by the injected
+//! amount. Tests stay fast, and — because virtual milliseconds dwarf
+//! the microseconds of real work — degradation decisions become
+//! independent of machine speed and pool width.
+//!
+//! Faults are only ever constructed through [`crate::ServeConfig`];
+//! the default config carries `None`, so release binaries cannot
+//! trip over a stray fault plan.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+/// A pipeline stage at which faults apply and deadlines are checked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Queueing / admission, before any work.
+    Admit,
+    /// Query embedding (CNN + fastText forward pass).
+    Encode,
+    /// Candidate search (ANN / flat / q-gram).
+    Search,
+}
+
+impl Stage {
+    /// Stable lower-case name used in `504` response metadata.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Admit => "admit",
+            Stage::Encode => "encode",
+            Stage::Search => "search",
+        }
+    }
+}
+
+/// The faults applied to one request.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageFaults {
+    /// Latency injected before admission checks, in milliseconds.
+    pub admit_latency_ms: u64,
+    /// Latency injected before the encode stage.
+    pub encode_latency_ms: u64,
+    /// Latency injected before the search stage.
+    pub search_latency_ms: u64,
+    /// The primary (PQ/ANN) backend reports an error for this request.
+    pub backend_error: bool,
+    /// The primary backend answers with poisoned (NaN) scores.
+    pub poison: bool,
+    /// The search stage panics mid-request (containment drill).
+    pub panic_in_search: bool,
+}
+
+/// How faults are generated across requests.
+#[derive(Debug, Clone)]
+pub enum FaultConfig {
+    /// Replay `plan[i % plan.len()]` for request `i`. An empty plan
+    /// injects nothing.
+    Scripted {
+        /// Per-request fault schedule, cycled.
+        plan: Vec<StageFaults>,
+        /// Advance the deadline clock instead of sleeping.
+        virtual_time: bool,
+    },
+    /// Derive request `i`'s faults from an [`StdRng`] seeded with
+    /// `seed ^ i`-derived material. Same seed, same faults, always.
+    Random {
+        /// Base seed for the per-request generators.
+        seed: u64,
+        /// Probability a stage gets injected latency.
+        latency_prob: f64,
+        /// Upper bound (exclusive) on injected latency per stage.
+        max_latency_ms: u64,
+        /// Probability the primary backend errors.
+        backend_error_prob: f64,
+        /// Probability the primary backend poisons its scores.
+        poison_prob: f64,
+        /// Probability the search stage panics.
+        panic_prob: f64,
+        /// Advance the deadline clock instead of sleeping.
+        virtual_time: bool,
+    },
+}
+
+/// Resolves [`FaultConfig`] into per-request [`StageFaults`].
+#[derive(Debug, Clone)]
+pub struct FaultLayer {
+    config: FaultConfig,
+}
+
+impl FaultLayer {
+    /// Wraps a fault configuration.
+    pub fn new(config: FaultConfig) -> Self {
+        FaultLayer { config }
+    }
+
+    /// Whether injected latency should advance virtual time.
+    pub fn virtual_time(&self) -> bool {
+        match &self.config {
+            FaultConfig::Scripted { virtual_time, .. }
+            | FaultConfig::Random { virtual_time, .. } => *virtual_time,
+        }
+    }
+
+    /// The faults for request number `index` (assigned by accept order).
+    pub fn for_request(&self, index: u64) -> StageFaults {
+        match &self.config {
+            FaultConfig::Scripted { plan, .. } => {
+                if plan.is_empty() {
+                    StageFaults::default()
+                } else {
+                    plan[(index % plan.len() as u64) as usize]
+                }
+            }
+            FaultConfig::Random {
+                seed,
+                latency_prob,
+                max_latency_ms,
+                backend_error_prob,
+                poison_prob,
+                panic_prob,
+                ..
+            } => {
+                // Mix the index through a distinct odd constant so
+                // consecutive requests land on unrelated streams even
+                // for adjacent seeds.
+                let mixed = seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                let mut rng = StdRng::seed_from_u64(mixed);
+                let latency = |rng: &mut StdRng| {
+                    if *max_latency_ms > 0 && rng.gen_bool(*latency_prob) {
+                        rng.gen_range(0..*max_latency_ms)
+                    } else {
+                        0
+                    }
+                };
+                StageFaults {
+                    admit_latency_ms: latency(&mut rng),
+                    encode_latency_ms: latency(&mut rng),
+                    search_latency_ms: latency(&mut rng),
+                    backend_error: rng.gen_bool(*backend_error_prob),
+                    poison: rng.gen_bool(*poison_prob),
+                    panic_in_search: rng.gen_bool(*panic_prob),
+                }
+            }
+        }
+    }
+}
+
+/// Tracks one request's deadline budget in real plus virtual time.
+///
+/// Real time accrues from [`Instant::now`]; virtual time accrues only
+/// through [`DeadlineClock::advance_ms`] when the clock was built with
+/// `virtual_only`. Degradation decisions read
+/// [`DeadlineClock::frac_remaining`], the fraction of budget still
+/// unspent.
+#[derive(Debug)]
+pub struct DeadlineClock {
+    start: Instant,
+    budget_ms: u64,
+    virtual_ms: u64,
+    virtual_only: bool,
+}
+
+impl DeadlineClock {
+    /// Starts a clock with `budget_ms` of budget. With `virtual_only`,
+    /// injected latency advances the clock instead of sleeping.
+    pub fn new(budget_ms: u64, virtual_only: bool) -> Self {
+        DeadlineClock {
+            start: Instant::now(),
+            budget_ms,
+            virtual_ms: 0,
+            virtual_only,
+        }
+    }
+
+    /// Applies `ms` of injected latency: virtually (clock advance) or
+    /// physically (sleep), per construction.
+    pub fn advance_ms(&mut self, ms: u64) {
+        if ms == 0 {
+            return;
+        }
+        if self.virtual_only {
+            self.virtual_ms = self.virtual_ms.saturating_add(ms);
+        } else {
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+        }
+    }
+
+    /// Total budget in milliseconds.
+    pub fn budget_ms(&self) -> u64 {
+        self.budget_ms
+    }
+
+    /// Elapsed real plus virtual milliseconds.
+    pub fn elapsed_ms(&self) -> u64 {
+        let real = self.start.elapsed().as_millis() as u64;
+        real.saturating_add(self.virtual_ms)
+    }
+
+    /// Milliseconds of budget left (saturating at zero).
+    pub fn remaining_ms(&self) -> u64 {
+        self.budget_ms.saturating_sub(self.elapsed_ms())
+    }
+
+    /// Fraction of budget remaining, in `[0, 1]`.
+    pub fn frac_remaining(&self) -> f64 {
+        if self.budget_ms == 0 {
+            return 0.0;
+        }
+        self.remaining_ms() as f64 / self.budget_ms as f64
+    }
+
+    /// True once the budget is exhausted.
+    pub fn expired(&self) -> bool {
+        self.remaining_ms() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scripted_plan_cycles() {
+        let plan = vec![
+            StageFaults { encode_latency_ms: 5, ..StageFaults::default() },
+            StageFaults { backend_error: true, ..StageFaults::default() },
+        ];
+        let layer = FaultLayer::new(FaultConfig::Scripted { plan, virtual_time: true });
+        assert_eq!(layer.for_request(0).encode_latency_ms, 5);
+        assert!(layer.for_request(1).backend_error);
+        assert_eq!(layer.for_request(2).encode_latency_ms, 5);
+    }
+
+    #[test]
+    fn empty_scripted_plan_injects_nothing() {
+        let layer = FaultLayer::new(FaultConfig::Scripted { plan: vec![], virtual_time: true });
+        assert_eq!(layer.for_request(7), StageFaults::default());
+    }
+
+    #[test]
+    fn random_faults_are_reproducible_and_seed_sensitive() {
+        let make = |seed| {
+            FaultLayer::new(FaultConfig::Random {
+                seed,
+                latency_prob: 0.5,
+                max_latency_ms: 100,
+                backend_error_prob: 0.2,
+                poison_prob: 0.2,
+                panic_prob: 0.1,
+                virtual_time: true,
+            })
+        };
+        let a: Vec<_> = (0..64).map(|i| make(7).for_request(i)).collect();
+        let b: Vec<_> = (0..64).map(|i| make(7).for_request(i)).collect();
+        let c: Vec<_> = (0..64).map(|i| make(8).for_request(i)).collect();
+        assert_eq!(a, b, "same seed must replay identically");
+        assert_ne!(a, c, "different seeds should differ somewhere in 64 draws");
+    }
+
+    #[test]
+    fn virtual_clock_advances_without_sleeping() {
+        let mut clock = DeadlineClock::new(100, true);
+        let wall = Instant::now();
+        clock.advance_ms(60);
+        assert!(wall.elapsed().as_millis() < 50, "virtual advance must not sleep");
+        assert!(clock.elapsed_ms() >= 60);
+        assert!(clock.remaining_ms() <= 40);
+        assert!(!clock.expired());
+        clock.advance_ms(60);
+        assert!(clock.expired());
+        assert!((clock.frac_remaining() - 0.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn real_clock_sleeps() {
+        let mut clock = DeadlineClock::new(1000, false);
+        let wall = Instant::now();
+        clock.advance_ms(20);
+        assert!(wall.elapsed().as_millis() >= 20, "real mode must actually wait");
+    }
+
+    #[test]
+    fn zero_budget_is_always_expired() {
+        let clock = DeadlineClock::new(0, true);
+        assert!(clock.expired());
+        assert!((clock.frac_remaining()).abs() < f64::EPSILON);
+    }
+}

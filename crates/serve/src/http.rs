@@ -1,0 +1,216 @@
+//! Minimal HTTP/1.1 framing on `std::net::TcpStream`.
+//!
+//! The server speaks one request per connection (`Connection: close`),
+//! which keeps the state machine trivial and makes shed/deadline
+//! responses unambiguous: every connection resolves to exactly one
+//! status line. Header and body sizes are capped so a malformed or
+//! hostile peer cannot grow buffers without bound.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// Upper bound on the request head (request line + headers).
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// A parsed request: method, path, lower-cased headers, raw body.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// `GET`, `POST`, ... (upper-case as sent).
+    pub method: String,
+    /// The request target, e.g. `/lookup`.
+    pub path: String,
+    /// Header `(name, value)` pairs with names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// Raw body bytes (`content-length` framed).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of header `name` (lower-case), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Reads one request from `stream`.
+///
+/// # Errors
+/// A static description of the framing problem (oversized head, missing
+/// terminator, bad content length, body larger than `max_body`).
+pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, &'static str> {
+    let mut head = Vec::with_capacity(512);
+    let mut byte = [0u8; 1];
+    // Byte-at-a-time until CRLFCRLF: requests here are tiny and the
+    // simplicity beats a lookahead buffer that must not over-read the
+    // body.
+    loop {
+        match stream.read(&mut byte) {
+            Ok(0) => return Err("connection closed before request head"),
+            Ok(_) => head.push(byte[0]),
+            Err(_) => return Err("read failed or timed out"),
+        }
+        if head.len() > MAX_HEAD_BYTES {
+            return Err("request head too large");
+        }
+        if head.ends_with(b"\r\n\r\n") {
+            break;
+        }
+    }
+    let head = std::str::from_utf8(&head).map_err(|_| "request head is not UTF-8")?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().ok_or("empty request")?;
+    let mut parts = request_line.split_ascii_whitespace();
+    let method = parts.next().ok_or("missing method")?.to_string();
+    let path = parts.next().ok_or("missing path")?.to_string();
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line.split_once(':').ok_or("malformed header line")?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let content_length = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .map(|(_, v)| v.parse::<usize>())
+        .transpose()
+        .map_err(|_| "bad content-length")?
+        .unwrap_or(0);
+    if content_length > max_body {
+        return Err("request body too large");
+    }
+    let mut body = vec![0u8; content_length];
+    stream
+        .read_exact(&mut body)
+        .map_err(|_| "truncated request body")?;
+    Ok(Request { method, path, headers, body })
+}
+
+/// A response ready to serialize.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` value.
+    pub content_type: &'static str,
+    /// Additional headers (e.g. `Retry-After`).
+    pub extra_headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: String,
+}
+
+impl Response {
+    /// A JSON response with the given status.
+    pub fn json(status: u16, body: String) -> Self {
+        Response {
+            status,
+            content_type: "application/json",
+            extra_headers: Vec::new(),
+            body,
+        }
+    }
+
+    /// A plain-text response with the given status.
+    pub fn text(status: u16, body: String) -> Self {
+        Response {
+            status,
+            content_type: "text/plain; version=0.0.4",
+            extra_headers: Vec::new(),
+            body,
+        }
+    }
+
+    /// Adds one extra header.
+    pub fn with_header(mut self, name: &str, value: &str) -> Self {
+        self.extra_headers.push((name.to_string(), value.to_string()));
+        self
+    }
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+/// Serializes `resp` onto `stream` and flushes. Write errors are
+/// swallowed: the peer may have hung up, and the connection is closed
+/// either way.
+pub fn write_response(stream: &mut TcpStream, resp: &Response) {
+    let mut out = String::with_capacity(resp.body.len() + 128);
+    out.push_str("HTTP/1.1 ");
+    out.push_str(&resp.status.to_string());
+    out.push(' ');
+    out.push_str(reason(resp.status));
+    out.push_str("\r\ncontent-type: ");
+    out.push_str(resp.content_type);
+    out.push_str("\r\ncontent-length: ");
+    out.push_str(&resp.body.len().to_string());
+    for (name, value) in &resp.extra_headers {
+        out.push_str("\r\n");
+        out.push_str(name);
+        out.push_str(": ");
+        out.push_str(value);
+    }
+    out.push_str("\r\nconnection: close\r\n\r\n");
+    out.push_str(&resp.body);
+    let _ = stream.write_all(out.as_bytes());
+    let _ = stream.flush();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    fn roundtrip(raw: &[u8], max_body: usize) -> Result<Request, &'static str> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = raw.to_vec();
+        let writer = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(&raw).unwrap();
+        });
+        let (mut conn, _) = listener.accept().unwrap();
+        let out = read_request(&mut conn, max_body);
+        writer.join().unwrap();
+        out
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let raw = b"POST /lookup HTTP/1.1\r\nHost: x\r\nContent-Length: 9\r\n\r\n{\"q\":\"a\"}";
+        let req = roundtrip(raw, 1024).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/lookup");
+        assert_eq!(req.header("content-length"), Some("9"));
+        assert_eq!(req.body, b"{\"q\":\"a\"}");
+    }
+
+    #[test]
+    fn rejects_oversized_body() {
+        let raw = b"POST /lookup HTTP/1.1\r\nContent-Length: 100\r\n\r\n";
+        assert_eq!(roundtrip(raw, 10).err(), Some("request body too large"));
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let req = roundtrip(b"GET /healthz HTTP/1.1\r\n\r\n", 0).unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert!(req.body.is_empty());
+    }
+}

@@ -1,0 +1,329 @@
+//! A minimal, strict-enough JSON reader and string escaper.
+//!
+//! The serving layer's request bodies are tiny (`{"q": "...", "k": 5}`),
+//! so a compact recursive-descent parser on `std` keeps the workspace
+//! dependency-free. Depth is capped, input size is capped by the HTTP
+//! layer, and every failure is a typed `Err` — never a panic (L001).
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number, kept as `f64` (ample for `k` and latencies).
+    Num(f64),
+    /// A string with escapes resolved.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Member lookup on an object, `None` elsewhere.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, `None` for non-strings.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// A non-negative integral number, `None` otherwise.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            // lint: allow(L007) fract()==0.0 is the exact integrality test, not a tolerance check
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The array elements, `None` for non-arrays.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items.as_slice()),
+            _ => None,
+        }
+    }
+}
+
+/// Escapes `s` for embedding inside a JSON string literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str("\\u");
+                let code = c as u32;
+                for shift in [12u32, 8, 4, 0] {
+                    let digit = (code >> shift) & 0xF;
+                    out.push(char::from_digit(digit, 16).unwrap_or('0'));
+                }
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+const MAX_DEPTH: usize = 32;
+
+/// Parses one JSON document (surrounding whitespace allowed).
+///
+/// # Errors
+/// A short static description of the first syntax problem.
+pub fn parse(input: &str) -> Result<Json, &'static str> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos, 0)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err("trailing characters after JSON document");
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), &'static str> {
+    if *pos < bytes.len() && bytes[*pos] == b {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err("unexpected character")
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, &'static str> {
+    if depth > MAX_DEPTH {
+        return Err("JSON nesting too deep");
+    }
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input"),
+        Some(b'{') => parse_obj(bytes, pos, depth),
+        Some(b'[') => parse_arr(bytes, pos, depth),
+        Some(b'"') => parse_string(bytes, pos).map(Json::Str),
+        Some(b't') => parse_lit(bytes, pos, "true").map(|_| Json::Bool(true)),
+        Some(b'f') => parse_lit(bytes, pos, "false").map(|_| Json::Bool(false)),
+        Some(b'n') => parse_lit(bytes, pos, "null").map(|_| Json::Null),
+        Some(_) => parse_num(bytes, pos).map(Json::Num),
+    }
+}
+
+fn parse_lit(bytes: &[u8], pos: &mut usize, lit: &'static str) -> Result<(), &'static str> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err("malformed literal")
+    }
+}
+
+fn parse_num(bytes: &[u8], pos: &mut usize) -> Result<f64, &'static str> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|_| "invalid number bytes")?;
+    text.parse::<f64>().map_err(|_| "malformed number")
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, &'static str> {
+    expect(bytes, pos, b'"').map_err(|_| "expected string")?;
+    let mut out = String::new();
+    loop {
+        let Some(&b) = bytes.get(*pos) else {
+            return Err("unterminated string");
+        };
+        *pos += 1;
+        match b {
+            b'"' => return Ok(out),
+            b'\\' => {
+                let Some(&esc) = bytes.get(*pos) else {
+                    return Err("unterminated escape");
+                };
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'u' => {
+                        let hex = bytes
+                            .get(*pos..*pos + 4)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or("truncated \\u escape")?;
+                        let code =
+                            u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
+                        *pos += 4;
+                        // surrogate pairs are out of scope for this
+                        // workload; map them to the replacement char
+                        out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                    }
+                    _ => return Err("unknown escape"),
+                }
+            }
+            _ => {
+                // re-decode the UTF-8 sequence starting at b
+                let len = utf8_len(b)?;
+                let chunk = bytes
+                    .get(*pos - 1..*pos - 1 + len)
+                    .ok_or("truncated UTF-8 sequence")?;
+                let s = std::str::from_utf8(chunk).map_err(|_| "invalid UTF-8 in string")?;
+                out.push_str(s);
+                *pos += len - 1;
+            }
+        }
+    }
+}
+
+fn utf8_len(first: u8) -> Result<usize, &'static str> {
+    match first {
+        0x00..=0x7F => Ok(1),
+        0xC0..=0xDF => Ok(2),
+        0xE0..=0xEF => Ok(3),
+        0xF0..=0xF7 => Ok(4),
+        _ => Err("invalid UTF-8 lead byte"),
+    }
+}
+
+fn parse_arr(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, &'static str> {
+    expect(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos, depth + 1)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => {
+                *pos += 1;
+            }
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err("expected ',' or ']' in array"),
+        }
+    }
+}
+
+fn parse_obj(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, &'static str> {
+    expect(bytes, pos, b'{')?;
+    let mut members = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(members));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        expect(bytes, pos, b':').map_err(|_| "expected ':' in object")?;
+        let value = parse_value(bytes, pos, depth + 1)?;
+        members.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => {
+                *pos += 1;
+            }
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(members));
+            }
+            _ => return Err("expected ',' or '}' in object"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_lookup_request_shape() {
+        let v = parse(r#"{"q": "germoney", "k": 5}"#).unwrap();
+        assert_eq!(v.get("q").and_then(Json::as_str), Some("germoney"));
+        assert_eq!(v.get("k").and_then(Json::as_u64), Some(5));
+        assert!(v.get("missing").is_none());
+    }
+
+    #[test]
+    fn parses_bulk_request_shape() {
+        let v = parse(r#"{"queries": ["a", "b\nc"], "k": 2}"#).unwrap();
+        let qs = v.get("queries").and_then(Json::as_arr).unwrap();
+        assert_eq!(qs.len(), 2);
+        assert_eq!(qs[1].as_str(), Some("b\nc"));
+    }
+
+    #[test]
+    fn parses_nested_values_and_unicode() {
+        let v = parse(r#"{"a": [1, 2.5, -3], "b": {"c": null, "d": true}, "e": "café über"}"#)
+            .unwrap();
+        assert_eq!(v.get("a").and_then(Json::as_arr).map(<[Json]>::len), Some(3));
+        assert_eq!(v.get("b").and_then(|b| b.get("d")), Some(&Json::Bool(true)));
+        assert_eq!(v.get("e").and_then(Json::as_str), Some("café über"));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "{", "[1,", "\"open", "{\"k\" 1}", "tru", "{} extra", "{\"a\":01e}",
+        ] {
+            assert!(parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_pathological_nesting() {
+        let deep = "[".repeat(100) + &"]".repeat(100);
+        assert!(parse(&deep).is_err());
+    }
+
+    #[test]
+    fn as_u64_rejects_fractions_and_negatives() {
+        assert_eq!(parse("2.5").unwrap().as_u64(), None);
+        assert_eq!(parse("-2").unwrap().as_u64(), None);
+        assert_eq!(parse("7").unwrap().as_u64(), Some(7));
+    }
+
+    #[test]
+    fn escape_round_trips_through_parse() {
+        let nasty = "a\"b\\c\nd\te\u{1}f über";
+        let doc = format!("{{\"s\": \"{}\"}}", escape(nasty));
+        let v = parse(&doc).unwrap();
+        assert_eq!(v.get("s").and_then(Json::as_str), Some(nasty));
+    }
+}

@@ -1,0 +1,101 @@
+//! # emblookup-serve
+//!
+//! The hardened serving layer for EmbLookup: a zero-dependency
+//! HTTP/1.1 server that keeps answering — degraded if it must — under
+//! overload, deadline pressure, and injected faults.
+//!
+//! | Endpoint | Behaviour |
+//! |---|---|
+//! | `POST /lookup` | single-query lookup through the degradation ladder |
+//! | `POST /lookup/bulk` | batched lookup, full fidelity or `504` |
+//! | `GET /healthz` | liveness, answered inline |
+//! | `GET /metrics` | Prometheus text exposition of the server's registry |
+//!
+//! Three robustness mechanisms compose:
+//!
+//! * **Admission control** — `POST` work enters the worker pool through
+//!   a bounded injector; at capacity the server sheds with `429` +
+//!   `Retry-After` instead of queueing without bound.
+//! * **Deadlines** — every request carries a budget (header
+//!   `x-emblookup-deadline-ms` or the config default), checked at stage
+//!   boundaries; exhaustion yields `504` naming the stage.
+//! * **Degradation ladder** — as budget shrinks (or the primary backend
+//!   errors/poisons), the answer steps down: PQ/ANN → exact flat search
+//!   on a capped set → q-gram string similarity. The rung is tagged in
+//!   the response and counted in `serve.degraded.*`.
+//!
+//! A deterministic fault-injection harness ([`faults`]) drives all of
+//! this in tests: scripted or seeded-random stage latency, backend
+//! errors, poisoned scores, and in-search panics, replayable
+//! bit-for-bit. Faults are configured only through [`ServeConfig`] and
+//! default to off.
+//!
+//! ```no_run
+//! use emblookup_core::{EmbLookup, EmbLookupConfig};
+//! use emblookup_kg::{generate, SynthKgConfig};
+//! use emblookup_serve::{Server, ServeConfig};
+//!
+//! let synth = generate(SynthKgConfig::small(42));
+//! let service = EmbLookup::train_on(&synth.kg, EmbLookupConfig::fast(42));
+//! let server = Server::start(service, &synth.kg, ServeConfig::default()).unwrap();
+//! println!("listening on {}", server.addr());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod faults;
+pub mod http;
+pub mod json;
+pub mod ladder;
+pub mod server;
+
+pub use faults::{DeadlineClock, FaultConfig, FaultLayer, Stage, StageFaults};
+pub use ladder::{Ladder, Rung};
+pub use server::Server;
+
+/// Server configuration. The default is safe for production use:
+/// faults off, bounded queue, conservative deadline.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; `"127.0.0.1:0"` picks a free port.
+    pub addr: String,
+    /// Worker threads for the request pool; `0` means
+    /// [`emblookup_pool::default_threads`].
+    pub workers: usize,
+    /// Bounded-injector capacity: queued-but-unstarted requests beyond
+    /// this are shed with `429`.
+    pub queue_cap: usize,
+    /// Deadline budget when the client sends no
+    /// `x-emblookup-deadline-ms` header, in milliseconds.
+    pub default_deadline_ms: u64,
+    /// Upper clamp on client-requested deadlines.
+    pub max_deadline_ms: u64,
+    /// Upper clamp on requested `k`.
+    pub max_k: usize,
+    /// Entities covered by the flat and q-gram fallback rungs.
+    pub fallback_cap: usize,
+    /// Maximum queries per bulk request.
+    pub max_bulk: usize,
+    /// Socket read timeout, in milliseconds.
+    pub read_timeout_ms: u64,
+    /// Fault injection plan; `None` (the default) injects nothing.
+    pub faults: Option<FaultConfig>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 0,
+            queue_cap: 64,
+            default_deadline_ms: 250,
+            max_deadline_ms: 10_000,
+            max_k: 100,
+            fallback_cap: 1024,
+            max_bulk: 1024,
+            read_timeout_ms: 2000,
+            faults: None,
+        }
+    }
+}

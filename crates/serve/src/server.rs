@@ -1,0 +1,559 @@
+//! The hardened HTTP server: admission control, deadlines, the
+//! degradation ladder, and per-request panic containment.
+//!
+//! ## Threading model
+//!
+//! The accept thread owns the worker [`Pool`] and does all socket
+//! reads; tiny control-plane GETs (`/healthz`, `/metrics`) are answered
+//! inline so they can never be shed behind data-plane load. `POST`
+//! bodies are parsed and then submitted to the pool's **bounded
+//! injector** ([`Pool::try_submit`]): when the queue is at capacity the
+//! submission fails synchronously and the accept thread answers `429`
+//! with `Retry-After` — load is shed at the door, not buffered into an
+//! unbounded backlog.
+//!
+//! Keeping the pool on the accept thread also means the pool is never
+//! dropped from one of its own workers (which would self-join), and
+//! request indices are assigned in accept order — the anchor for
+//! deterministic fault replay.
+//!
+//! ## Request lifecycle
+//!
+//! Every admitted request resolves to exactly one of `200`, `400`,
+//! `500` (contained panic), or `504` (deadline); rejected requests get
+//! `429`. The handler body runs under `catch_unwind`, so a panicking
+//! backend costs one response, never the process.
+
+use crate::faults::{DeadlineClock, FaultLayer, Stage, StageFaults};
+use crate::http::{read_request, write_response, Request, Response};
+use crate::json::{self, Json};
+use crate::ladder::{Ladder, Rung};
+use crate::ServeConfig;
+use emblookup_core::EmbLookup;
+use emblookup_kg::{EntityId, KnowledgeGraph};
+use emblookup_obs::names;
+use emblookup_obs::{Counter, Gauge, Histogram, MetricsRegistry};
+use emblookup_pool::{BoundedQueue, Pool};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Below this fraction of remaining budget the full PQ/ANN rung is
+/// skipped in favour of exact flat search.
+const FLAT_FRAC: f64 = 0.5;
+/// Below this fraction even encoding is skipped; the q-gram string
+/// rung answers directly.
+const QGRAM_FRAC: f64 = 0.15;
+/// Cap on request bodies.
+const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// Eagerly-created handles for every `serve.*` metric, so `/metrics`
+/// exports the full family (at zero) from the first scrape.
+struct ServeMetrics {
+    requests: Arc<Counter>,
+    admitted: Arc<Counter>,
+    shed: Arc<Counter>,
+    queue_depth: Arc<Gauge>,
+    latency: Arc<Histogram>,
+    errors: Arc<Counter>,
+    deadline_exceeded: Arc<Counter>,
+    degraded_flat: Arc<Counter>,
+    degraded_qgram: Arc<Counter>,
+    panics: Arc<Counter>,
+}
+
+impl ServeMetrics {
+    fn new(registry: &MetricsRegistry) -> Self {
+        ServeMetrics {
+            requests: registry.counter(names::SERVE_REQUESTS),
+            admitted: registry.counter(names::SERVE_ADMITTED),
+            shed: registry.counter(names::SERVE_SHED),
+            queue_depth: registry.gauge(names::SERVE_QUEUE_DEPTH),
+            latency: registry.histogram(names::SERVE_LATENCY),
+            errors: registry.counter(names::SERVE_ERRORS),
+            deadline_exceeded: registry.counter(names::SERVE_DEADLINE_EXCEEDED),
+            degraded_flat: registry.counter(names::SERVE_DEGRADED_FLAT),
+            degraded_qgram: registry.counter(names::SERVE_DEGRADED_QGRAM),
+            panics: registry.counter(names::SERVE_PANICS),
+        }
+    }
+}
+
+/// Everything the request handlers need, shared between the accept
+/// thread and the pool workers.
+struct ServerState {
+    service: EmbLookup,
+    ladder: Ladder,
+    /// Entity labels indexed by dense entity id, for response bodies.
+    labels: Vec<String>,
+    faults: Option<FaultLayer>,
+    config: ServeConfig,
+    registry: Arc<MetricsRegistry>,
+    metrics: ServeMetrics,
+    /// Request indices in accept order; the fault layer's replay key.
+    seq: AtomicU64,
+}
+
+/// A running server. Dropping it (or calling [`Server::shutdown`])
+/// stops the accept loop and joins the worker pool.
+pub struct Server {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+    registry: Arc<MetricsRegistry>,
+}
+
+impl Server {
+    /// Binds `config.addr`, builds the degradation ladder, and starts
+    /// the accept loop. Metrics go to the process-global registry.
+    ///
+    /// # Errors
+    /// Propagates socket bind/configuration failures.
+    pub fn start(service: EmbLookup, kg: &KnowledgeGraph, config: ServeConfig) -> io::Result<Server> {
+        let registry = Arc::new(MetricsRegistry::new());
+        Self::start_with_registry(service, kg, config, registry)
+    }
+
+    /// Like [`Server::start`] but exporting into a caller-supplied
+    /// registry — tests use a private registry per server instance to
+    /// assert exact counter values without cross-test interference.
+    ///
+    /// # Errors
+    /// Propagates socket bind/configuration failures.
+    pub fn start_with_registry(
+        service: EmbLookup,
+        kg: &KnowledgeGraph,
+        config: ServeConfig,
+        registry: Arc<MetricsRegistry>,
+    ) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let ladder = Ladder::build(&service, kg, config.fallback_cap);
+        let labels: Vec<String> = (0..kg.num_entities())
+            .map(|i| kg.label(EntityId(i as u32)).to_string())
+            .collect();
+        let metrics = ServeMetrics::new(&registry);
+        metrics.queue_depth.set(0.0);
+        let faults = config.faults.clone().map(FaultLayer::new);
+        let workers = if config.workers == 0 {
+            emblookup_pool::default_threads()
+        } else {
+            config.workers
+        };
+        let queue_cap = config.queue_cap;
+        let state = Arc::new(ServerState {
+            service,
+            ladder,
+            labels,
+            faults,
+            config,
+            registry: Arc::clone(&registry),
+            metrics,
+            seq: AtomicU64::new(0),
+        });
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let shutdown_flag = Arc::clone(&shutdown);
+        let handle = std::thread::Builder::new()
+            .name("emblookup-serve-accept".to_string())
+            .spawn(move || {
+                // The accept thread owns the pool: it is dropped (and
+                // its workers joined) here, never from a worker.
+                let pool = Pool::with_threads_bounded(workers, BoundedQueue { cap: queue_cap });
+                accept_loop(&listener, &state, &pool, &shutdown_flag);
+            })?;
+        Ok(Server {
+            addr,
+            shutdown,
+            handle: Some(handle),
+            registry,
+        })
+    }
+
+    /// The bound address (useful with `addr = "127.0.0.1:0"`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The registry this server exports from `/metrics`.
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+
+    /// Stops accepting, joins the accept thread (which joins the pool).
+    /// Idempotent.
+    pub fn shutdown(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept call with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    state: &Arc<ServerState>,
+    pool: &Pool,
+    shutdown: &AtomicBool,
+) {
+    loop {
+        let Ok((mut stream, _)) = listener.accept() else {
+            if shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            continue;
+        };
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(
+            state.config.read_timeout_ms.max(1),
+        )));
+        let req = match read_request(&mut stream, MAX_BODY_BYTES) {
+            Ok(req) => req,
+            Err(why) => {
+                state.metrics.errors.inc();
+                let body = format!("{{\"error\":\"{}\"}}", json::escape(why));
+                write_response(&mut stream, &Response::json(400, body));
+                continue;
+            }
+        };
+        state.metrics.requests.inc();
+        match (req.method.as_str(), req.path.as_str()) {
+            // Control plane: answered inline, never queued, never shed.
+            ("GET", "/healthz") => {
+                write_response(
+                    &mut stream,
+                    &Response::json(200, "{\"status\":\"ok\"}".to_string()),
+                );
+            }
+            ("GET", "/metrics") => {
+                state
+                    .metrics
+                    .queue_depth
+                    .set(pool.detached_depth() as f64);
+                let body = state.registry.snapshot().to_prometheus();
+                write_response(&mut stream, &Response::text(200, body));
+            }
+            ("POST", "/lookup") | ("POST", "/lookup/bulk") => {
+                admit(state, pool, req, stream);
+            }
+            ("GET", _) | ("POST", _) => {
+                write_response(
+                    &mut stream,
+                    &Response::json(404, "{\"error\":\"not found\"}".to_string()),
+                );
+            }
+            _ => {
+                write_response(
+                    &mut stream,
+                    &Response::json(405, "{\"error\":\"method not allowed\"}".to_string()),
+                );
+            }
+        }
+    }
+}
+
+/// Admission control: submit the request to the bounded injector; on
+/// `QueueFull`, reclaim the stream and shed with `429`.
+fn admit(state: &Arc<ServerState>, pool: &Pool, req: Request, stream: TcpStream) {
+    let idx = state.seq.fetch_add(1, Ordering::SeqCst);
+    // `try_submit` consumes its closure even when it sheds, so the
+    // stream rides in a shared slot the accept thread can take back.
+    let slot = Arc::new(Mutex::new(Some(stream)));
+    let task_slot = Arc::clone(&slot);
+    let task_state = Arc::clone(state);
+    let outcome = pool.try_submit(move || {
+        let taken = task_slot
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take();
+        let Some(mut stream) = taken else {
+            return;
+        };
+        // Counted here, not on the accept thread after `try_submit`
+        // returns: the client must never observe a response whose
+        // admission is not yet reflected in the counters.
+        task_state.metrics.admitted.inc();
+        let start = Instant::now();
+        let resp = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            dispatch_post(&task_state, &req, idx)
+        }))
+        .unwrap_or_else(|_| {
+            task_state.metrics.panics.inc();
+            task_state.metrics.errors.inc();
+            Response::json(500, "{\"error\":\"internal panic (contained)\"}".to_string())
+        });
+        task_state.metrics.latency.record_duration(start.elapsed());
+        write_response(&mut stream, &resp);
+    });
+    state.metrics.queue_depth.set(pool.detached_depth() as f64);
+    match outcome {
+        Ok(()) => {}
+        Err(_full) => {
+            state.metrics.shed.inc();
+            let reclaimed = slot.lock().unwrap_or_else(PoisonError::into_inner).take();
+            if let Some(mut stream) = reclaimed {
+                let resp = Response::json(
+                    429,
+                    "{\"error\":\"shed\",\"reason\":\"queue full\"}".to_string(),
+                )
+                .with_header("retry-after", "1");
+                write_response(&mut stream, &resp);
+            }
+        }
+    }
+}
+
+fn dispatch_post(state: &ServerState, req: &Request, idx: u64) -> Response {
+    match req.path.as_str() {
+        "/lookup" => handle_lookup(state, req, idx),
+        _ => handle_bulk(state, req, idx),
+    }
+}
+
+/// Pulls the request's deadline budget: header override (clamped) or
+/// the config default.
+fn budget_ms(state: &ServerState, req: &Request) -> u64 {
+    req.header("x-emblookup-deadline-ms")
+        .and_then(|v| v.parse::<u64>().ok())
+        .map(|ms| ms.clamp(1, state.config.max_deadline_ms))
+        .unwrap_or(state.config.default_deadline_ms)
+}
+
+fn faults_for(state: &ServerState, idx: u64) -> (StageFaults, bool) {
+    match &state.faults {
+        Some(layer) => (layer.for_request(idx), layer.virtual_time()),
+        None => (StageFaults::default(), false),
+    }
+}
+
+fn bad_request(state: &ServerState, why: &str) -> Response {
+    state.metrics.errors.inc();
+    Response::json(400, format!("{{\"error\":\"{}\"}}", json::escape(why)))
+}
+
+fn deadline_response(state: &ServerState, stage: Stage, clock: &DeadlineClock) -> Response {
+    state.metrics.deadline_exceeded.inc();
+    // Deterministic body: stage and budget only, no measured times.
+    Response::json(
+        504,
+        format!(
+            "{{\"error\":\"deadline\",\"stage\":\"{}\",\"budget_ms\":{}}}",
+            stage.name(),
+            clock.budget_ms()
+        ),
+    )
+}
+
+/// Renders candidates as a JSON array; scores are `-distance` for the
+/// embedding rungs and Jaccard similarity for the q-gram rung.
+fn results_json(state: &ServerState, results: &[(EntityId, f32)]) -> String {
+    let mut out = String::with_capacity(results.len() * 48 + 2);
+    out.push('[');
+    for (i, (id, score)) in results.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let label = state
+            .labels
+            .get(id.0 as usize)
+            .map(String::as_str)
+            .unwrap_or("");
+        out.push_str(&format!(
+            "{{\"id\":{},\"label\":\"{}\",\"score\":{}}}",
+            id.0,
+            json::escape(label),
+            score
+        ));
+    }
+    out.push(']');
+    out
+}
+
+fn ok_response(state: &ServerState, rung: Rung, results: &[(EntityId, f32)]) -> Response {
+    match rung {
+        Rung::Full => {}
+        Rung::Flat => state.metrics.degraded_flat.inc(),
+        Rung::Qgram => state.metrics.degraded_qgram.inc(),
+    }
+    Response::json(
+        200,
+        format!(
+            "{{\"rung\":\"{}\",\"degraded\":{},\"results\":{}}}",
+            rung.name(),
+            rung != Rung::Full,
+            results_json(state, results)
+        ),
+    )
+}
+
+/// `POST /lookup` — the degradation ladder lives here.
+fn handle_lookup(state: &ServerState, req: &Request, idx: u64) -> Response {
+    let body = match std::str::from_utf8(&req.body) {
+        Ok(s) => s,
+        Err(_) => return bad_request(state, "body is not UTF-8"),
+    };
+    let parsed = match json::parse(body) {
+        Ok(v) => v,
+        Err(why) => return bad_request(state, why),
+    };
+    let Some(q) = parsed.get("q").and_then(Json::as_str) else {
+        return bad_request(state, "missing string field 'q'");
+    };
+    let k = parsed
+        .get("k")
+        .and_then(Json::as_u64)
+        .unwrap_or(10)
+        .clamp(1, state.config.max_k as u64) as usize;
+
+    let (faults, virtual_time) = faults_for(state, idx);
+    let mut clock = DeadlineClock::new(budget_ms(state, req), virtual_time);
+
+    // -- admit stage ----------------------------------------------------
+    clock.advance_ms(faults.admit_latency_ms);
+    if clock.expired() {
+        return deadline_response(state, Stage::Admit, &clock);
+    }
+    if clock.frac_remaining() <= QGRAM_FRAC {
+        // Not even the encoder fits in what's left: string rung.
+        return finish_qgram(state, q, k, &clock);
+    }
+
+    // -- encode stage ---------------------------------------------------
+    clock.advance_ms(faults.encode_latency_ms);
+    let emb = state.service.model().embed(q);
+    if clock.expired() {
+        return deadline_response(state, Stage::Encode, &clock);
+    }
+    let frac = clock.frac_remaining();
+    if frac <= QGRAM_FRAC {
+        return finish_qgram(state, q, k, &clock);
+    }
+    let mut rung = if frac <= FLAT_FRAC { Rung::Flat } else { Rung::Full };
+
+    // -- search stage ---------------------------------------------------
+    clock.advance_ms(faults.search_latency_ms);
+    if faults.panic_in_search {
+        // The containment drill: a deliberately panicking backend. The
+        // per-request catch_unwind above turns this into one 500.
+        // lint: allow(L001) fault-injected panic is this line's entire purpose
+        panic!("injected fault: panic in search stage (request {idx})");
+    }
+    let mut results: Option<Vec<(EntityId, f32)>> = None;
+    if rung == Rung::Full {
+        if faults.backend_error {
+            rung = Rung::Flat;
+        } else {
+            let mut hits: Vec<(EntityId, f32)> =
+                state.service.index().search(&emb, k);
+            if faults.poison {
+                for (_, d) in hits.iter_mut() {
+                    *d = f32::NAN;
+                }
+            }
+            if hits.iter().any(|(_, d)| d.is_nan()) {
+                // Poisoned primary answer: reject it, step down.
+                rung = Rung::Flat;
+            } else {
+                results = Some(hits.into_iter().map(|(id, d)| (id, -d)).collect());
+            }
+        }
+    }
+    let results = match results {
+        Some(r) => r,
+        None => state.ladder.flat_search(&emb, k),
+    };
+    if clock.expired() {
+        return deadline_response(state, Stage::Search, &clock);
+    }
+    ok_response(state, rung, &results)
+}
+
+fn finish_qgram(state: &ServerState, q: &str, k: usize, clock: &DeadlineClock) -> Response {
+    let results = state.ladder.qgram_search(q, k);
+    if clock.expired() {
+        return deadline_response(state, Stage::Search, clock);
+    }
+    ok_response(state, Rung::Qgram, &results)
+}
+
+/// `POST /lookup/bulk` — full rung only; a batch that cannot run at
+/// full fidelity inside its budget fails fast with `504` so the client
+/// can split or retry it, rather than receiving a silently mixed-rung
+/// batch.
+fn handle_bulk(state: &ServerState, req: &Request, idx: u64) -> Response {
+    let body = match std::str::from_utf8(&req.body) {
+        Ok(s) => s,
+        Err(_) => return bad_request(state, "body is not UTF-8"),
+    };
+    let parsed = match json::parse(body) {
+        Ok(v) => v,
+        Err(why) => return bad_request(state, why),
+    };
+    let Some(queries) = parsed.get("queries").and_then(Json::as_arr) else {
+        return bad_request(state, "missing array field 'queries'");
+    };
+    if queries.len() > state.config.max_bulk {
+        return bad_request(state, "too many queries in one batch");
+    }
+    let mut refs: Vec<&str> = Vec::with_capacity(queries.len());
+    for q in queries {
+        match q.as_str() {
+            Some(s) => refs.push(s),
+            None => return bad_request(state, "queries must be strings"),
+        }
+    }
+    let k = parsed
+        .get("k")
+        .and_then(Json::as_u64)
+        .unwrap_or(10)
+        .clamp(1, state.config.max_k as u64) as usize;
+
+    let (faults, virtual_time) = faults_for(state, idx);
+    let mut clock = DeadlineClock::new(budget_ms(state, req), virtual_time);
+    clock.advance_ms(faults.admit_latency_ms);
+    if clock.expired() {
+        return deadline_response(state, Stage::Admit, &clock);
+    }
+    clock.advance_ms(faults.search_latency_ms);
+    if faults.panic_in_search {
+        // lint: allow(L001) fault-injected panic is this line's entire purpose
+        panic!("injected fault: panic in bulk search (request {idx})");
+    }
+    if faults.backend_error {
+        state.metrics.errors.inc();
+        return Response::json(500, "{\"error\":\"backend error\"}".to_string());
+    }
+    let batches = match state.service.try_bulk_lookup(&refs, k) {
+        Ok(b) => b,
+        Err(_) => {
+            state.metrics.errors.inc();
+            return Response::json(500, "{\"error\":\"bulk lookup failed\"}".to_string());
+        }
+    };
+    if clock.expired() {
+        return deadline_response(state, Stage::Search, &clock);
+    }
+    let mut out = String::from("{\"rung\":\"full\",\"degraded\":false,\"results\":[");
+    for (i, hits) in batches.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let scored: Vec<(EntityId, f32)> =
+            hits.iter().map(|(id, d)| (*id, -d)).collect();
+        out.push_str(&results_json(state, &scored));
+    }
+    out.push_str("]}");
+    Response::json(200, out)
+}

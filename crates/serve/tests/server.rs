@@ -1,0 +1,396 @@
+//! End-to-end tests of the hardened serving layer, driven over real
+//! TCP sockets with the crate's own client.
+//!
+//! One tiny EmbLookup model is trained once and shared; each server
+//! instance gets its own `EmbLookup` rebuilt from the shared model (an
+//! exact, deterministic operation) plus a private metrics registry so
+//! counter assertions cannot interfere across tests.
+//!
+//! `scripts/ci.sh` runs this suite under both `EMBLOOKUP_THREADS=1`
+//! and the default thread count: everything asserted here — statuses,
+//! rung order, counter values, response bytes — must hold at any pool
+//! width.
+
+use emblookup_core::{EmbLookup, EmbLookupConfig, EmbLookupModel};
+use emblookup_kg::{generate, KnowledgeGraph, SynthKgConfig};
+use emblookup_obs::{names, MetricsRegistry};
+use emblookup_serve::{client, FaultConfig, ServeConfig, Server, StageFaults};
+use std::sync::{Arc, OnceLock};
+
+fn shared_model() -> &'static (Arc<EmbLookupModel>, KnowledgeGraph) {
+    static SHARED: OnceLock<(Arc<EmbLookupModel>, KnowledgeGraph)> = OnceLock::new();
+    SHARED.get_or_init(|| {
+        let synth = generate(SynthKgConfig::tiny(77));
+        let service = EmbLookup::train_on(&synth.kg, EmbLookupConfig::tiny(77));
+        (service.model_arc(), synth.kg)
+    })
+}
+
+fn fresh_service() -> (EmbLookup, &'static KnowledgeGraph) {
+    let (model, kg) = shared_model();
+    let compression = model.config().compression;
+    (EmbLookup::from_model(Arc::clone(model), kg, compression), kg)
+}
+
+fn start(config: ServeConfig) -> (Server, Arc<MetricsRegistry>) {
+    let (service, kg) = fresh_service();
+    let registry = Arc::new(MetricsRegistry::new());
+    let server = Server::start_with_registry(service, kg, config, Arc::clone(&registry))
+        .expect("server must start");
+    (server, registry)
+}
+
+fn counter(registry: &MetricsRegistry, name: &str) -> u64 {
+    registry.snapshot().counter(name).unwrap_or(0)
+}
+
+#[test]
+fn smoke_healthz_metrics_lookup_and_bulk() {
+    let (server, registry) = start(ServeConfig {
+        workers: 2,
+        queue_cap: 8,
+        ..ServeConfig::default()
+    });
+    let addr = server.addr();
+
+    let health = client::get(addr, "/healthz").unwrap();
+    assert_eq!(health.status, 200);
+    assert_eq!(health.body, "{\"status\":\"ok\"}");
+
+    let (_, kg) = shared_model();
+    let label = kg.label(emblookup_kg::EntityId(0));
+    let body = format!("{{\"q\":\"{}\",\"k\":3}}", label);
+    let resp = client::post_json(addr, "/lookup", &body, &[]).unwrap();
+    assert_eq!(resp.status, 200, "body: {}", resp.body);
+    assert!(resp.body.contains("\"rung\":\"full\""), "body: {}", resp.body);
+    assert!(resp.body.contains("\"degraded\":false"));
+    assert!(resp.body.contains("\"results\":["));
+
+    let bulk = format!(
+        "{{\"queries\":[\"{}\",\"{}\"],\"k\":2}}",
+        kg.label(emblookup_kg::EntityId(1)),
+        kg.label(emblookup_kg::EntityId(2)),
+    );
+    let resp = client::post_json(addr, "/lookup/bulk", &bulk, &[]).unwrap();
+    assert_eq!(resp.status, 200, "body: {}", resp.body);
+    assert!(resp.body.contains("\"rung\":\"full\""));
+
+    // Prometheus exposition carries the whole serve.* family.
+    let metrics = client::get(addr, "/metrics").unwrap();
+    assert_eq!(metrics.status, 200);
+    for series in [
+        "emblookup_serve_requests_total",
+        "emblookup_serve_admitted_total",
+        "emblookup_serve_shed_total",
+        "emblookup_serve_errors_total",
+        "emblookup_serve_deadline_exceeded_total",
+        "emblookup_serve_degraded_flat_total",
+        "emblookup_serve_degraded_qgram_total",
+        "emblookup_serve_panics_total",
+        "emblookup_serve_queue_depth",
+        "emblookup_serve_latency_seconds",
+    ] {
+        assert!(metrics.body.contains(series), "missing {series} in:\n{}", metrics.body);
+    }
+
+    assert_eq!(counter(&registry, names::SERVE_ADMITTED), 2);
+    assert_eq!(counter(&registry, names::SERVE_SHED), 0);
+    // healthz + metrics + 2 POSTs, at least (metrics GET above counts itself)
+    assert!(counter(&registry, names::SERVE_REQUESTS) >= 4);
+}
+
+#[test]
+fn zero_capacity_queue_sheds_posts_but_serves_control_plane() {
+    let (server, registry) = start(ServeConfig {
+        workers: 1,
+        queue_cap: 0,
+        ..ServeConfig::default()
+    });
+    let addr = server.addr();
+
+    let resp = client::post_json(addr, "/lookup", "{\"q\":\"x\",\"k\":1}", &[]).unwrap();
+    assert_eq!(resp.status, 429);
+    assert_eq!(resp.header("retry-after"), Some("1"));
+    assert!(resp.body.contains("\"error\":\"shed\""));
+
+    // Shedding the data plane must not take down the control plane.
+    assert_eq!(client::get(addr, "/healthz").unwrap().status, 200);
+    let metrics = client::get(addr, "/metrics").unwrap();
+    assert_eq!(metrics.status, 200);
+    assert!(metrics.body.contains("emblookup_serve_shed_total 1"));
+
+    assert_eq!(counter(&registry, names::SERVE_SHED), 1);
+    assert_eq!(counter(&registry, names::SERVE_ADMITTED), 0);
+}
+
+/// Budget 100 virtual ms; escalating injected encode latency walks the
+/// ladder one rung per request: full → flat → qgram → 504.
+fn escalating_plan() -> FaultConfig {
+    let lat = |ms| StageFaults {
+        encode_latency_ms: ms,
+        ..StageFaults::default()
+    };
+    FaultConfig::Scripted {
+        plan: vec![lat(0), lat(60), lat(90), lat(130)],
+        virtual_time: true,
+    }
+}
+
+#[test]
+fn ladder_engages_in_order_under_escalating_latency() {
+    let (server, registry) = start(ServeConfig {
+        workers: 2,
+        default_deadline_ms: 100,
+        faults: Some(escalating_plan()),
+        ..ServeConfig::default()
+    });
+    let addr = server.addr();
+    let (_, kg) = shared_model();
+    let body = format!("{{\"q\":\"{}\",\"k\":3}}", kg.label(emblookup_kg::EntityId(0)));
+
+    let mut statuses = Vec::new();
+    let mut rungs = Vec::new();
+    for _ in 0..4 {
+        let resp = client::post_json(addr, "/lookup", &body, &[]).unwrap();
+        statuses.push(resp.status);
+        rungs.push(
+            ["\"rung\":\"full\"", "\"rung\":\"flat\"", "\"rung\":\"qgram\""]
+                .iter()
+                .find(|tag| resp.body.contains(*tag))
+                .map(|tag| tag.split('"').nth(3).unwrap_or("").to_string()),
+        );
+    }
+    assert_eq!(statuses, vec![200, 200, 200, 504]);
+    assert_eq!(
+        rungs,
+        vec![
+            Some("full".to_string()),
+            Some("flat".to_string()),
+            Some("qgram".to_string()),
+            None
+        ]
+    );
+
+    // Counters must agree exactly with the rungs taken.
+    assert_eq!(counter(&registry, names::SERVE_DEGRADED_FLAT), 1);
+    assert_eq!(counter(&registry, names::SERVE_DEGRADED_QGRAM), 1);
+    assert_eq!(counter(&registry, names::SERVE_DEADLINE_EXCEEDED), 1);
+    assert_eq!(counter(&registry, names::SERVE_PANICS), 0);
+    assert_eq!(counter(&registry, names::SERVE_ADMITTED), 4);
+}
+
+#[test]
+fn deadline_response_names_the_stage() {
+    let (server, _registry) = start(ServeConfig {
+        workers: 1,
+        default_deadline_ms: 100,
+        faults: Some(FaultConfig::Scripted {
+            plan: vec![StageFaults {
+                admit_latency_ms: 150,
+                ..StageFaults::default()
+            }],
+            virtual_time: true,
+        }),
+        ..ServeConfig::default()
+    });
+    let resp = client::post_json(server.addr(), "/lookup", "{\"q\":\"x\"}", &[]).unwrap();
+    assert_eq!(resp.status, 504);
+    assert_eq!(
+        resp.body,
+        "{\"error\":\"deadline\",\"stage\":\"admit\",\"budget_ms\":100}"
+    );
+}
+
+#[test]
+fn backend_error_and_poison_degrade_to_flat() {
+    let (server, registry) = start(ServeConfig {
+        workers: 2,
+        faults: Some(FaultConfig::Scripted {
+            plan: vec![
+                StageFaults { backend_error: true, ..StageFaults::default() },
+                StageFaults { poison: true, ..StageFaults::default() },
+            ],
+            virtual_time: true,
+        }),
+        ..ServeConfig::default()
+    });
+    let addr = server.addr();
+    let (_, kg) = shared_model();
+    let body = format!("{{\"q\":\"{}\",\"k\":3}}", kg.label(emblookup_kg::EntityId(3)));
+
+    for expected in ["backend error", "poisoned scores"] {
+        let resp = client::post_json(addr, "/lookup", &body, &[]).unwrap();
+        assert_eq!(resp.status, 200, "{expected}: {}", resp.body);
+        assert!(
+            resp.body.contains("\"rung\":\"flat\""),
+            "{expected} should degrade to flat: {}",
+            resp.body
+        );
+        assert!(!resp.body.contains("NaN"), "poison must never leak: {}", resp.body);
+    }
+    assert_eq!(counter(&registry, names::SERVE_DEGRADED_FLAT), 2);
+}
+
+#[test]
+fn panicking_backend_costs_one_500_then_serving_continues() {
+    let (server, registry) = start(ServeConfig {
+        workers: 2,
+        faults: Some(FaultConfig::Scripted {
+            // Only request 0 panics; the plan is long enough that the
+            // follow-up requests stay clean instead of cycling back
+            // into the fault.
+            plan: vec![
+                StageFaults { panic_in_search: true, ..StageFaults::default() },
+                StageFaults::default(),
+                StageFaults::default(),
+                StageFaults::default(),
+                StageFaults::default(),
+            ],
+            virtual_time: true,
+        }),
+        ..ServeConfig::default()
+    });
+    let addr = server.addr();
+    let (_, kg) = shared_model();
+    let body = format!("{{\"q\":\"{}\",\"k\":3}}", kg.label(emblookup_kg::EntityId(0)));
+
+    let first = client::post_json(addr, "/lookup", &body, &[]).unwrap();
+    assert_eq!(first.status, 500, "body: {}", first.body);
+    assert!(first.body.contains("contained"));
+    assert_eq!(counter(&registry, names::SERVE_PANICS), 1);
+
+    // The panic was contained to that one request: the server still
+    // answers the data plane and the control plane.
+    for _ in 0..3 {
+        let resp = client::post_json(addr, "/lookup", &body, &[]).unwrap();
+        assert_eq!(resp.status, 200, "body: {}", resp.body);
+        assert!(resp.body.contains("\"rung\":\"full\""));
+    }
+    assert_eq!(client::get(addr, "/healthz").unwrap().status, 200);
+    assert_eq!(counter(&registry, names::SERVE_PANICS), 1);
+}
+
+#[test]
+fn responses_bit_identical_across_pool_widths() {
+    // Same model, same fault script, same request sequence — the only
+    // variable is the worker-pool width. Every response body must match
+    // byte for byte (the determinism contract of DESIGN.md §7 extended
+    // to the serving layer).
+    let plan = FaultConfig::Scripted {
+        plan: vec![
+            StageFaults::default(),
+            StageFaults { encode_latency_ms: 60, ..StageFaults::default() },
+            StageFaults { encode_latency_ms: 90, ..StageFaults::default() },
+            StageFaults { backend_error: true, ..StageFaults::default() },
+            StageFaults { poison: true, ..StageFaults::default() },
+            StageFaults { encode_latency_ms: 130, ..StageFaults::default() },
+        ],
+        virtual_time: true,
+    };
+    let config = |workers| ServeConfig {
+        workers,
+        default_deadline_ms: 100,
+        faults: Some(plan.clone()),
+        ..ServeConfig::default()
+    };
+    let (narrow, _) = start(config(1));
+    let (wide, _) = start(config(4));
+    let (_, kg) = shared_model();
+
+    let queries: Vec<String> = (0..6u32)
+        .map(|i| kg.label(emblookup_kg::EntityId(i % 4)).to_string())
+        .collect();
+    for (i, q) in queries.iter().enumerate() {
+        let body = format!("{{\"q\":\"{q}\",\"k\":5}}");
+        let a = client::post_json(narrow.addr(), "/lookup", &body, &[]).unwrap();
+        let b = client::post_json(wide.addr(), "/lookup", &body, &[]).unwrap();
+        assert_eq!(a.status, b.status, "request {i} status diverged");
+        assert_eq!(a.body, b.body, "request {i} body diverged");
+    }
+}
+
+#[test]
+fn seeded_random_faults_never_crash_or_hang() {
+    let (server, registry) = start(ServeConfig {
+        workers: 2,
+        default_deadline_ms: 100,
+        faults: Some(FaultConfig::Random {
+            seed: 2026,
+            latency_prob: 0.6,
+            max_latency_ms: 160,
+            backend_error_prob: 0.25,
+            poison_prob: 0.25,
+            panic_prob: 0.15,
+            virtual_time: true,
+        }),
+        ..ServeConfig::default()
+    });
+    let addr = server.addr();
+    let (_, kg) = shared_model();
+
+    for i in 0..40u32 {
+        let body = format!("{{\"q\":\"{}\",\"k\":3}}", kg.label(emblookup_kg::EntityId(i % 4)));
+        let resp = client::post_json(addr, "/lookup", &body, &[]).unwrap();
+        assert!(
+            matches!(resp.status, 200 | 500 | 504),
+            "request {i} got unexpected status {}: {}",
+            resp.status,
+            resp.body
+        );
+    }
+    // Every admitted request resolved; the server is still healthy.
+    assert_eq!(counter(&registry, names::SERVE_ADMITTED), 40);
+    assert_eq!(client::get(addr, "/healthz").unwrap().status, 200);
+}
+
+#[test]
+fn malformed_requests_get_400_not_a_crash() {
+    let (server, registry) = start(ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    });
+    let addr = server.addr();
+    for bad in [
+        "not json",
+        "{\"k\":3}",
+        "{\"q\":42}",
+        "{\"queries\":\"not an array\"}",
+    ] {
+        let resp = client::post_json(addr, "/lookup", bad, &[]).unwrap();
+        assert_eq!(resp.status, 400, "payload {bad:?} got {}", resp.status);
+    }
+    let resp = client::post_json(addr, "/lookup/bulk", "{\"k\":1}", &[]).unwrap();
+    assert_eq!(resp.status, 400);
+    let resp = client::get(addr, "/nope").unwrap();
+    assert_eq!(resp.status, 404);
+    assert!(counter(&registry, names::SERVE_ERRORS) >= 5);
+    assert_eq!(client::get(addr, "/healthz").unwrap().status, 200);
+}
+
+#[test]
+fn deadline_header_overrides_and_is_clamped() {
+    let (server, _registry) = start(ServeConfig {
+        workers: 1,
+        default_deadline_ms: 250,
+        max_deadline_ms: 1000,
+        faults: Some(FaultConfig::Scripted {
+            plan: vec![StageFaults {
+                admit_latency_ms: 5000,
+                ..StageFaults::default()
+            }],
+            virtual_time: true,
+        }),
+        ..ServeConfig::default()
+    });
+    // Client asks for far more than the server allows; the clamp keeps
+    // the injected 5s of latency fatal.
+    let resp = client::post_json(
+        server.addr(),
+        "/lookup",
+        "{\"q\":\"x\"}",
+        &[("x-emblookup-deadline-ms", "600000")],
+    )
+    .unwrap();
+    assert_eq!(resp.status, 504);
+    assert!(resp.body.contains("\"budget_ms\":1000"), "body: {}", resp.body);
+}

@@ -17,6 +17,17 @@ EMBLOOKUP_THREADS=1 cargo test -q --offline
 echo "== cargo test -q --offline (default threads) =="
 cargo test -q --offline
 
+# Serving-layer smoke: the integration suite drives a real server over
+# TCP — /healthz, /metrics (Prometheus text), /lookup through the
+# degradation ladder, shed-under-load (429), panic containment — and its
+# assertions (statuses, rung order, counter values, response bytes) must
+# hold at any pool width, so it runs under both thread configurations.
+echo "== serve smoke (EMBLOOKUP_THREADS=1) =="
+EMBLOOKUP_THREADS=1 cargo test -q --offline -p emblookup-serve --test server
+
+echo "== serve smoke (default threads) =="
+cargo test -q --offline -p emblookup-serve --test server
+
 echo "== cargo clippy -- -D warnings =="
 cargo clippy --offline --workspace --all-targets -- -D warnings
 

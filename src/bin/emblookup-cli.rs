@@ -4,11 +4,14 @@
 //! emblookup-cli generate --out kg.bin [--entities 600] [--seed 42]
 //! emblookup-cli train    --kg kg.bin --out model.bin [--epochs 16] [--seed 42]
 //! emblookup-cli lookup   --kg kg.bin --model model.bin --query "germoney" [--k 10]
+//! emblookup-cli serve    --kg kg.bin [--model model.bin] [--addr 127.0.0.1:7878]
+//! emblookup-cli query    --addr 127.0.0.1:7878 --query "germoney" [--k 10]
 //! emblookup-cli stats    --kg kg.bin
 //! ```
 
 use emblookup::core::{EmbLookup, EmbLookupConfig, EmbLookupModel};
 use emblookup::kg::{generate, kg_from_bytes, kg_to_bytes, LookupService, SynthKgConfig};
+use emblookup::serve::{client, ServeConfig, Server};
 use std::process::ExitCode;
 use std::sync::Arc;
 
@@ -24,6 +27,8 @@ fn main() -> ExitCode {
         "generate" => cmd_generate(&args[1..]),
         "train" => cmd_train(&args[1..]),
         "lookup" => cmd_lookup(&args[1..]),
+        "serve" => cmd_serve(&args[1..]),
+        "query" => cmd_query(&args[1..]),
         "stats" => cmd_stats(&args[1..]),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -47,6 +52,9 @@ USAGE:
   emblookup-cli generate --out <kg.bin> [--entities N] [--seed S]
   emblookup-cli train    --kg <kg.bin> --out <model.bin> [--epochs E] [--triplets T] [--seed S]
   emblookup-cli lookup   --kg <kg.bin> --model <model.bin> --query <text> [--k K]
+  emblookup-cli serve    --kg <kg.bin> [--model <model.bin>] [--addr A] [--workers N]
+                         [--queue-cap N] [--deadline-ms D] [--seed S]
+  emblookup-cli query    --addr <host:port> --query <text> [--k K] [--deadline-ms D]
   emblookup-cli stats    --kg <kg.bin>";
 
 /// Reads `--name value` style flags.
@@ -133,6 +141,69 @@ fn cmd_lookup(args: &[String]) -> Result<(), String> {
         println!("{:>2}. {:<32} {:.4}", rank + 1, kg.label(c.entity), c.score);
     }
     Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let kg = load_kg(args)?;
+    let seed: u64 = parsed(args, "--seed", 42)?;
+    let service = match flag(args, "--model") {
+        Some(model_path) => {
+            let bytes = std::fs::read(&model_path).map_err(|e| format!("{model_path}: {e}"))?;
+            let model = EmbLookupModel::from_bytes(&bytes, EmbLookupConfig::fast(seed))?;
+            EmbLookup::from_model(Arc::new(model), &kg, emblookup::core::Compression::default_pq())
+        }
+        None => {
+            println!("no --model given; training on {} entities…", kg.num_entities());
+            EmbLookup::try_train_on(&kg, EmbLookupConfig::fast(seed)).map_err(|e| e.to_string())?
+        }
+    };
+    let config = ServeConfig {
+        addr: flag(args, "--addr").unwrap_or_else(|| "127.0.0.1:7878".to_string()),
+        workers: parsed(args, "--workers", 0)?,
+        queue_cap: parsed(args, "--queue-cap", 64)?,
+        default_deadline_ms: parsed(args, "--deadline-ms", 250)?,
+        ..ServeConfig::default()
+    };
+    let server = Server::start(service, &kg, config).map_err(|e| e.to_string())?;
+    println!("serving on http://{}", server.addr());
+    println!("  POST /lookup        {{\"q\": \"...\", \"k\": 10}}");
+    println!("  POST /lookup/bulk   {{\"queries\": [\"...\"], \"k\": 10}}");
+    println!("  GET  /healthz | /metrics");
+    // Serve until the process is killed; the accept loop owns the pool.
+    loop {
+        std::thread::park();
+    }
+}
+
+fn cmd_query(args: &[String]) -> Result<(), String> {
+    let addr = required(args, "--addr")?;
+    let addr: std::net::SocketAddr = addr
+        .parse()
+        .map_err(|_| format!("invalid --addr {addr:?} (expected host:port)"))?;
+    let query = required(args, "--query")?;
+    let k: usize = parsed(args, "--k", 10)?;
+    let body = format!(
+        "{{\"q\":\"{}\",\"k\":{}}}",
+        emblookup::serve::json::escape(&query),
+        k
+    );
+    let headers: Vec<(String, String)> = match flag(args, "--deadline-ms") {
+        Some(ms) => vec![("x-emblookup-deadline-ms".to_string(), ms)],
+        None => Vec::new(),
+    };
+    let header_refs: Vec<(&str, &str)> = headers
+        .iter()
+        .map(|(n, v)| (n.as_str(), v.as_str()))
+        .collect();
+    let resp = client::post_json(addr, "/lookup", &body, &header_refs)
+        .map_err(|e| format!("request failed: {e}"))?;
+    println!("HTTP {}", resp.status);
+    println!("{}", resp.body);
+    if resp.status == 200 {
+        Ok(())
+    } else {
+        Err(format!("server answered {}", resp.status))
+    }
 }
 
 fn cmd_stats(args: &[String]) -> Result<(), String> {

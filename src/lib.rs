@@ -19,6 +19,7 @@
 //! | [`ann`] | `emblookup-ann` | flat/IVF/PQ/PCA/LSH similarity search |
 //! | [`baselines`] | `emblookup-baselines` | competing lookup services |
 //! | [`semtab`] | `emblookup-semtab` | tables, datasets, CEA/CTA/EA/DR tasks, systems |
+//! | [`serve`] | `emblookup-serve` | hardened HTTP serving: admission control, deadlines, degradation ladder |
 //! | [`tensor`] | `emblookup-tensor` | tensors, autograd, layers, optimizers |
 //!
 //! ## Quick start
@@ -42,6 +43,7 @@ pub use emblookup_embed as embed;
 pub use emblookup_kg as kg;
 pub use emblookup_obs as obs;
 pub use emblookup_semtab as semtab;
+pub use emblookup_serve as serve;
 pub use emblookup_tensor as tensor;
 pub use emblookup_text as text;
 
