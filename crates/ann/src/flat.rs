@@ -70,6 +70,19 @@ impl FlatIndex {
         tk.into_sorted()
     }
 
+    /// Traced twin of [`FlatIndex::search`]: identical results, plus
+    /// `backend`/`visited` annotations on `span`.
+    pub fn search_traced(
+        &self,
+        query: &[f32],
+        k: usize,
+        span: &emblookup_obs::TraceSpan,
+    ) -> Vec<Neighbor> {
+        span.annotate("backend", "flat");
+        span.annotate("visited", self.vectors.len() as u64);
+        self.search(query, k)
+    }
+
     /// Searches many queries, optionally in parallel across the pool.
     ///
     /// `threads == 1` runs sequentially; larger values fan the query

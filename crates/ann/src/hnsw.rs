@@ -245,8 +245,28 @@ impl HnswIndex {
 
     /// Approximate `k` nearest neighbours, ascending by distance.
     pub fn search(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
+        self.search_counted(query, k).0
+    }
+
+    /// Traced twin of [`HnswIndex::search`]: identical results, plus
+    /// `backend`/`visited` annotations on `span`.
+    pub fn search_traced(
+        &self,
+        query: &[f32],
+        k: usize,
+        span: &emblookup_obs::TraceSpan,
+    ) -> Vec<Neighbor> {
+        let (hits, visited) = self.search_counted(query, k);
+        span.annotate("backend", "hnsw");
+        span.annotate("visited", visited);
+        hits
+    }
+
+    /// The search body, also returning how many graph nodes were
+    /// visited on the base layer.
+    fn search_counted(&self, query: &[f32], k: usize) -> (Vec<Neighbor>, u64) {
         if k == 0 {
-            return Vec::new();
+            return (Vec::new(), 0);
         }
         let mut current = self.entry;
         for layer in (1..=self.max_level).rev() {
@@ -263,7 +283,7 @@ impl HnswIndex {
         for n in found {
             tk.push(n.index, n.dist);
         }
-        tk.into_sorted()
+        (tk.into_sorted(), visited as u64)
     }
 }
 

@@ -87,8 +87,27 @@ impl IvfIndex {
 
     /// Approximate `k` nearest neighbours scanning `nprobe` lists.
     pub fn search(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
+        self.search_counted(query, k).0
+    }
+
+    /// Traced twin of [`IvfIndex::search`]: identical results, plus
+    /// `backend`/`visited` annotations on `span`.
+    pub fn search_traced(
+        &self,
+        query: &[f32],
+        k: usize,
+        span: &emblookup_obs::TraceSpan,
+    ) -> Vec<Neighbor> {
+        let (hits, visited) = self.search_counted(query, k);
+        span.annotate("backend", "ivf");
+        span.annotate("visited", visited);
+        hits
+    }
+
+    /// The search body, also returning how many vectors were scanned.
+    fn search_counted(&self, query: &[f32], k: usize) -> (Vec<Neighbor>, u64) {
         if self.vectors.is_empty() || k == 0 {
-            return Vec::new();
+            return (Vec::new(), 0);
         }
         // rank lists by centroid distance
         let mut order: Vec<(usize, f32)> = self
@@ -110,7 +129,7 @@ impl IvfIndex {
         }
         crate::metrics::ivf_searches().inc();
         crate::metrics::ivf_visited().add(visited);
-        tk.into_sorted()
+        (tk.into_sorted(), visited)
     }
 
     /// Batch search across `threads` threads.

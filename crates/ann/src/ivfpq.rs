@@ -103,8 +103,27 @@ impl IvfPqIndex {
 
     /// Approximate `k` nearest neighbours via ADC over `nprobe` lists.
     pub fn search(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
+        self.search_counted(query, k).0
+    }
+
+    /// Traced twin of [`IvfPqIndex::search`]: identical results, plus
+    /// `backend`/`visited` annotations on `span`.
+    pub fn search_traced(
+        &self,
+        query: &[f32],
+        k: usize,
+        span: &emblookup_obs::TraceSpan,
+    ) -> Vec<Neighbor> {
+        let (hits, visited) = self.search_counted(query, k);
+        span.annotate("backend", "ivfpq");
+        span.annotate("visited", visited);
+        hits
+    }
+
+    /// The search body, also returning how many codes were scanned.
+    fn search_counted(&self, query: &[f32], k: usize) -> (Vec<Neighbor>, u64) {
         if self.n == 0 || k == 0 {
-            return Vec::new();
+            return (Vec::new(), 0);
         }
         let mut order: Vec<(usize, f32)> = self
             .coarse
@@ -128,7 +147,7 @@ impl IvfPqIndex {
         }
         crate::metrics::ivfpq_searches().inc();
         crate::metrics::ivfpq_visited().add(visited);
-        tk.into_sorted()
+        (tk.into_sorted(), visited)
     }
 
     /// Batch search across `threads` threads.

@@ -254,6 +254,20 @@ impl PqIndex {
         self.search_with_table(&table, k)
     }
 
+    /// Traced twin of [`PqIndex::search`]: identical results, plus
+    /// `backend`/`visited` annotations on `span` (an ADC scan always
+    /// visits every stored code).
+    pub fn search_traced(
+        &self,
+        query: &[f32],
+        k: usize,
+        span: &emblookup_obs::TraceSpan,
+    ) -> Vec<Neighbor> {
+        span.annotate("backend", "pq");
+        span.annotate("visited", self.n as u64);
+        self.search(query, k)
+    }
+
     /// Scan under an already-built ADC table — the shared tail of the
     /// single-query and batched paths.
     fn search_with_table(&self, table: &[f32], k: usize) -> Vec<Neighbor> {

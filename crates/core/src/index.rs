@@ -142,17 +142,58 @@ impl EntityIndex {
         self.ids[position]
     }
 
+    /// Stable lower-case name of the active ANN backend.
+    pub fn backend_name(&self) -> &'static str {
+        match &self.backend {
+            Backend::Flat(_) => "flat",
+            Backend::Pq(_) => "pq",
+            Backend::Pca { .. } => "pca",
+            Backend::Ivf(_) => "ivf",
+            Backend::Hnsw(_) => "hnsw",
+        }
+    }
+
     /// `k` nearest entities to a query embedding, ascending by distance.
     /// With alias indexing, an entity reachable through several rows is
     /// returned once at its best distance.
     pub fn search(&self, query: &[f32], k: usize) -> Vec<(EntityId, f32)> {
+        self.search_inner(query, k, None)
+    }
+
+    /// Traced twin of [`EntityIndex::search`]: identical results, with
+    /// the backend's `backend`/`visited` annotations recorded on `span`.
+    pub fn search_traced(
+        &self,
+        query: &[f32],
+        k: usize,
+        span: &emblookup_obs::TraceSpan,
+    ) -> Vec<(EntityId, f32)> {
+        self.search_inner(query, k, Some(span))
+    }
+
+    fn search_inner(
+        &self,
+        query: &[f32],
+        k: usize,
+        span: Option<&emblookup_obs::TraceSpan>,
+    ) -> Vec<(EntityId, f32)> {
         let fetch = if self.multi_row { k.saturating_mul(3) } else { k };
-        let raw: Vec<Neighbor> = match &self.backend {
-            Backend::Flat(f) => f.search(query, fetch),
-            Backend::Pq(p) => p.search(query, fetch),
-            Backend::Pca { pca, flat } => flat.search(&pca.project(query), fetch),
-            Backend::Ivf(i) => i.search(query, fetch),
-            Backend::Hnsw(h) => h.search(query, fetch),
+        let raw: Vec<Neighbor> = match (&self.backend, span) {
+            (Backend::Flat(f), None) => f.search(query, fetch),
+            (Backend::Flat(f), Some(s)) => f.search_traced(query, fetch, s),
+            (Backend::Pq(p), None) => p.search(query, fetch),
+            (Backend::Pq(p), Some(s)) => p.search_traced(query, fetch, s),
+            (Backend::Pca { pca, flat }, None) => flat.search(&pca.project(query), fetch),
+            (Backend::Pca { pca, flat }, Some(s)) => {
+                // annotate as the composite backend, not the inner flat
+                s.annotate("backend", "pca");
+                s.annotate("visited", flat.len() as u64);
+                flat.search(&pca.project(query), fetch)
+            }
+            (Backend::Ivf(i), None) => i.search(query, fetch),
+            (Backend::Ivf(i), Some(s)) => i.search_traced(query, fetch, s),
+            (Backend::Hnsw(h), None) => h.search(query, fetch),
+            (Backend::Hnsw(h), Some(s)) => h.search_traced(query, fetch, s),
         };
         let mapped = raw.into_iter().map(|n| (self.ids[n.index], n.dist));
         if !self.multi_row {
@@ -274,6 +315,38 @@ mod tests {
     fn mismatched_ids_panic() {
         let (_, vs) = toy_vectors(10, 4);
         let _ = EntityIndex::from_vectors(vec![EntityId(0)], vs, Compression::None);
+    }
+
+    #[test]
+    fn traced_search_matches_untraced_and_annotates_every_backend() {
+        use emblookup_obs::{AnnoValue, Trace, TraceClock};
+        let compressions = [
+            Compression::None,
+            Compression::Pq { m: 4, ks: 16 },
+            Compression::Pca { k: 4 },
+            Compression::Ivf { nlist: 4, nprobe: 4 },
+            Compression::Hnsw { m: 8, ef_search: 32 },
+        ];
+        for compression in compressions {
+            let (ids, vs) = toy_vectors(120, 8);
+            let q = vs.get(11).to_vec();
+            let idx = EntityIndex::from_vectors(ids, vs, compression);
+            let trace = Trace::start(1, TraceClock::real());
+            let root = trace.root(emblookup_obs::names::SPAN_STAGE_SEARCH);
+            let traced = idx.search_traced(&q, 5, &root);
+            assert_eq!(traced, idx.search(&q, 5), "backend {}", idx.backend_name());
+            root.finish();
+            let data = trace.snapshot();
+            assert_eq!(
+                data.root_annotation("backend"),
+                Some(AnnoValue::Str(idx.backend_name())),
+            );
+            assert!(
+                matches!(data.root_annotation("visited"), Some(AnnoValue::U64(v)) if v > 0),
+                "backend {} must report visited > 0",
+                idx.backend_name()
+            );
+        }
     }
 }
 

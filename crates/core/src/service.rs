@@ -196,6 +196,90 @@ impl EmbLookup {
         hits
     }
 
+    /// Traced twin of [`EmbLookup::lookup_with_distances`]: identical
+    /// results and the same histogram recording (linked to the trace as
+    /// an exemplar), plus `stage.encode` / `stage.search` child spans
+    /// under `parent` with the backend's `visited` annotation.
+    pub fn lookup_with_distances_traced(
+        &self,
+        q: &str,
+        k: usize,
+        parent: &emblookup_obs::TraceSpan,
+    ) -> Vec<(EntityId, f32)> {
+        let start = std::time::Instant::now();
+        let encode = parent.child(names::SPAN_STAGE_ENCODE);
+        let emb = self.model.embed(q);
+        encode.finish();
+        let search = parent.child(names::SPAN_STAGE_SEARCH);
+        let hits = self.index.search_traced(&emb, k, &search);
+        search.finish();
+        self.lookup_hist
+            .record_duration_with_exemplar(start.elapsed(), parent.trace().id());
+        hits
+    }
+
+    /// Traced twin of [`EmbLookup::bulk_lookup`]: each query runs the
+    /// embed + search pipeline inside a `pool.chunk` child span of
+    /// `parent`. Chunking is derived from the query count alone (at
+    /// most [`EmbLookup::BULK_TRACE_CHUNKS`] chunks), never from the
+    /// pool width, so the span tree shape is identical at every
+    /// `EMBLOOKUP_THREADS` setting; results are bit-identical to the
+    /// untraced batched path.
+    pub fn bulk_lookup_traced(
+        &self,
+        queries: &[&str],
+        k: usize,
+        parent: &emblookup_obs::TraceSpan,
+    ) -> Vec<Vec<(EntityId, f32)>> {
+        let start = std::time::Instant::now();
+        parent.annotate("backend", self.index.backend_name());
+        parent.annotate("queries", queries.len() as u64);
+        let n = queries.len();
+        if n == 0 {
+            self.bulk_hist.record_duration(start.elapsed());
+            return Vec::new();
+        }
+        let grain = n.div_ceil(Self::BULK_TRACE_CHUNKS).max(1);
+        let hits = emblookup_pool::Pool::global().parallel_map_traced(
+            n,
+            grain,
+            parent,
+            names::SPAN_POOL_CHUNK,
+            |i| {
+                let emb = self.model.embed(queries[i]);
+                self.index.search(&emb, k)
+            },
+        );
+        let elapsed = start.elapsed();
+        self.bulk_hist.record_duration(elapsed);
+        let per_query = u64::try_from(elapsed.as_nanos() / n as u128).unwrap_or(u64::MAX);
+        self.bulk_query_hist.record_n(per_query, n as u64);
+        self.bulk_queries.add(n as u64);
+        hits
+    }
+
+    /// Upper bound on `pool.chunk` spans per traced bulk request; also
+    /// the divisor deriving the deterministic chunk grain.
+    pub const BULK_TRACE_CHUNKS: usize = 8;
+
+    /// Fallible twin of [`EmbLookup::bulk_lookup_traced`]; see
+    /// [`EmbLookup::try_lookup_with_distances`] for the containment
+    /// contract.
+    ///
+    /// # Errors
+    /// [`LookupError`] carrying the contained panic message.
+    pub fn try_bulk_lookup_traced(
+        &self,
+        queries: &[&str],
+        k: usize,
+        parent: &emblookup_obs::TraceSpan,
+    ) -> Result<Vec<Vec<(EntityId, f32)>>, LookupError> {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.bulk_lookup_traced(queries, k, parent)
+        }))
+        .map_err(LookupError::from_panic)
+    }
+
     /// Fallible twin of [`EmbLookup::lookup_with_distances`]: a panic
     /// escaping the embed or search stage (e.g. a pool [`TaskPanic`]
     /// rethrown by a batched backend) is contained and surfaced as a
@@ -387,5 +471,40 @@ mod tests {
         assert_eq!(fallible, direct);
         let bulk = el.try_bulk_lookup(&[label.as_str()], 5).expect("healthy index");
         assert_eq!(bulk[0], direct);
+    }
+
+    #[test]
+    fn traced_lookups_match_untraced_and_build_stage_spans() {
+        use emblookup_obs::{Trace, TraceClock};
+        let (el, s) = trained();
+        let labels: Vec<&str> = s.kg.entities().take(10).map(|e| e.label.as_str()).collect();
+
+        let trace = Trace::start(0xF00D, TraceClock::real());
+        let root = trace.root(names::SPAN_LOOKUP_REQUEST);
+        let traced = el.lookup_with_distances_traced(labels[0], 5, &root);
+        assert_eq!(traced, el.lookup_with_distances(labels[0], 5));
+        root.finish();
+        let data = trace.snapshot();
+        let span_names: Vec<&str> = data.spans.iter().map(|sp| sp.name).collect();
+        assert_eq!(
+            span_names,
+            vec![names::SPAN_LOOKUP_REQUEST, names::SPAN_STAGE_ENCODE, names::SPAN_STAGE_SEARCH]
+        );
+
+        let bulk_trace = Trace::start(0xBEEF, TraceClock::real());
+        let bulk_root = bulk_trace.root(names::SPAN_LOOKUP_REQUEST);
+        let traced_bulk = el.bulk_lookup_traced(&labels, 3, &bulk_root);
+        assert_eq!(traced_bulk, el.bulk_lookup(&labels, 3));
+        bulk_root.finish();
+        let bulk_data = bulk_trace.snapshot();
+        let chunks = bulk_data
+            .spans
+            .iter()
+            .filter(|sp| sp.name == names::SPAN_POOL_CHUNK)
+            .count();
+        assert!(
+            (1..=EmbLookup::BULK_TRACE_CHUNKS).contains(&chunks),
+            "got {chunks} chunk spans"
+        );
     }
 }

@@ -120,6 +120,19 @@ fn l003_names_constant_usage_is_clean() {
 }
 
 #[test]
+fn l003_span_name_literal_in_trace_position_fires() {
+    let src = "pub fn f(trace: &std::sync::Arc<emblookup_obs::Trace>) {\n    let root = trace.root(\"my.adhoc.span\");\n    let child = root.child(\"another.span\");\n    child.finish();\n}\n";
+    let got = rules_at(LIB, src);
+    assert_eq!(got, vec![("L003".to_string(), 2), ("L003".to_string(), 3)]);
+}
+
+#[test]
+fn l003_span_names_from_constants_are_clean() {
+    let src = "use emblookup_obs::names;\npub fn f(trace: &std::sync::Arc<emblookup_obs::Trace>) {\n    let root = trace.root(names::SPAN_SERVE_REQUEST);\n    let chunk = root.child_deferred(names::SPAN_POOL_CHUNK);\n    chunk.finish();\n}\n";
+    assert_eq!(rules_at(LIB, src), vec![]);
+}
+
+#[test]
 fn l003_obs_crate_is_exempt() {
     let src = "pub fn f() {\n    emblookup_obs::global().counter(\"my.adhoc.metric\");\n}\n";
     assert_eq!(rules_at("crates/obs/src/registry.rs", src), vec![]);

@@ -34,8 +34,31 @@ impl MetricsSnapshot {
             let p = prom_name(name);
             let secs = |ns: u64| ns as f64 / 1e9;
             out.push_str(&format!("# TYPE {p}_seconds summary\n"));
-            for (q, v) in [(0.5, h.p50()), (0.9, h.p90()), (0.99, h.p99())] {
-                out.push_str(&format!("{p}_seconds{{quantile=\"{q}\"}} {}\n", secs(v)));
+            if h.count == 0 {
+                // Never-recorded histogram: an explicit zero count, but
+                // no quantile/sum lines that would report 0 as an
+                // observed value.
+                out.push_str(&format!("{p}_seconds_count 0\n"));
+                continue;
+            }
+            // Exemplars (OpenMetrics-style `# {trace_id="…"} value`
+            // suffix): the p99 line points at the slowest traced
+            // request, the p50 line at the most recent one.
+            let quantiles = [
+                (0.5, h.p50(), h.exemplar_last()),
+                (0.9, h.p90(), None),
+                (0.99, h.p99(), h.exemplar_max()),
+            ];
+            for (q, v, exemplar) in quantiles {
+                out.push_str(&format!("{p}_seconds{{quantile=\"{q}\"}} {}", secs(v)));
+                if let Some(ex) = exemplar {
+                    out.push_str(&format!(
+                        " # {{trace_id=\"{}\"}} {}",
+                        crate::trace::format_trace_id(ex.trace_id),
+                        secs(ex.value)
+                    ));
+                }
+                out.push('\n');
             }
             out.push_str(&format!("{p}_seconds_sum {}\n", secs(h.sum)));
             out.push_str(&format!("{p}_seconds_count {}\n", h.count));
@@ -65,6 +88,13 @@ impl MetricsSnapshot {
         for (i, (name, h)) in self.histograms.iter().enumerate() {
             if i > 0 {
                 out.push(',');
+            }
+            if h.count == 0 {
+                // A never-recorded histogram has no observed min/max:
+                // emit the explicit zero count alone so downstream
+                // deltas don't treat 0 as a measured value.
+                out.push_str(&format!("\n    \"{}\": {{\"count\": 0}}", escape_json(name)));
+                continue;
             }
             out.push_str(&format!(
                 "\n    \"{}\": {{\"count\": {}, \"sum_ns\": {}, \"min_ns\": {}, \
@@ -193,5 +223,31 @@ mod tests {
         assert_eq!(reg.snapshot().render_table(), "");
         let json = reg.snapshot().to_json();
         assert!(json.contains("\"counters\""));
+    }
+
+    #[test]
+    fn empty_histogram_exports_count_zero_without_min_max() {
+        let reg = MetricsRegistry::new();
+        let _ = reg.histogram("lookup.latency");
+        let json = reg.snapshot().to_json();
+        assert!(json.contains("\"lookup.latency\": {\"count\": 0}"), "{json}");
+        assert!(!json.contains("min_ns"), "empty histogram leaked min_ns:\n{json}");
+        let prom = reg.snapshot().to_prometheus();
+        assert!(prom.contains("# TYPE emblookup_lookup_latency_seconds summary"), "{prom}");
+        assert!(prom.contains("emblookup_lookup_latency_seconds_count 0"), "{prom}");
+        assert!(!prom.contains("quantile"), "empty histogram leaked quantiles:\n{prom}");
+    }
+
+    #[test]
+    fn exemplars_render_on_quantile_lines() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("lookup.latency");
+        h.record_with_exemplar(1_000, 0xAB);
+        h.record_with_exemplar(9_000, 0xCD);
+        let prom = reg.snapshot().to_prometheus();
+        assert!(
+            prom.contains("quantile=\"0.99\"}") && prom.contains("# {trace_id=\"00000000000000cd\"} 0.000009"),
+            "p99 line must carry the max exemplar:\n{prom}"
+        );
     }
 }

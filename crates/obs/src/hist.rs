@@ -53,6 +53,68 @@ fn bucket_mid(i: usize) -> u64 {
     bucket_low(i) + width / 2
 }
 
+/// One exemplar: a recorded value linked to the trace that produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Exemplar {
+    /// The recorded value (typically nanoseconds).
+    pub value: u64,
+    /// The non-zero trace id of the request that recorded it.
+    pub trace_id: u64,
+}
+
+/// A lock-free exemplar slot: a seqlock-style `(value, trace_id)` pair.
+/// Writers skip on contention (the request path never blocks); readers
+/// retry on a torn read.
+#[derive(Debug, Default)]
+struct ExemplarSlot {
+    version: AtomicU64,
+    value: AtomicU64,
+    trace_id: AtomicU64,
+}
+
+impl ExemplarSlot {
+    /// Best-effort publish; a concurrent writer wins and this write is
+    /// silently skipped.
+    fn offer(&self, value: u64, trace_id: u64) {
+        let v = self.version.load(Relaxed);
+        if v % 2 == 1 {
+            return; // writer in progress
+        }
+        if self
+            .version
+            .compare_exchange(v, v + 1, Relaxed, Relaxed)
+            .is_err()
+        {
+            return;
+        }
+        self.value.store(value, Relaxed);
+        self.trace_id.store(trace_id, Relaxed);
+        self.version.store(v + 2, Relaxed);
+    }
+
+    fn value(&self) -> u64 {
+        self.value.load(Relaxed)
+    }
+
+    fn read(&self) -> Option<Exemplar> {
+        for _ in 0..4 {
+            let v1 = self.version.load(Relaxed);
+            if v1 == 0 || v1 % 2 == 1 {
+                if v1 == 0 {
+                    return None;
+                }
+                continue;
+            }
+            let value = self.value.load(Relaxed);
+            let trace_id = self.trace_id.load(Relaxed);
+            if self.version.load(Relaxed) == v1 {
+                return (trace_id != 0).then_some(Exemplar { value, trace_id });
+            }
+        }
+        None
+    }
+}
+
 /// Concurrent log-bucketed histogram over `u64` values.
 pub struct Histogram {
     buckets: Box<[AtomicU64; NUM_BUCKETS]>,
@@ -60,6 +122,8 @@ pub struct Histogram {
     sum: AtomicU64,
     min: AtomicU64,
     max: AtomicU64,
+    ex_max: ExemplarSlot,
+    ex_last: ExemplarSlot,
 }
 
 impl std::fmt::Debug for Histogram {
@@ -90,6 +154,8 @@ impl Histogram {
             sum: AtomicU64::new(0),
             min: AtomicU64::new(u64::MAX),
             max: AtomicU64::new(0),
+            ex_max: ExemplarSlot::default(),
+            ex_last: ExemplarSlot::default(),
         }
     }
 
@@ -105,6 +171,29 @@ impl Histogram {
     /// Records a [`std::time::Duration`] as nanoseconds (saturating).
     pub fn record_duration(&self, d: std::time::Duration) {
         self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Records one value and links it to a trace id as an exemplar.
+    /// The "last" exemplar always updates (best effort); the "max"
+    /// exemplar updates when `value` is at least the largest exemplar
+    /// value seen, so the p99 line of the Prometheus export points at
+    /// a genuinely slow trace. `trace_id == 0` records without an
+    /// exemplar.
+    pub fn record_with_exemplar(&self, value: u64, trace_id: u64) {
+        self.record(value);
+        if trace_id == 0 {
+            return;
+        }
+        self.ex_last.offer(value, trace_id);
+        if value >= self.ex_max.value() {
+            self.ex_max.offer(value, trace_id);
+        }
+    }
+
+    /// [`Histogram::record_with_exemplar`] for a duration in
+    /// nanoseconds (saturating).
+    pub fn record_duration_with_exemplar(&self, d: std::time::Duration, trace_id: u64) {
+        self.record_with_exemplar(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX), trace_id);
     }
 
     /// Records the same value `n` times in O(1) — used to attribute a
@@ -139,6 +228,8 @@ impl Histogram {
             min: self.min.load(Relaxed),
             max: self.max.load(Relaxed),
             buckets,
+            exemplar_max: self.ex_max.read(),
+            exemplar_last: self.ex_last.read(),
         }
     }
 }
@@ -153,6 +244,8 @@ pub struct HistogramSnapshot {
     min: u64,
     max: u64,
     buckets: Vec<u64>,
+    exemplar_max: Option<Exemplar>,
+    exemplar_last: Option<Exemplar>,
 }
 
 impl HistogramSnapshot {
@@ -168,6 +261,18 @@ impl HistogramSnapshot {
     /// Largest recorded value, or 0 when empty.
     pub fn max(&self) -> u64 {
         self.max
+    }
+
+    /// The exemplar with the largest value recorded via
+    /// [`Histogram::record_with_exemplar`], if any.
+    pub fn exemplar_max(&self) -> Option<Exemplar> {
+        self.exemplar_max
+    }
+
+    /// The most recent exemplar recorded via
+    /// [`Histogram::record_with_exemplar`], if any.
+    pub fn exemplar_last(&self) -> Option<Exemplar> {
+        self.exemplar_last
     }
 
     /// Mean of recorded values, or 0.0 when empty.
@@ -375,6 +480,20 @@ mod tests {
         assert_eq!(sa.sum, sb.sum);
         assert_eq!(sa.p50(), sb.p50());
         assert_eq!(sa.p99(), sb.p99());
+    }
+
+    #[test]
+    fn exemplars_track_max_and_last() {
+        let h = Histogram::new();
+        assert_eq!(h.snapshot().exemplar_max(), None);
+        h.record_with_exemplar(100, 0xA);
+        h.record_with_exemplar(5_000, 0xB);
+        h.record_with_exemplar(300, 0xC);
+        h.record_with_exemplar(77, 0); // no trace: counted, no exemplar
+        let s = h.snapshot();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.exemplar_max(), Some(Exemplar { value: 5_000, trace_id: 0xB }));
+        assert_eq!(s.exemplar_last(), Some(Exemplar { value: 300, trace_id: 0xC }));
     }
 
     #[test]

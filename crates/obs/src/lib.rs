@@ -20,6 +20,19 @@
 //!   ([`MetricsSnapshot::to_prometheus`]), JSON
 //!   ([`MetricsSnapshot::to_json`]) or an aligned table
 //!   ([`MetricsSnapshot::render_table`]).
+//! * **Traces** — a request-scoped [`Trace`] builds a span tree through
+//!   explicitly threaded [`TraceSpan`] handles (no thread-locals);
+//!   span ids are allocated in creation order so the tree shape is
+//!   deterministic, and [`TraceClock`] can share a virtual-nanosecond
+//!   counter with a deadline clock for bit-identical capture under
+//!   fault injection. Completed [`TraceData`] lands in the fixed-size
+//!   overwrite-oldest [`FlightRecorder`] ring; a [`TailSampler`]
+//!   promotes traces judged interesting after the fact (slow, shed,
+//!   degraded, error, panic — [`Trigger`]) into per-class retained
+//!   buffers, and [`TraceHub`] bundles both behind one `publish()`.
+//!   Export as JSON ([`TraceData::to_json`]) or Chrome `trace_event`
+//!   ([`traces_to_chrome_json`]); [`Histogram`] exemplars link a
+//!   `/metrics` percentile line back to the trace id that produced it.
 //!
 //! ```
 //! use emblookup_obs as obs;
@@ -40,6 +53,9 @@
 pub mod export;
 pub mod fmt;
 pub mod names;
+pub mod ring;
+pub mod sample;
+pub mod trace;
 mod hist;
 mod json;
 mod registry;
@@ -47,9 +63,15 @@ mod span;
 mod subscriber;
 
 pub use fmt::{fmt_duration, fmt_nanos};
-pub use hist::{Histogram, HistogramSnapshot};
+pub use hist::{Exemplar, Histogram, HistogramSnapshot};
 pub use registry::{global, Counter, Gauge, MetricsRegistry, MetricsSnapshot};
+pub use ring::FlightRecorder;
+pub use sample::{RetainedTrace, TailSampler, TraceHub, Trigger};
 pub use span::Span;
+pub use trace::{
+    format_trace_id, parse_trace_id, trace_id_from_index, traces_to_chrome_json, AnnoValue,
+    SpanRecord, Trace, TraceClock, TraceData, TraceSpan,
+};
 pub use subscriber::{
     clear_subscriber, emit, event, init_from_env, set_subscriber, CollectingSubscriber, Event,
     EventKind, FieldValue, JsonLinesSubscriber, MultiSubscriber, OwnedEvent, StderrSubscriber,

@@ -99,6 +99,28 @@ names! {
     POOL_QUEUE_DEPTH => "pool.queue.depth",
     /// Counter of tasks stolen from another worker's deque.
     POOL_STEALS => "pool.steal",
+    /// Trace span: root of one served HTTP request.
+    SPAN_SERVE_REQUEST => "serve.request",
+    /// Trace span: root of one traced library-level lookup.
+    SPAN_LOOKUP_REQUEST => "lookup.request",
+    /// Trace span: admission / budget stage of a request.
+    SPAN_STAGE_ADMIT => "stage.admit",
+    /// Trace span: request-body decode stage.
+    SPAN_STAGE_DECODE => "stage.decode",
+    /// Trace span: query-embedding encode stage.
+    SPAN_STAGE_ENCODE => "stage.encode",
+    /// Trace span: ANN / fallback search stage.
+    SPAN_STAGE_SEARCH => "stage.search",
+    /// Trace span: result ranking + response assembly stage.
+    SPAN_STAGE_RANK => "stage.rank",
+    /// Trace span: one pool chunk of a parallel traced region.
+    SPAN_POOL_CHUNK => "pool.chunk",
+    /// Counter of traces stored in the flight recorder.
+    TRACE_RECORDED => "trace.recorded",
+    /// Counter of traces promoted to the tail-sampled retained buffer.
+    TRACE_RETAINED => "trace.retained",
+    /// Counter of traces dropped to flight-recorder slot contention.
+    TRACE_DROPPED => "trace.dropped",
 }
 
 /// Scoped single-query latency histogram name:

@@ -19,6 +19,8 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// A pipeline stage at which faults apply and deadlines are checked.
@@ -58,6 +60,9 @@ pub struct StageFaults {
     pub poison: bool,
     /// The search stage panics mid-request (containment drill).
     pub panic_in_search: bool,
+    /// The request is refused at the door (`429`) as if the queue were
+    /// full — exercises the shed path without needing real overload.
+    pub shed: bool,
 }
 
 /// How faults are generated across requests.
@@ -86,6 +91,8 @@ pub enum FaultConfig {
         poison_prob: f64,
         /// Probability the search stage panics.
         panic_prob: f64,
+        /// Probability the request is shed at admission.
+        shed_prob: f64,
         /// Advance the deadline clock instead of sleeping.
         virtual_time: bool,
     },
@@ -128,6 +135,7 @@ impl FaultLayer {
                 backend_error_prob,
                 poison_prob,
                 panic_prob,
+                shed_prob,
                 ..
             } => {
                 // Mix the index through a distinct odd constant so
@@ -149,6 +157,9 @@ impl FaultLayer {
                     backend_error: rng.gen_bool(*backend_error_prob),
                     poison: rng.gen_bool(*poison_prob),
                     panic_in_search: rng.gen_bool(*panic_prob),
+                    // Drawn last, and only when enabled: seeds chosen
+                    // before the shed fault existed replay unchanged.
+                    shed: *shed_prob > 0.0 && rng.gen_bool(*shed_prob),
                 }
             }
         }
@@ -162,11 +173,17 @@ impl FaultLayer {
 /// `virtual_only`. Degradation decisions read
 /// [`DeadlineClock::frac_remaining`], the fraction of budget still
 /// unspent.
+///
+/// Virtual time lives in a shared `Arc<AtomicU64>` of nanoseconds so
+/// the same counter can drive a request's trace clock
+/// ([`emblookup_obs::TraceClock::Virtual`]): injected latency then
+/// shows up identically in deadline accounting and captured span
+/// durations, bit-for-bit across pool widths.
 #[derive(Debug)]
 pub struct DeadlineClock {
     start: Instant,
     budget_ms: u64,
-    virtual_ms: u64,
+    virtual_ns: Arc<AtomicU64>,
     virtual_only: bool,
 }
 
@@ -174,22 +191,34 @@ impl DeadlineClock {
     /// Starts a clock with `budget_ms` of budget. With `virtual_only`,
     /// injected latency advances the clock instead of sleeping.
     pub fn new(budget_ms: u64, virtual_only: bool) -> Self {
+        Self::with_virtual_ns(budget_ms, virtual_only, Arc::new(AtomicU64::new(0)))
+    }
+
+    /// Like [`DeadlineClock::new`], but accruing virtual time into a
+    /// caller-provided shared nanosecond counter.
+    pub fn with_virtual_ns(budget_ms: u64, virtual_only: bool, virtual_ns: Arc<AtomicU64>) -> Self {
         DeadlineClock {
             start: Instant::now(),
             budget_ms,
-            virtual_ms: 0,
+            virtual_ns,
             virtual_only,
         }
     }
 
+    /// The shared virtual nanosecond counter behind this clock.
+    pub fn virtual_ns_handle(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.virtual_ns)
+    }
+
     /// Applies `ms` of injected latency: virtually (clock advance) or
     /// physically (sleep), per construction.
-    pub fn advance_ms(&mut self, ms: u64) {
+    pub fn advance_ms(&self, ms: u64) {
         if ms == 0 {
             return;
         }
         if self.virtual_only {
-            self.virtual_ms = self.virtual_ms.saturating_add(ms);
+            self.virtual_ns
+                .fetch_add(ms.saturating_mul(1_000_000), Ordering::Relaxed);
         } else {
             std::thread::sleep(std::time::Duration::from_millis(ms));
         }
@@ -200,10 +229,27 @@ impl DeadlineClock {
         self.budget_ms
     }
 
+    /// Virtual milliseconds accrued so far.
+    pub fn virtual_elapsed_ms(&self) -> u64 {
+        self.virtual_ns.load(Ordering::Relaxed) / 1_000_000
+    }
+
+    /// Budget left counting only deterministic inputs: in virtual mode
+    /// this ignores real elapsed time, so the value is reproducible
+    /// across runs and pool widths (span annotations use it). In real
+    /// mode it equals [`DeadlineClock::remaining_ms`].
+    pub fn deterministic_remaining_ms(&self) -> u64 {
+        if self.virtual_only {
+            self.budget_ms.saturating_sub(self.virtual_elapsed_ms())
+        } else {
+            self.remaining_ms()
+        }
+    }
+
     /// Elapsed real plus virtual milliseconds.
     pub fn elapsed_ms(&self) -> u64 {
         let real = self.start.elapsed().as_millis() as u64;
-        real.saturating_add(self.virtual_ms)
+        real.saturating_add(self.virtual_elapsed_ms())
     }
 
     /// Milliseconds of budget left (saturating at zero).
@@ -257,6 +303,7 @@ mod tests {
                 backend_error_prob: 0.2,
                 poison_prob: 0.2,
                 panic_prob: 0.1,
+                shed_prob: 0.0,
                 virtual_time: true,
             })
         };
@@ -269,7 +316,7 @@ mod tests {
 
     #[test]
     fn virtual_clock_advances_without_sleeping() {
-        let mut clock = DeadlineClock::new(100, true);
+        let clock = DeadlineClock::new(100, true);
         let wall = Instant::now();
         clock.advance_ms(60);
         assert!(wall.elapsed().as_millis() < 50, "virtual advance must not sleep");
@@ -283,10 +330,50 @@ mod tests {
 
     #[test]
     fn real_clock_sleeps() {
-        let mut clock = DeadlineClock::new(1000, false);
+        let clock = DeadlineClock::new(1000, false);
         let wall = Instant::now();
         clock.advance_ms(20);
         assert!(wall.elapsed().as_millis() >= 20, "real mode must actually wait");
+    }
+
+    #[test]
+    fn shared_virtual_ns_drives_deterministic_remaining() {
+        let ns = Arc::new(AtomicU64::new(0));
+        let clock = DeadlineClock::with_virtual_ns(100, true, Arc::clone(&ns));
+        clock.advance_ms(30);
+        assert_eq!(ns.load(Ordering::Relaxed), 30_000_000, "trace clock sees the advance");
+        assert_eq!(clock.virtual_elapsed_ms(), 30);
+        assert_eq!(clock.deterministic_remaining_ms(), 70);
+        ns.fetch_add(80_000_000, Ordering::Relaxed);
+        assert_eq!(clock.deterministic_remaining_ms(), 0, "external advances count too");
+        assert!(clock.expired());
+    }
+
+    #[test]
+    fn shed_fault_draw_does_not_disturb_existing_streams() {
+        let make = |shed_prob| {
+            FaultLayer::new(FaultConfig::Random {
+                seed: 11,
+                latency_prob: 0.5,
+                max_latency_ms: 100,
+                backend_error_prob: 0.2,
+                poison_prob: 0.2,
+                panic_prob: 0.1,
+                shed_prob,
+                virtual_time: true,
+            })
+        };
+        let without: Vec<_> = (0..64).map(|i| make(0.0).for_request(i)).collect();
+        let with: Vec<_> = (0..64).map(|i| make(0.5).for_request(i)).collect();
+        assert!(without.iter().all(|f| !f.shed), "prob 0 must never shed");
+        assert!(with.iter().any(|f| f.shed), "prob 0.5 sheds somewhere in 64 draws");
+        for (a, b) in without.iter().zip(&with) {
+            assert_eq!(
+                StageFaults { shed: false, ..*b },
+                *a,
+                "non-shed fields must replay identically with shed enabled"
+            );
+        }
     }
 
     #[test]

@@ -10,6 +10,9 @@
 //! | `POST /lookup/bulk` | batched lookup, full fidelity or `504` |
 //! | `GET /healthz` | liveness, answered inline |
 //! | `GET /metrics` | Prometheus text exposition of the server's registry |
+//! | `GET /debug/traces` | retained (tail-sampled) span trees + recent trace ids |
+//! | `GET /debug/traces/chrome` | retained traces as Chrome `trace_event` JSON (Perfetto) |
+//! | `GET /debug/traces/<id>` | one trace by 16-hex-digit id, retained or still in the ring |
 //!
 //! Three robustness mechanisms compose:
 //!
@@ -81,6 +84,16 @@ pub struct ServeConfig {
     pub read_timeout_ms: u64,
     /// Fault injection plan; `None` (the default) injects nothing.
     pub faults: Option<FaultConfig>,
+    /// Flight-recorder capacity: every request's span tree lands in a
+    /// ring of this many slots, overwriting the oldest.
+    pub trace_ring_cap: usize,
+    /// Tail-sampled traces retained per trigger class (slow / shed /
+    /// degraded / error / panic); total retention is bounded at five
+    /// times this.
+    pub trace_retain_per_trigger: usize,
+    /// Slow-trace threshold in milliseconds; `0` (the default) adapts
+    /// to twice the observed p99 once 64 requests have completed.
+    pub slow_trace_ms: u64,
 }
 
 impl Default for ServeConfig {
@@ -96,6 +109,9 @@ impl Default for ServeConfig {
             max_bulk: 1024,
             read_timeout_ms: 2000,
             faults: None,
+            trace_ring_cap: 256,
+            trace_retain_per_trigger: 8,
+            slow_trace_ms: 0,
         }
     }
 }

@@ -23,6 +23,19 @@
 //! `500` (contained panic), or `504` (deadline); rejected requests get
 //! `429`. The handler body runs under `catch_unwind`, so a panicking
 //! backend costs one response, never the process.
+//!
+//! ## Tracing
+//!
+//! A [`Trace`] is minted per request on the accept thread (id from the
+//! `x-emblookup-trace-id` header or derived from the request index) and
+//! threaded explicitly through the handler: every stage gets a child
+//! span, the full-rung search descends into the ANN backend, and bulk
+//! requests fan `pool.chunk` spans out of the search stage. Completed
+//! trees always land in the flight-recorder ring; slow / shed /
+//! degraded / errored / panicked requests are additionally tail-sampled
+//! into the retained buffer served by `GET /debug/traces`. Under the
+//! virtual-time fault harness the trace clock shares the deadline
+//! clock's nanosecond counter, so captured durations are deterministic.
 
 use crate::faults::{DeadlineClock, FaultLayer, Stage, StageFaults};
 use crate::http::{read_request, write_response, Request, Response};
@@ -32,7 +45,11 @@ use crate::ServeConfig;
 use emblookup_core::EmbLookup;
 use emblookup_kg::{EntityId, KnowledgeGraph};
 use emblookup_obs::names;
-use emblookup_obs::{Counter, Gauge, Histogram, MetricsRegistry};
+use emblookup_obs::{
+    format_trace_id, parse_trace_id, trace_id_from_index, traces_to_chrome_json, AnnoValue,
+    Counter, Gauge, Histogram, MetricsRegistry, RetainedTrace, Trace, TraceClock, TraceData,
+    TraceHub, TraceSpan, Trigger,
+};
 use emblookup_pool::{BoundedQueue, Pool};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -93,8 +110,38 @@ struct ServerState {
     config: ServeConfig,
     registry: Arc<MetricsRegistry>,
     metrics: ServeMetrics,
+    /// Flight recorder + tail sampler every completed trace publishes to.
+    hub: TraceHub,
     /// Request indices in accept order; the fault layer's replay key.
     seq: AtomicU64,
+}
+
+impl ServerState {
+    /// Slow-trace threshold in clock nanoseconds: the configured value,
+    /// or — when `slow_trace_ms` is 0 — twice the observed latency p99
+    /// once 64 requests have completed (nothing is "slow" before that).
+    fn slow_threshold_ns(&self) -> u64 {
+        let ms = self.config.slow_trace_ms;
+        if ms > 0 {
+            return ms.saturating_mul(1_000_000);
+        }
+        if self.metrics.latency.count() >= 64 {
+            self.metrics.latency.snapshot().p99().saturating_mul(2)
+        } else {
+            u64::MAX
+        }
+    }
+}
+
+/// The per-request trace context, minted on the accept thread so span
+/// ids follow accept order, then moved into the handler task.
+struct TraceCtx {
+    /// The `serve.request` root span; stage spans hang off it.
+    root: TraceSpan,
+    /// The shared virtual nanosecond counter when the fault harness
+    /// runs in virtual time; the deadline clock accrues into it so
+    /// injected latency shows up in span durations.
+    virtual_ns: Option<Arc<AtomicU64>>,
 }
 
 /// A running server. Dropping it (or calling [`Server::shutdown`])
@@ -144,6 +191,7 @@ impl Server {
             config.workers
         };
         let queue_cap = config.queue_cap;
+        let hub = TraceHub::new(config.trace_ring_cap, config.trace_retain_per_trigger, &registry);
         let state = Arc::new(ServerState {
             service,
             ladder,
@@ -152,6 +200,7 @@ impl Server {
             config,
             registry: Arc::clone(&registry),
             metrics,
+            hub,
             seq: AtomicU64::new(0),
         });
         let shutdown = Arc::new(AtomicBool::new(false));
@@ -245,6 +294,33 @@ fn accept_loop(
                 let body = state.registry.snapshot().to_prometheus();
                 write_response(&mut stream, &Response::text(200, body));
             }
+            ("GET", "/debug/traces") => {
+                write_response(&mut stream, &Response::json(200, debug_traces_json(state)));
+            }
+            ("GET", "/debug/traces/chrome") => {
+                let traces: Vec<TraceData> = state
+                    .hub
+                    .sampler
+                    .retained()
+                    .iter()
+                    .map(|r| (*r.trace).clone())
+                    .collect();
+                write_response(
+                    &mut stream,
+                    &Response::json(200, traces_to_chrome_json(&traces)),
+                );
+            }
+            ("GET", path) if path.starts_with("/debug/traces/") => {
+                let found = path
+                    .strip_prefix("/debug/traces/")
+                    .and_then(parse_trace_id)
+                    .and_then(|id| state.hub.find(id));
+                let resp = match found {
+                    Some(r) => Response::json(200, retained_trace_json(&r)),
+                    None => Response::json(404, "{\"error\":\"trace not found\"}".to_string()),
+                };
+                write_response(&mut stream, &resp);
+            }
             ("POST", "/lookup") | ("POST", "/lookup/bulk") => {
                 admit(state, pool, req, stream);
             }
@@ -264,13 +340,83 @@ fn accept_loop(
     }
 }
 
+/// Mints the request's trace on the accept thread: id from the client
+/// header (else derived from the accept index), clock virtual when the
+/// fault harness runs in virtual time.
+fn mint_trace(req: &Request, idx: u64, virtual_time: bool) -> TraceCtx {
+    let id = req
+        .header("x-emblookup-trace-id")
+        .and_then(parse_trace_id)
+        .unwrap_or_else(|| trace_id_from_index(idx));
+    let (clock, virtual_ns) = if virtual_time {
+        let ns = Arc::new(AtomicU64::new(0));
+        (TraceClock::virtual_shared(Arc::clone(&ns)), Some(ns))
+    } else {
+        (TraceClock::real(), None)
+    };
+    let trace = Trace::start(id, clock);
+    let root = trace.root(names::SPAN_SERVE_REQUEST);
+    root.annotate("request", idx);
+    TraceCtx { root, virtual_ns }
+}
+
+/// Answers a shed request: publishes its minimal trace (root +
+/// `stage.admit`) under the [`Trigger::Shed`] class, then `429`.
+fn shed_response(state: &ServerState, ctx: &TraceCtx, reason: &'static str, mut stream: TcpStream) {
+    let admit_span = ctx.root.child(names::SPAN_STAGE_ADMIT);
+    admit_span.annotate("shed", 1u64);
+    admit_span.annotate("reason", reason);
+    admit_span.finish();
+    ctx.root.annotate("status", 429u64);
+    ctx.root.finish();
+    let trace_id = ctx.root.trace().id();
+    state.hub.publish(ctx.root.trace().snapshot(), &[Trigger::Shed]);
+    let resp = Response::json(
+        429,
+        format!("{{\"error\":\"shed\",\"reason\":\"{}\"}}", json::escape(reason)),
+    )
+    .with_header("retry-after", "1")
+    .with_header("x-emblookup-trace-id", &format_trace_id(trace_id));
+    write_response(&mut stream, &resp);
+}
+
+/// The trigger classes a completed request hit, derived from its
+/// outcome: the tail-sampling decision.
+fn triggers_for(state: &ServerState, data: &TraceData, panicked: bool, status: u16) -> Vec<Trigger> {
+    let mut triggers = Vec::new();
+    if data.duration_ns() >= state.slow_threshold_ns() {
+        triggers.push(Trigger::Slow);
+    }
+    if let Some(AnnoValue::Str(rung)) = data.root_annotation("rung") {
+        if rung != Rung::Full.name() {
+            triggers.push(Trigger::Degraded);
+        }
+    }
+    if matches!(status, 400 | 500 | 504) {
+        triggers.push(Trigger::Error);
+    }
+    if panicked {
+        triggers.push(Trigger::Panic);
+    }
+    triggers
+}
+
 /// Admission control: submit the request to the bounded injector; on
-/// `QueueFull`, reclaim the stream and shed with `429`.
+/// `QueueFull` (or an injected shed fault), reclaim the stream and shed
+/// with `429`.
 fn admit(state: &Arc<ServerState>, pool: &Pool, req: Request, stream: TcpStream) {
     let idx = state.seq.fetch_add(1, Ordering::SeqCst);
+    let (faults, virtual_time) = faults_for(state, idx);
+    let ctx = mint_trace(&req, idx, virtual_time);
+    if faults.shed {
+        state.metrics.shed.inc();
+        shed_response(state, &ctx, "fault injected", stream);
+        return;
+    }
     // `try_submit` consumes its closure even when it sheds, so the
-    // stream rides in a shared slot the accept thread can take back.
-    let slot = Arc::new(Mutex::new(Some(stream)));
+    // stream (and the trace context) ride in a shared slot the accept
+    // thread can take back.
+    let slot = Arc::new(Mutex::new(Some((stream, ctx))));
     let task_slot = Arc::clone(&slot);
     let task_state = Arc::clone(state);
     let outcome = pool.try_submit(move || {
@@ -278,7 +424,7 @@ fn admit(state: &Arc<ServerState>, pool: &Pool, req: Request, stream: TcpStream)
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
             .take();
-        let Some(mut stream) = taken else {
+        let Some((mut stream, ctx)) = taken else {
             return;
         };
         // Counted here, not on the accept thread after `try_submit`
@@ -286,15 +432,28 @@ fn admit(state: &Arc<ServerState>, pool: &Pool, req: Request, stream: TcpStream)
         // admission is not yet reflected in the counters.
         task_state.metrics.admitted.inc();
         let start = Instant::now();
-        let resp = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            dispatch_post(&task_state, &req, idx)
-        }))
-        .unwrap_or_else(|_| {
+        let trace_id = ctx.root.trace().id();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            dispatch_post(&task_state, &req, idx, faults, &ctx)
+        }));
+        let panicked = caught.is_err();
+        let resp = caught.unwrap_or_else(|_| {
             task_state.metrics.panics.inc();
             task_state.metrics.errors.inc();
             Response::json(500, "{\"error\":\"internal panic (contained)\"}".to_string())
         });
-        task_state.metrics.latency.record_duration(start.elapsed());
+        ctx.root.annotate("status", u64::from(resp.status));
+        ctx.root.finish();
+        let data = ctx.root.trace().snapshot();
+        let triggers = triggers_for(&task_state, &data, panicked, resp.status);
+        // Published before the response bytes leave: a client that saw
+        // the answer can always fetch its trace.
+        task_state.hub.publish(data, &triggers);
+        task_state
+            .metrics
+            .latency
+            .record_duration_with_exemplar(start.elapsed(), trace_id);
+        let resp = resp.with_header("x-emblookup-trace-id", &format_trace_id(trace_id));
         write_response(&mut stream, &resp);
     });
     state.metrics.queue_depth.set(pool.detached_depth() as f64);
@@ -303,22 +462,33 @@ fn admit(state: &Arc<ServerState>, pool: &Pool, req: Request, stream: TcpStream)
         Err(_full) => {
             state.metrics.shed.inc();
             let reclaimed = slot.lock().unwrap_or_else(PoisonError::into_inner).take();
-            if let Some(mut stream) = reclaimed {
-                let resp = Response::json(
-                    429,
-                    "{\"error\":\"shed\",\"reason\":\"queue full\"}".to_string(),
-                )
-                .with_header("retry-after", "1");
-                write_response(&mut stream, &resp);
+            if let Some((stream, ctx)) = reclaimed {
+                shed_response(state, &ctx, "queue full", stream);
             }
         }
     }
 }
 
-fn dispatch_post(state: &ServerState, req: &Request, idx: u64) -> Response {
+fn dispatch_post(
+    state: &ServerState,
+    req: &Request,
+    idx: u64,
+    faults: StageFaults,
+    ctx: &TraceCtx,
+) -> Response {
     match req.path.as_str() {
-        "/lookup" => handle_lookup(state, req, idx),
-        _ => handle_bulk(state, req, idx),
+        "/lookup" => handle_lookup(state, req, idx, faults, ctx),
+        _ => handle_bulk(state, req, idx, faults, ctx),
+    }
+}
+
+/// The request's deadline clock; under virtual time it accrues into the
+/// trace's shared nanosecond counter so injected latency is visible in
+/// span durations.
+fn request_clock(state: &ServerState, req: &Request, ctx: &TraceCtx) -> DeadlineClock {
+    match &ctx.virtual_ns {
+        Some(ns) => DeadlineClock::with_virtual_ns(budget_ms(state, req), true, Arc::clone(ns)),
+        None => DeadlineClock::new(budget_ms(state, req), false),
     }
 }
 
@@ -329,6 +499,49 @@ fn budget_ms(state: &ServerState, req: &Request) -> u64 {
         .and_then(|v| v.parse::<u64>().ok())
         .map(|ms| ms.clamp(1, state.config.max_deadline_ms))
         .unwrap_or(state.config.default_deadline_ms)
+}
+
+/// One retained trace as `{"triggers":[…],"trace":{…}}`.
+fn retained_trace_json(r: &RetainedTrace) -> String {
+    let mut out = String::from("{\"triggers\":[");
+    for (i, t) in r.triggers.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        out.push_str(t.name());
+        out.push('"');
+    }
+    out.push_str("],\"trace\":");
+    out.push_str(&r.trace.to_json());
+    out.push('}');
+    out
+}
+
+/// `GET /debug/traces`: retained (tail-sampled) traces with their
+/// triggers, plus the sorted ids currently in the flight-recorder ring.
+fn debug_traces_json(state: &ServerState) -> String {
+    let retained = state.hub.sampler.retained();
+    let mut out = String::from("{\"retained\":[");
+    for (i, r) in retained.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&retained_trace_json(r));
+    }
+    out.push_str("],\"recent\":[");
+    let mut ids: Vec<u64> = state.hub.recorder.recent().iter().map(|t| t.id).collect();
+    ids.sort_unstable();
+    for (i, id) in ids.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        out.push_str(&format_trace_id(*id));
+        out.push('"');
+    }
+    out.push_str("]}");
+    out
 }
 
 fn faults_for(state: &ServerState, idx: u64) -> (StageFaults, bool) {
@@ -381,12 +594,13 @@ fn results_json(state: &ServerState, results: &[(EntityId, f32)]) -> String {
     out
 }
 
-fn ok_response(state: &ServerState, rung: Rung, results: &[(EntityId, f32)]) -> Response {
+fn ok_response(state: &ServerState, rung: Rung, results: &[(EntityId, f32)], ctx: &TraceCtx) -> Response {
     match rung {
         Rung::Full => {}
         Rung::Flat => state.metrics.degraded_flat.inc(),
         Rung::Qgram => state.metrics.degraded_qgram.inc(),
     }
+    ctx.root.annotate("rung", rung.name());
     Response::json(
         200,
         format!(
@@ -399,7 +613,31 @@ fn ok_response(state: &ServerState, rung: Rung, results: &[(EntityId, f32)]) -> 
 }
 
 /// `POST /lookup` — the degradation ladder lives here.
-fn handle_lookup(state: &ServerState, req: &Request, idx: u64) -> Response {
+fn handle_lookup(
+    state: &ServerState,
+    req: &Request,
+    idx: u64,
+    faults: StageFaults,
+    ctx: &TraceCtx,
+) -> Response {
+    let clock = request_clock(state, req, ctx);
+
+    // -- admit stage ----------------------------------------------------
+    let admit_span = ctx.root.child(names::SPAN_STAGE_ADMIT);
+    admit_span.annotate("deadline_remaining_ms", clock.deterministic_remaining_ms());
+    if faults.admit_latency_ms > 0 {
+        admit_span.annotate("fault_latency_ms", faults.admit_latency_ms);
+    }
+    clock.advance_ms(faults.admit_latency_ms);
+    admit_span.finish();
+    if clock.expired() {
+        return deadline_response(state, Stage::Admit, &clock);
+    }
+
+    // -- decode stage ---------------------------------------------------
+    // Early returns leave the span open; the completion snapshot clamps
+    // it, which reads as "the request died decoding" — honest.
+    let decode_span = ctx.root.child(names::SPAN_STAGE_DECODE);
     let body = match std::str::from_utf8(&req.body) {
         Ok(s) => s,
         Err(_) => return bad_request(state, "body is not UTF-8"),
@@ -416,47 +654,53 @@ fn handle_lookup(state: &ServerState, req: &Request, idx: u64) -> Response {
         .and_then(Json::as_u64)
         .unwrap_or(10)
         .clamp(1, state.config.max_k as u64) as usize;
-
-    let (faults, virtual_time) = faults_for(state, idx);
-    let mut clock = DeadlineClock::new(budget_ms(state, req), virtual_time);
-
-    // -- admit stage ----------------------------------------------------
-    clock.advance_ms(faults.admit_latency_ms);
-    if clock.expired() {
-        return deadline_response(state, Stage::Admit, &clock);
-    }
+    decode_span.finish();
     if clock.frac_remaining() <= QGRAM_FRAC {
         // Not even the encoder fits in what's left: string rung.
-        return finish_qgram(state, q, k, &clock);
+        return finish_qgram(state, q, k, &clock, ctx);
     }
 
     // -- encode stage ---------------------------------------------------
+    let encode_span = ctx.root.child(names::SPAN_STAGE_ENCODE);
+    encode_span.annotate("deadline_remaining_ms", clock.deterministic_remaining_ms());
+    if faults.encode_latency_ms > 0 {
+        encode_span.annotate("fault_latency_ms", faults.encode_latency_ms);
+    }
     clock.advance_ms(faults.encode_latency_ms);
     let emb = state.service.model().embed(q);
+    encode_span.finish();
     if clock.expired() {
         return deadline_response(state, Stage::Encode, &clock);
     }
     let frac = clock.frac_remaining();
     if frac <= QGRAM_FRAC {
-        return finish_qgram(state, q, k, &clock);
+        return finish_qgram(state, q, k, &clock, ctx);
     }
     let mut rung = if frac <= FLAT_FRAC { Rung::Flat } else { Rung::Full };
 
     // -- search stage ---------------------------------------------------
+    let search_span = ctx.root.child(names::SPAN_STAGE_SEARCH);
+    search_span.annotate("deadline_remaining_ms", clock.deterministic_remaining_ms());
+    if faults.search_latency_ms > 0 {
+        search_span.annotate("fault_latency_ms", faults.search_latency_ms);
+    }
     clock.advance_ms(faults.search_latency_ms);
     if faults.panic_in_search {
         // The containment drill: a deliberately panicking backend. The
-        // per-request catch_unwind above turns this into one 500.
+        // per-request catch_unwind above turns this into one 500; the
+        // annotation survives into the clamped-open span.
+        search_span.annotate("fault_panic", 1u64);
         // lint: allow(L001) fault-injected panic is this line's entire purpose
         panic!("injected fault: panic in search stage (request {idx})");
     }
     let mut results: Option<Vec<(EntityId, f32)>> = None;
     if rung == Rung::Full {
         if faults.backend_error {
+            search_span.annotate("fault_backend_error", 1u64);
             rung = Rung::Flat;
         } else {
             let mut hits: Vec<(EntityId, f32)> =
-                state.service.index().search(&emb, k);
+                state.service.index().search_traced(&emb, k, &search_span);
             if faults.poison {
                 for (_, d) in hits.iter_mut() {
                     *d = f32::NAN;
@@ -464,6 +708,7 @@ fn handle_lookup(state: &ServerState, req: &Request, idx: u64) -> Response {
             }
             if hits.iter().any(|(_, d)| d.is_nan()) {
                 // Poisoned primary answer: reject it, step down.
+                search_span.annotate("fault_poison", 1u64);
                 rung = Rung::Flat;
             } else {
                 results = Some(hits.into_iter().map(|(id, d)| (id, -d)).collect());
@@ -474,25 +719,67 @@ fn handle_lookup(state: &ServerState, req: &Request, idx: u64) -> Response {
         Some(r) => r,
         None => state.ladder.flat_search(&emb, k),
     };
+    search_span.annotate("rung", rung.name());
+    search_span.finish();
     if clock.expired() {
         return deadline_response(state, Stage::Search, &clock);
     }
-    ok_response(state, rung, &results)
+
+    // -- rank stage -----------------------------------------------------
+    let rank_span = ctx.root.child(names::SPAN_STAGE_RANK);
+    let resp = ok_response(state, rung, &results, ctx);
+    rank_span.finish();
+    resp
 }
 
-fn finish_qgram(state: &ServerState, q: &str, k: usize, clock: &DeadlineClock) -> Response {
+fn finish_qgram(
+    state: &ServerState,
+    q: &str,
+    k: usize,
+    clock: &DeadlineClock,
+    ctx: &TraceCtx,
+) -> Response {
+    let search_span = ctx.root.child(names::SPAN_STAGE_SEARCH);
+    search_span.annotate("rung", Rung::Qgram.name());
+    search_span.annotate("deadline_remaining_ms", clock.deterministic_remaining_ms());
     let results = state.ladder.qgram_search(q, k);
+    search_span.finish();
     if clock.expired() {
         return deadline_response(state, Stage::Search, clock);
     }
-    ok_response(state, Rung::Qgram, &results)
+    let rank_span = ctx.root.child(names::SPAN_STAGE_RANK);
+    let resp = ok_response(state, Rung::Qgram, &results, ctx);
+    rank_span.finish();
+    resp
 }
 
 /// `POST /lookup/bulk` — full rung only; a batch that cannot run at
 /// full fidelity inside its budget fails fast with `504` so the client
 /// can split or retry it, rather than receiving a silently mixed-rung
 /// batch.
-fn handle_bulk(state: &ServerState, req: &Request, idx: u64) -> Response {
+fn handle_bulk(
+    state: &ServerState,
+    req: &Request,
+    idx: u64,
+    faults: StageFaults,
+    ctx: &TraceCtx,
+) -> Response {
+    let clock = request_clock(state, req, ctx);
+
+    // -- admit stage ----------------------------------------------------
+    let admit_span = ctx.root.child(names::SPAN_STAGE_ADMIT);
+    admit_span.annotate("deadline_remaining_ms", clock.deterministic_remaining_ms());
+    if faults.admit_latency_ms > 0 {
+        admit_span.annotate("fault_latency_ms", faults.admit_latency_ms);
+    }
+    clock.advance_ms(faults.admit_latency_ms);
+    admit_span.finish();
+    if clock.expired() {
+        return deadline_response(state, Stage::Admit, &clock);
+    }
+
+    // -- decode stage ---------------------------------------------------
+    let decode_span = ctx.root.child(names::SPAN_STAGE_DECODE);
     let body = match std::str::from_utf8(&req.body) {
         Ok(s) => s,
         Err(_) => return bad_request(state, "body is not UTF-8"),
@@ -519,32 +806,41 @@ fn handle_bulk(state: &ServerState, req: &Request, idx: u64) -> Response {
         .and_then(Json::as_u64)
         .unwrap_or(10)
         .clamp(1, state.config.max_k as u64) as usize;
+    decode_span.finish();
 
-    let (faults, virtual_time) = faults_for(state, idx);
-    let mut clock = DeadlineClock::new(budget_ms(state, req), virtual_time);
-    clock.advance_ms(faults.admit_latency_ms);
-    if clock.expired() {
-        return deadline_response(state, Stage::Admit, &clock);
+    // -- search stage (bulk encodes inside its chunks) -------------------
+    let search_span = ctx.root.child(names::SPAN_STAGE_SEARCH);
+    search_span.annotate("deadline_remaining_ms", clock.deterministic_remaining_ms());
+    if faults.search_latency_ms > 0 {
+        search_span.annotate("fault_latency_ms", faults.search_latency_ms);
     }
     clock.advance_ms(faults.search_latency_ms);
     if faults.panic_in_search {
+        search_span.annotate("fault_panic", 1u64);
         // lint: allow(L001) fault-injected panic is this line's entire purpose
         panic!("injected fault: panic in bulk search (request {idx})");
     }
     if faults.backend_error {
+        search_span.annotate("fault_backend_error", 1u64);
         state.metrics.errors.inc();
         return Response::json(500, "{\"error\":\"backend error\"}".to_string());
     }
-    let batches = match state.service.try_bulk_lookup(&refs, k) {
+    let batches = match state.service.try_bulk_lookup_traced(&refs, k, &search_span) {
         Ok(b) => b,
         Err(_) => {
             state.metrics.errors.inc();
             return Response::json(500, "{\"error\":\"bulk lookup failed\"}".to_string());
         }
     };
+    search_span.annotate("rung", Rung::Full.name());
+    search_span.finish();
     if clock.expired() {
         return deadline_response(state, Stage::Search, &clock);
     }
+
+    // -- rank stage -----------------------------------------------------
+    let rank_span = ctx.root.child(names::SPAN_STAGE_RANK);
+    ctx.root.annotate("rung", Rung::Full.name());
     let mut out = String::from("{\"rung\":\"full\",\"degraded\":false,\"results\":[");
     for (i, hits) in batches.iter().enumerate() {
         if i > 0 {
@@ -555,5 +851,6 @@ fn handle_bulk(state: &ServerState, req: &Request, idx: u64) -> Response {
         out.push_str(&results_json(state, &scored));
     }
     out.push_str("]}");
+    rank_span.finish();
     Response::json(200, out)
 }

@@ -321,6 +321,7 @@ fn seeded_random_faults_never_crash_or_hang() {
             backend_error_prob: 0.25,
             poison_prob: 0.25,
             panic_prob: 0.15,
+            shed_prob: 0.0,
             virtual_time: true,
         }),
         ..ServeConfig::default()
@@ -365,6 +366,193 @@ fn malformed_requests_get_400_not_a_crash() {
     assert_eq!(resp.status, 404);
     assert!(counter(&registry, names::SERVE_ERRORS) >= 5);
     assert_eq!(client::get(addr, "/healthz").unwrap().status, 200);
+}
+
+/// Masks every `"<key>":<digits>` occurrence so span trees can be
+/// compared across pool widths (only thread ordinals may differ).
+fn mask_numeric_key(s: &str, key: &str) -> String {
+    let needle = format!("\"{key}\":");
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(pos) = rest.find(&needle) {
+        let (head, tail) = rest.split_at(pos + needle.len());
+        out.push_str(head);
+        out.push('T');
+        rest = tail.trim_start_matches(|c: char| c.is_ascii_digit());
+    }
+    out.push_str(rest);
+    out
+}
+
+#[test]
+fn traces_capture_stage_trees_and_honor_client_ids() {
+    let (server, registry) = start(ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    });
+    let addr = server.addr();
+    let (_, kg) = shared_model();
+    let body = format!("{{\"q\":\"{}\",\"k\":3}}", kg.label(emblookup_kg::EntityId(0)));
+
+    // A client-supplied trace id is echoed back and fetchable by id.
+    let resp = client::post_json(addr, "/lookup", &body, &[("x-emblookup-trace-id", "abc123")])
+        .unwrap();
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.header("x-emblookup-trace-id"), Some("0000000000abc123"));
+    let fetched = client::get(addr, "/debug/traces/abc123").unwrap();
+    assert_eq!(fetched.status, 200, "body: {}", fetched.body);
+    for span in [
+        "\"name\":\"serve.request\"",
+        "\"name\":\"stage.admit\"",
+        "\"name\":\"stage.decode\"",
+        "\"name\":\"stage.encode\"",
+        "\"name\":\"stage.search\"",
+        "\"name\":\"stage.rank\"",
+    ] {
+        assert!(fetched.body.contains(span), "missing {span} in:\n{}", fetched.body);
+    }
+    assert!(fetched.body.contains("\"backend\":"), "search span lacks backend annotation");
+    assert!(fetched.body.contains("\"visited\":"), "search span lacks visited annotation");
+
+    // Bulk requests fan pool.chunk spans out of the search stage.
+    let bulk = format!(
+        "{{\"queries\":[\"{}\",\"{}\",\"{}\"],\"k\":2}}",
+        kg.label(emblookup_kg::EntityId(1)),
+        kg.label(emblookup_kg::EntityId(2)),
+        kg.label(emblookup_kg::EntityId(3)),
+    );
+    let resp = client::post_json(addr, "/lookup/bulk", &bulk, &[("x-emblookup-trace-id", "beef")])
+        .unwrap();
+    assert_eq!(resp.status, 200);
+    let fetched = client::get(addr, "/debug/traces/beef").unwrap();
+    assert_eq!(fetched.status, 200);
+    assert!(
+        fetched.body.contains("\"name\":\"pool.chunk\""),
+        "bulk trace lacks pool.chunk spans:\n{}",
+        fetched.body
+    );
+
+    // Unknown and malformed ids are a 404, not a crash.
+    assert_eq!(client::get(addr, "/debug/traces/ffffffffffffffff").unwrap().status, 404);
+    assert_eq!(client::get(addr, "/debug/traces/zz").unwrap().status, 404);
+    assert_eq!(counter(&registry, names::TRACE_RECORDED), 2);
+    assert_eq!(counter(&registry, names::TRACE_DROPPED), 0);
+}
+
+/// A scripted storm with explicit slow threshold: one request per
+/// trigger class (plus clean ones), replayed identically at both pool
+/// widths.
+fn storm_config(workers: usize) -> ServeConfig {
+    ServeConfig {
+        workers,
+        default_deadline_ms: 100,
+        slow_trace_ms: 40,
+        faults: Some(FaultConfig::Scripted {
+            plan: vec![
+                StageFaults::default(),
+                StageFaults { encode_latency_ms: 60, ..StageFaults::default() },
+                StageFaults { shed: true, ..StageFaults::default() },
+                StageFaults { search_latency_ms: 30, ..StageFaults::default() },
+                StageFaults { backend_error: true, ..StageFaults::default() },
+                StageFaults { panic_in_search: true, ..StageFaults::default() },
+                StageFaults { admit_latency_ms: 300, ..StageFaults::default() },
+                StageFaults::default(),
+            ],
+            virtual_time: true,
+        }),
+        ..ServeConfig::default()
+    }
+}
+
+fn run_storm(addr: std::net::SocketAddr) -> Vec<u16> {
+    let (_, kg) = shared_model();
+    let mut statuses = Vec::new();
+    for i in 0..7u32 {
+        let body = format!("{{\"q\":\"{}\",\"k\":3}}", kg.label(emblookup_kg::EntityId(i % 4)));
+        statuses.push(client::post_json(addr, "/lookup", &body, &[]).unwrap().status);
+    }
+    let bulk = format!(
+        "{{\"queries\":[\"{}\",\"{}\"],\"k\":2}}",
+        kg.label(emblookup_kg::EntityId(0)),
+        kg.label(emblookup_kg::EntityId(1)),
+    );
+    statuses.push(client::post_json(addr, "/lookup/bulk", &bulk, &[]).unwrap().status);
+    statuses
+}
+
+#[test]
+fn fault_storm_retains_every_trigger_class() {
+    let (server, registry) = start(storm_config(2));
+    let addr = server.addr();
+    let statuses = run_storm(addr);
+    assert_eq!(statuses, vec![200, 200, 429, 200, 200, 500, 504, 200]);
+
+    let traces = client::get(addr, "/debug/traces").unwrap();
+    assert_eq!(traces.status, 200);
+    for trigger in ["slow", "shed", "degraded", "error", "panic"] {
+        assert!(
+            traces.body.contains(&format!("\"{trigger}\"")),
+            "no retained trace for trigger {trigger}:\n{}",
+            traces.body
+        );
+    }
+    // Every request (shed included) left a complete tree in the ring.
+    assert_eq!(counter(&registry, names::TRACE_RECORDED), 8);
+    assert!(counter(&registry, names::TRACE_RETAINED) >= 5);
+
+    // The Chrome export is valid JSON in trace_event shape.
+    let chrome = client::get(addr, "/debug/traces/chrome").unwrap();
+    assert_eq!(chrome.status, 200);
+    let parsed = emblookup_serve::json::parse(&chrome.body).expect("chrome export must parse");
+    let events = parsed.get("traceEvents").and_then(|v| v.as_arr().map(|a| a.len()));
+    assert!(events.is_some_and(|n| n > 0), "no traceEvents in:\n{}", chrome.body);
+    assert!(chrome.body.contains("\"ph\":\"X\""));
+}
+
+#[test]
+fn debug_traces_bit_identical_across_pool_widths() {
+    // The tracing extension of the §7 determinism contract: under the
+    // virtual-time fault clock the whole captured span forest — ids,
+    // names, durations, annotations, triggers — must match byte for
+    // byte between a single-threaded and a wide pool; only the thread
+    // ordinal of a span may differ.
+    let (narrow, _) = start(storm_config(1));
+    let (wide, _) = start(storm_config(4));
+    assert_eq!(run_storm(narrow.addr()), run_storm(wide.addr()));
+
+    let a = client::get(narrow.addr(), "/debug/traces").unwrap();
+    let b = client::get(wide.addr(), "/debug/traces").unwrap();
+    assert_eq!(a.status, 200);
+    assert_eq!(b.status, 200);
+    let mask = |s: &str| mask_numeric_key(s, "thread");
+    assert_eq!(mask(&a.body), mask(&b.body), "span forests diverged across widths");
+
+    let a = client::get(narrow.addr(), "/debug/traces/chrome").unwrap();
+    let b = client::get(wide.addr(), "/debug/traces/chrome").unwrap();
+    let mask = |s: &str| mask_numeric_key(s, "tid");
+    assert_eq!(mask(&a.body), mask(&b.body), "chrome exports diverged across widths");
+}
+
+#[test]
+fn latency_exemplar_resolves_to_a_fetchable_trace() {
+    let (server, _registry) = start(storm_config(2));
+    let addr = server.addr();
+    run_storm(addr);
+
+    let metrics = client::get(addr, "/metrics").unwrap();
+    let exemplar_line = metrics
+        .body
+        .lines()
+        .find(|l| l.starts_with("emblookup_serve_latency_seconds") && l.contains("trace_id="))
+        .unwrap_or_else(|| panic!("no exemplar on latency series:\n{}", metrics.body));
+    let id = exemplar_line
+        .split("trace_id=\"")
+        .nth(1)
+        .and_then(|rest| rest.split('"').next())
+        .expect("exemplar carries a trace id");
+    let fetched = client::get(addr, &format!("/debug/traces/{id}")).unwrap();
+    assert_eq!(fetched.status, 200, "exemplar trace {id} not fetchable");
+    assert!(fetched.body.contains(&format!("\"trace_id\":\"{id}\"")));
 }
 
 #[test]

@@ -17,6 +17,18 @@ fi
 echo "== cargo run --release -p emblookup-bench --bin repro -- $* =="
 cargo run --release --offline -p emblookup-bench --bin repro -- "$@"
 
+# Append this run to the perf trajectory. The timestamp comes from
+# `date` here at script level, keeping the in-process snapshot (and the
+# determinism gate over it) free of wall-clock reads.
+ts=$(date -u +%Y-%m-%dT%H:%M:%SZ)
+python3 - "$ts" BENCH_lookup.json >> BENCH_history.jsonl <<'PY'
+import json, sys
+with open(sys.argv[2]) as f:
+    snap = json.load(f)
+print(json.dumps({"timestamp": sys.argv[1], **snap}, separators=(",", ":")))
+PY
+echo "== appended run to BENCH_history.jsonl ($(wc -l < BENCH_history.jsonl) runs) =="
+
 python3 - "$prev" BENCH_lookup.json <<'PY'
 import json, sys
 

@@ -18,10 +18,13 @@ echo "== cargo test -q --offline (default threads) =="
 cargo test -q --offline
 
 # Serving-layer smoke: the integration suite drives a real server over
-# TCP — /healthz, /metrics (Prometheus text), /lookup through the
-# degradation ladder, shed-under-load (429), panic containment — and its
-# assertions (statuses, rung order, counter values, response bytes) must
-# hold at any pool width, so it runs under both thread configurations.
+# TCP — /healthz, /metrics (Prometheus text with trace-id exemplars),
+# /lookup through the degradation ladder, shed-under-load (429), panic
+# containment, and the /debug/traces flight recorder (per-trigger tail
+# sampling, Chrome export, byte-identical span forests across widths) —
+# and its assertions (statuses, rung order, counter values, response
+# bytes) must hold at any pool width, so it runs under both thread
+# configurations.
 echo "== serve smoke (EMBLOOKUP_THREADS=1) =="
 EMBLOOKUP_THREADS=1 cargo test -q --offline -p emblookup-serve --test server
 

@@ -7,11 +7,19 @@
 //! emblookup-cli serve    --kg kg.bin [--model model.bin] [--addr 127.0.0.1:7878]
 //! emblookup-cli query    --addr 127.0.0.1:7878 --query "germoney" [--k 10]
 //! emblookup-cli stats    --kg kg.bin
+//! emblookup-cli trace    --addr 127.0.0.1:7878 [--id <hex>] [--chrome]
 //! ```
+//!
+//! `trace` talks to the serve layer's flight recorder (DESIGN.md §9):
+//! without flags it lists retained + recent traces, `--id` pretty-prints
+//! one span tree, and `--chrome` dumps Chrome `trace_event` JSON that
+//! loads in `about:tracing` or <https://ui.perfetto.dev>.
 
 use emblookup::core::{EmbLookup, EmbLookupConfig, EmbLookupModel};
 use emblookup::kg::{generate, kg_from_bytes, kg_to_bytes, LookupService, SynthKgConfig};
+use emblookup::serve::json::{self, Json};
 use emblookup::serve::{client, ServeConfig, Server};
+use std::net::{SocketAddr, ToSocketAddrs};
 use std::process::ExitCode;
 use std::sync::Arc;
 
@@ -30,6 +38,7 @@ fn main() -> ExitCode {
         "serve" => cmd_serve(&args[1..]),
         "query" => cmd_query(&args[1..]),
         "stats" => cmd_stats(&args[1..]),
+        "trace" => cmd_trace(&args[1..]),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -55,7 +64,8 @@ USAGE:
   emblookup-cli serve    --kg <kg.bin> [--model <model.bin>] [--addr A] [--workers N]
                          [--queue-cap N] [--deadline-ms D] [--seed S]
   emblookup-cli query    --addr <host:port> --query <text> [--k K] [--deadline-ms D]
-  emblookup-cli stats    --kg <kg.bin>";
+  emblookup-cli stats    --kg <kg.bin>
+  emblookup-cli trace    --addr <host:port> [--id <hex>] [--chrome]";
 
 /// Reads `--name value` style flags.
 fn flag(args: &[String], name: &str) -> Option<String> {
@@ -215,4 +225,148 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
     let aliases: usize = kg.entities().map(|e| e.aliases.len()).sum();
     println!("aliases:    {aliases}");
     Ok(())
+}
+
+fn cmd_trace(args: &[String]) -> Result<(), String> {
+    let addr = required(args, "--addr")?;
+    let addr = resolve(&addr).ok_or_else(|| format!("cannot resolve address {addr:?}"))?;
+    let id = flag(args, "--id");
+    let chrome = args.iter().any(|a| a == "--chrome");
+    let path = match (&id, chrome) {
+        (Some(id), _) => format!("/debug/traces/{id}"),
+        (None, true) => "/debug/traces/chrome".to_string(),
+        (None, false) => "/debug/traces".to_string(),
+    };
+    let resp = client::get(addr, &path).map_err(|e| format!("GET {path} failed: {e}"))?;
+    if resp.status != 200 {
+        return Err(format!("GET {path} returned {}: {}", resp.status, resp.body));
+    }
+    if chrome && id.is_none() {
+        // Raw pass-through: the bytes are the artifact.
+        println!("{}", resp.body);
+        return Ok(());
+    }
+    let parsed = json::parse(&resp.body).map_err(|e| format!("unparseable response: {e}"))?;
+    if id.is_some() {
+        print_retained(&parsed);
+    } else {
+        print_listing(&parsed);
+    }
+    Ok(())
+}
+
+fn resolve(addr: &str) -> Option<SocketAddr> {
+    addr.to_socket_addrs().ok()?.next()
+}
+
+/// `{"retained":[…],"recent":[…]}` → a human summary.
+fn print_listing(listing: &Json) {
+    let retained = listing.get("retained").and_then(Json::as_arr).unwrap_or(&[]);
+    println!("retained traces ({}):", retained.len());
+    for entry in retained {
+        let triggers: Vec<&str> = entry
+            .get("triggers")
+            .and_then(Json::as_arr)
+            .unwrap_or(&[])
+            .iter()
+            .filter_map(Json::as_str)
+            .collect();
+        if let Some(trace) = entry.get("trace") {
+            let id = trace.get("trace_id").and_then(Json::as_str).unwrap_or("?");
+            let dur = trace.get("duration_ns").and_then(Json::as_u64).unwrap_or(0);
+            let spans = trace.get("spans").and_then(Json::as_arr).map_or(0, <[Json]>::len);
+            println!(
+                "  {id}  {:>10}  {spans:>3} spans  [{}]",
+                fmt_ns(dur),
+                triggers.join(",")
+            );
+        }
+    }
+    let recent: Vec<&str> = listing
+        .get("recent")
+        .and_then(Json::as_arr)
+        .unwrap_or(&[])
+        .iter()
+        .filter_map(Json::as_str)
+        .collect();
+    println!("recent trace ids in the ring ({}):", recent.len());
+    for id in recent {
+        println!("  {id}");
+    }
+    println!("\nfetch one with: emblookup-cli trace --addr <host:port> --id <hex>");
+}
+
+/// `{"triggers":[…],"trace":{…}}` → the span tree, indented by depth.
+fn print_retained(entry: &Json) {
+    let triggers: Vec<&str> = entry
+        .get("triggers")
+        .and_then(Json::as_arr)
+        .unwrap_or(&[])
+        .iter()
+        .filter_map(Json::as_str)
+        .collect();
+    let Some(trace) = entry.get("trace") else {
+        println!("(no trace body)");
+        return;
+    };
+    let id = trace.get("trace_id").and_then(Json::as_str).unwrap_or("?");
+    let dur = trace.get("duration_ns").and_then(Json::as_u64).unwrap_or(0);
+    println!("trace {id}  total {}  triggers [{}]", fmt_ns(dur), triggers.join(","));
+    let spans = trace.get("spans").and_then(Json::as_arr).unwrap_or(&[]);
+    // Spans arrive in creation order with parent ids, so one pass per
+    // subtree suffices; trees are a handful of spans deep.
+    print_children(spans, 0, 0);
+}
+
+fn print_children(spans: &[Json], parent: u64, depth: usize) {
+    for span in spans {
+        if span.get("parent").and_then(Json::as_u64) != Some(parent) {
+            continue;
+        }
+        let id = span.get("id").and_then(Json::as_u64).unwrap_or(0);
+        let name = span.get("name").and_then(Json::as_str).unwrap_or("?");
+        let dur = span.get("dur_ns").and_then(Json::as_u64).unwrap_or(0);
+        let self_ns = span.get("self_ns").and_then(Json::as_u64).unwrap_or(0);
+        let thread = span.get("thread").and_then(Json::as_u64).unwrap_or(0);
+        let annos = span.get("annotations").map_or(String::new(), fmt_annotations);
+        println!(
+            "{:indent$}{name}  dur {}  self {}  thread {thread}{annos}",
+            "",
+            fmt_ns(dur),
+            fmt_ns(self_ns),
+            indent = 2 + depth * 2,
+        );
+        print_children(spans, id, depth + 1);
+    }
+}
+
+fn fmt_annotations(annotations: &Json) -> String {
+    let Json::Obj(members) = annotations else {
+        return String::new();
+    };
+    if members.is_empty() {
+        return String::new();
+    }
+    let parts: Vec<String> = members
+        .iter()
+        .map(|(k, v)| match v {
+            Json::Str(s) => format!("{k}={s}"),
+            Json::Num(n) => format!("{k}={n}"),
+            other => format!("{k}={other:?}"),
+        })
+        .collect();
+    format!("  {{{}}}", parts.join(" "))
+}
+
+/// Nanoseconds as a compact human duration.
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
 }
