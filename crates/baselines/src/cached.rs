@@ -44,6 +44,7 @@ impl<S: LookupService> CachedService<S> {
     /// The memo table, recovered from poisoning: a panicking inner
     /// service must not wedge every later lookup.
     fn table(&self) -> MutexGuard<'_, HashMap<(String, usize), Vec<Candidate>>> {
+        // lint: allow(L002) the memo-cache baseline IS a locked table by design; the contention is part of what it measures
         self.cache.lock().unwrap_or_else(PoisonError::into_inner)
     }
 

@@ -7,7 +7,7 @@ use crate::catalog::{rank_candidates, MentionCatalog};
 use emblookup_kg::{Candidate, EntityId, KnowledgeGraph, LookupService};
 use emblookup_text::distance::qgrams;
 use emblookup_text::tokenize::{normalize, words};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// BM25 hyperparameters.
 const K1: f64 = 1.2;
@@ -36,7 +36,8 @@ impl Bm25Index {
         for doc in 0..docs {
             let terms = terms_of(doc);
             index.doc_len[doc] = terms.len() as u32;
-            let mut tf: HashMap<String, u32> = HashMap::new();
+            // BTreeMap: postings must be built in a stable term order (L008)
+            let mut tf: BTreeMap<String, u32> = BTreeMap::new();
             for t in terms {
                 *tf.entry(t).or_default() += 1;
             }
@@ -111,7 +112,8 @@ impl LookupService for ElasticLikeService {
         let qn = normalize(q);
         let word_scores = self.word_index.score(&words(&qn));
         let tri_scores = self.trigram_index.score(&qgrams(&qn, 3));
-        let mut combined: HashMap<u32, f64> = HashMap::new();
+        // BTreeMap: the collected sequence below escapes into ranking (L008)
+        let mut combined: BTreeMap<u32, f64> = BTreeMap::new();
         for (doc, s) in word_scores {
             *combined.entry(doc).or_default() += WORD_WEIGHT * s;
         }

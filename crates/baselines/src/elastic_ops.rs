@@ -77,11 +77,15 @@ impl ElasticOpService {
                 }
             }
         }
-        counts
+        // sorted before it escapes: callers must not inherit hash
+        // iteration order (L008)
+        let mut out: Vec<u32> = counts
             .into_iter()
             .filter(|&(_, c)| c >= min_shared)
             .map(|(i, _)| i)
-            .collect()
+            .collect();
+        out.sort_unstable();
+        out
     }
 }
 

@@ -6,7 +6,7 @@ use crate::catalog::{rank_candidates, MentionCatalog};
 use emblookup_kg::{Candidate, EntityId, KnowledgeGraph, LookupService};
 use emblookup_text::distance::{levenshtein_bounded, qgram_jaccard, token_set_ratio};
 use emblookup_text::tokenize::normalize;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Exact-match lookup over a normalized hash index.
 pub struct ExactMatchService {
@@ -112,7 +112,8 @@ impl LookupService for QGramService {
         grams.sort_unstable();
         grams.dedup();
         // candidate pre-filter: any shared q-gram
-        let mut counts: HashMap<u32, u32> = HashMap::new();
+        // BTreeMap: candidate order escapes into scoring (L008)
+        let mut counts: BTreeMap<u32, u32> = BTreeMap::new();
         for g in &grams {
             if let Some(list) = self.inverted.get(g) {
                 for &i in list {

@@ -65,6 +65,7 @@ impl EmbLookup {
     /// [`TrainError::NoTriplets`] when mining produces nothing to train
     /// on.
     pub fn try_train_on(kg: &KnowledgeGraph, config: EmbLookupConfig) -> Result<Self, TrainError> {
+        // lint: allow(L010) build entry point: validation errors allocate only on rejection, never per query
         config.validate().map_err(TrainError::InvalidConfig)?;
         if kg.num_entities() == 0 {
             return Err(TrainError::EmptyKg);
@@ -80,6 +81,7 @@ impl EmbLookup {
             let _s = emblookup_obs::Span::enter(names::TRAIN_FASTTEXT)
                 .field("dim", config.fasttext_dim as u64)
                 .field("epochs", config.fasttext_epochs as u64);
+            // lint: allow(L010) training entry point, not the per-query loop
             FastText::train(
                 &corpus,
                 FastTextConfig {
@@ -90,7 +92,9 @@ impl EmbLookup {
                 },
             )
         };
+        // lint: allow(L010) model assembly happens once per (re)train
         let mut model = EmbLookupModel::new(fasttext, config.clone());
+        // lint: allow(L010) triplet mining is training-time
         let triplets = mine_triplets(
             kg,
             &MiningConfig::with_budget(config.triplets_per_entity, config.seed),
@@ -98,6 +102,7 @@ impl EmbLookup {
         if triplets.is_empty() {
             return Err(TrainError::NoTriplets);
         }
+        // lint: allow(L010) training loop: progress events may print; never runs while serving
         let report = train(&mut model, &triplets);
         let index = EntityIndex::build(&model, kg, config.compression, num_threads());
         drop(total);

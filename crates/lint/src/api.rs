@@ -53,11 +53,24 @@ impl Snapshot {
     /// Adds one parsed file belonging to `krate`. `rel` is the
     /// workspace-relative path; `src_rel` the path inside `src/`.
     pub fn add_file(&mut self, krate: &str, rel: &str, src_rel: &str, sf: &SourceFile) {
-        if sf.class != FileClass::Lib {
+        self.add_items(krate, rel, src_rel, sf.class, &public_items(sf));
+    }
+
+    /// Variant over pre-extracted items (the facts/cache path, where no
+    /// parsed [`SourceFile`] exists).
+    pub fn add_items(
+        &mut self,
+        krate: &str,
+        rel: &str,
+        src_rel: &str,
+        class: FileClass,
+        items: &[crate::parser::ApiItem],
+    ) {
+        if class != FileClass::Lib {
             return; // binaries and benches have no library surface
         }
         let base = file_module(src_rel);
-        for item in public_items(sf) {
+        for item in items {
             let module = match (base.as_str(), item.module.as_str()) {
                 ("", "") => ".".to_string(),
                 ("", m) => m.to_string(),

@@ -1,0 +1,475 @@
+//! Incremental analysis cache: [`crate::facts::FileFacts`] round-trip
+//! keyed by content hash, stored under `target/emblookup-lint/`.
+//!
+//! The workspace driver hashes each file's bytes (FNV-1a 64); on a hit
+//! the cached facts are used verbatim and the file is neither re-lexed
+//! nor re-parsed. The cache is invalidated wholesale when the header
+//! version or the metric-name registry hash changes (L003 findings
+//! depend on the registry). The format is line-oriented,
+//! tab-separated with `\\`/`\t`/`\n` escapes; *any* malformed line
+//! discards the whole cache — correctness never depends on it, a stale
+//! or corrupt cache only costs a cold run. Writes go through a temp
+//! file + rename so a crashed run cannot leave a torn cache.
+
+use crate::callgraph::{CallFact, DetSite, FnFact, LockAcq, Seed};
+use crate::engine::{AllowDecl, FileClass, NameRegistry, Violation};
+use crate::facts::FileFacts;
+use crate::parser::{ApiItem, CrateRef, ImportMap};
+use std::collections::HashMap;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+const VERSION: &str = "emblookup-lint facts v2";
+
+/// FNV-1a 64-bit over raw bytes — stable, dependency-free, fast enough
+/// for whole-workspace hashing.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Hash of the metric-name registry (order is stable: `BTreeMap`).
+pub fn registry_hash(reg: &NameRegistry) -> u64 {
+    let mut buf = Vec::new();
+    for (k, v) in reg {
+        buf.extend_from_slice(k.as_bytes());
+        buf.push(0);
+        buf.extend_from_slice(v.as_bytes());
+        buf.push(0);
+    }
+    fnv1a(&buf)
+}
+
+/// Cache file location for a workspace root.
+pub fn cache_path(root: &Path) -> PathBuf {
+    root.join("target").join("emblookup-lint").join("facts-cache.tsv")
+}
+
+/// Loaded cache: `rel path → (content hash, facts)`.
+#[derive(Default)]
+pub struct Cache {
+    map: HashMap<String, (u64, FileFacts)>,
+}
+
+impl Cache {
+    /// Facts for `rel` if cached with exactly this content hash.
+    pub fn get(&self, rel: &str, hash: u64) -> Option<&FileFacts> {
+        self.map.get(rel).filter(|(h, _)| *h == hash).map(|(_, f)| f)
+    }
+
+    /// Number of cached files (diagnostics).
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn unesc(s: &str) -> Option<String> {
+    let mut out = String::with_capacity(s.len());
+    let mut it = s.chars();
+    while let Some(c) = it.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match it.next()? {
+            '\\' => out.push('\\'),
+            't' => out.push('\t'),
+            'n' => out.push('\n'),
+            'r' => out.push('\r'),
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+fn opt(s: &Option<String>) -> String {
+    match s {
+        None => "-".to_string(),
+        Some(v) => format!("+{}", esc(v)),
+    }
+}
+
+fn unopt(s: &str) -> Option<Option<String>> {
+    if s == "-" {
+        return Some(None);
+    }
+    s.strip_prefix('+').and_then(unesc).map(Some)
+}
+
+fn render_file(out: &mut String, hash: u64, f: &FileFacts) {
+    use std::fmt::Write as _;
+    let class = match f.class {
+        FileClass::Lib => "Lib",
+        FileClass::Bin => "Bin",
+    };
+    let _ = writeln!(
+        out,
+        "F\t{hash:016x}\t{}\t{}\t{}\t{class}\t{}",
+        esc(&f.rel),
+        esc(&f.src_rel),
+        esc(&f.krate),
+        u8::from(f.hot_path)
+    );
+    for a in &f.allows {
+        let _ = writeln!(out, "A\t{}\t{}", esc(&a.rule), a.line);
+    }
+    for v in &f.raw {
+        let _ = writeln!(
+            out,
+            "V\t{}\t{}\t{}\t{}",
+            v.line,
+            esc(&v.rule),
+            esc(&v.message),
+            opt(&v.suggestion)
+        );
+    }
+    for r in &f.refs {
+        let _ = writeln!(out, "R\t{}\t{}", esc(&r.krate), r.line);
+    }
+    for p in &f.api {
+        let _ = writeln!(out, "P\t{}\t{}\t{}", esc(&p.module), esc(&p.signature), p.line);
+    }
+    for (leaf, kr) in &f.imports.names {
+        let _ = writeln!(out, "I\t{}\t{}", esc(leaf), esc(kr));
+    }
+    for g in &f.imports.globs {
+        let _ = writeln!(out, "G\t{}", esc(g));
+    }
+    for fun in &f.fns {
+        let _ = writeln!(
+            out,
+            "N\t{}\t{}\t{}\t{}",
+            esc(&fun.name),
+            esc(&fun.self_ty),
+            fun.line,
+            u8::from(fun.is_test)
+        );
+        for c in &fun.calls {
+            let _ = writeln!(
+                out,
+                "C\t{}\t{}\t{}\t{}\t{}\t{}",
+                esc(&c.name),
+                esc(&c.qual),
+                esc(&c.recv),
+                u8::from(c.is_method),
+                c.line,
+                esc(&c.held.join(","))
+            );
+        }
+        for s in &fun.seeds {
+            let _ = writeln!(out, "S\t{}\t{}\t{}", s.effect, s.line, esc(&s.what));
+        }
+        for q in &fun.acquires {
+            let _ = writeln!(out, "Q\t{}\t{}\t{}", esc(&q.key), q.line, esc(&q.held.join(",")));
+        }
+        for d in &fun.det_sites {
+            let _ = writeln!(out, "D\t{}\t{}", d.line, esc(&d.what));
+        }
+        for (rule, decl_line) in &fun.seed_allows {
+            let _ = writeln!(out, "E\t{}\t{}", esc(rule), decl_line);
+        }
+    }
+}
+
+/// Serializes entries and writes them atomically (temp file + rename).
+pub fn save(root: &Path, reg_hash: u64, entries: &[(u64, &FileFacts)]) -> std::io::Result<()> {
+    let path = cache_path(root);
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut out = format!("{VERSION} {reg_hash:016x}\n");
+    for (hash, f) in entries {
+        render_file(&mut out, *hash, f);
+    }
+    let tmp = path.with_extension("tsv.tmp");
+    {
+        let mut w = std::fs::File::create(&tmp)?;
+        w.write_all(out.as_bytes())?;
+    }
+    std::fs::rename(&tmp, &path)
+}
+
+/// Loads the cache; returns an empty cache on any mismatch, parse
+/// error, or missing file.
+pub fn load(root: &Path, reg_hash: u64) -> Cache {
+    let Ok(text) = std::fs::read_to_string(cache_path(root)) else {
+        return Cache::default();
+    };
+    parse(&text, reg_hash).unwrap_or_default()
+}
+
+fn parse(text: &str, reg_hash: u64) -> Option<Cache> {
+    let mut lines = text.lines();
+    let header = lines.next()?;
+    if header != format!("{VERSION} {reg_hash:016x}") {
+        return None;
+    }
+    let mut map = HashMap::new();
+    let mut cur: Option<(u64, FileFacts)> = None;
+    for line in lines {
+        let fields: Vec<&str> = line.split('\t').collect();
+        match fields.first().copied()? {
+            "F" => {
+                if let Some((h, f)) = cur.take() {
+                    map.insert(f.rel.clone(), (h, f));
+                }
+                if fields.len() != 7 {
+                    return None;
+                }
+                let hash = u64::from_str_radix(fields[1], 16).ok()?;
+                let class = match fields[5] {
+                    "Lib" => FileClass::Lib,
+                    "Bin" => FileClass::Bin,
+                    _ => return None,
+                };
+                cur = Some((
+                    hash,
+                    FileFacts {
+                        rel: unesc(fields[2])?,
+                        src_rel: unesc(fields[3])?,
+                        krate: unesc(fields[4])?,
+                        class,
+                        hot_path: fields[6] == "1",
+                        allows: Vec::new(),
+                        raw: Vec::new(),
+                        refs: Vec::new(),
+                        api: Vec::new(),
+                        imports: ImportMap::default(),
+                        fns: Vec::new(),
+                    },
+                ));
+            }
+            "A" => {
+                let f = &mut cur.as_mut()?.1;
+                if fields.len() != 3 {
+                    return None;
+                }
+                f.allows
+                    .push(AllowDecl { rule: unesc(fields[1])?, line: fields[2].parse().ok()? });
+            }
+            "V" => {
+                let f = &mut cur.as_mut()?.1;
+                if fields.len() != 5 {
+                    return None;
+                }
+                let file = f.rel.clone();
+                f.raw.push(Violation {
+                    file,
+                    line: fields[1].parse().ok()?,
+                    rule: unesc(fields[2])?,
+                    message: unesc(fields[3])?,
+                    suggestion: unopt(fields[4])?,
+                });
+            }
+            "R" => {
+                let f = &mut cur.as_mut()?.1;
+                if fields.len() != 3 {
+                    return None;
+                }
+                f.refs.push(CrateRef { krate: unesc(fields[1])?, line: fields[2].parse().ok()? });
+            }
+            "P" => {
+                let f = &mut cur.as_mut()?.1;
+                if fields.len() != 4 {
+                    return None;
+                }
+                f.api.push(ApiItem {
+                    module: unesc(fields[1])?,
+                    signature: unesc(fields[2])?,
+                    line: fields[3].parse().ok()?,
+                });
+            }
+            "I" => {
+                let f = &mut cur.as_mut()?.1;
+                if fields.len() != 3 {
+                    return None;
+                }
+                f.imports.names.insert(unesc(fields[1])?, unesc(fields[2])?);
+            }
+            "G" => {
+                let f = &mut cur.as_mut()?.1;
+                if fields.len() != 2 {
+                    return None;
+                }
+                f.imports.globs.push(unesc(fields[1])?);
+            }
+            "N" => {
+                let f = &mut cur.as_mut()?.1;
+                if fields.len() != 5 {
+                    return None;
+                }
+                f.fns.push(FnFact {
+                    name: unesc(fields[1])?,
+                    self_ty: unesc(fields[2])?,
+                    line: fields[3].parse().ok()?,
+                    is_test: fields[4] == "1",
+                    calls: Vec::new(),
+                    seeds: Vec::new(),
+                    acquires: Vec::new(),
+                    det_sites: Vec::new(),
+                    seed_allows: Vec::new(),
+                });
+            }
+            "C" => {
+                let fun = cur.as_mut()?.1.fns.last_mut()?;
+                if fields.len() != 7 {
+                    return None;
+                }
+                fun.calls.push(CallFact {
+                    name: unesc(fields[1])?,
+                    qual: unesc(fields[2])?,
+                    recv: unesc(fields[3])?,
+                    is_method: fields[4] == "1",
+                    line: fields[5].parse().ok()?,
+                    held: split_held(&unesc(fields[6])?),
+                });
+            }
+            "S" => {
+                let fun = cur.as_mut()?.1.fns.last_mut()?;
+                if fields.len() != 4 {
+                    return None;
+                }
+                fun.seeds.push(Seed {
+                    effect: fields[1].parse().ok()?,
+                    line: fields[2].parse().ok()?,
+                    what: unesc(fields[3])?,
+                });
+            }
+            "Q" => {
+                let fun = cur.as_mut()?.1.fns.last_mut()?;
+                if fields.len() != 4 {
+                    return None;
+                }
+                fun.acquires.push(LockAcq {
+                    key: unesc(fields[1])?,
+                    line: fields[2].parse().ok()?,
+                    held: split_held(&unesc(fields[3])?),
+                });
+            }
+            "D" => {
+                let fun = cur.as_mut()?.1.fns.last_mut()?;
+                if fields.len() != 3 {
+                    return None;
+                }
+                fun.det_sites
+                    .push(DetSite { line: fields[1].parse().ok()?, what: unesc(fields[2])? });
+            }
+            "E" => {
+                let fun = cur.as_mut()?.1.fns.last_mut()?;
+                if fields.len() != 3 {
+                    return None;
+                }
+                fun.seed_allows.push((unesc(fields[1])?, fields[2].parse().ok()?));
+            }
+            _ => return None,
+        }
+    }
+    if let Some((h, f)) = cur.take() {
+        map.insert(f.rel.clone(), (h, f));
+    }
+    Some(Cache { map })
+}
+
+fn split_held(s: &str) -> Vec<String> {
+    if s.is_empty() {
+        Vec::new()
+    } else {
+        s.split(',').map(str::to_string).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FileFacts {
+        FileFacts::fixture(
+            "crates/kg/src/lib.rs",
+            "emblookup-kg",
+            "// lint: hot-path\n\
+             // lint: allow(L001) fixture\n\
+             use emblookup_obs::Obs;\n\
+             use std::collections::HashMap;\n\
+             pub fn f(m: &HashMap<u32, u32>, x: &std::sync::Mutex<u32>) -> Vec<u32> {\n\
+                 let g = x.lock();\n\
+                 // lint: allow(L002) fixture: exercise the seed-allow round trip\n\
+                 let s = format!(\"tab\\there\");\n\
+                 helper(s);\n\
+                 m.keys().copied().collect()\n\
+             }\n",
+        )
+    }
+
+    #[test]
+    fn facts_round_trip_exactly() {
+        let f = sample();
+        assert!(
+            f.fns[0].seed_allows.contains(&("L002".to_string(), 7)),
+            "fixture must exercise seed_allows: {:?}",
+            f.fns[0].seed_allows
+        );
+        let mut text = format!("{VERSION} {:016x}\n", 7u64);
+        render_file(&mut text, 42, &f);
+        let cache = parse(&text, 7).expect("parse back");
+        let back = cache.get("crates/kg/src/lib.rs", 42).expect("hit");
+        assert_eq!(back, &f);
+        assert!(cache.get("crates/kg/src/lib.rs", 43).is_none(), "hash mismatch must miss");
+    }
+
+    #[test]
+    fn version_or_registry_mismatch_discards() {
+        let f = sample();
+        let mut text = format!("{VERSION} {:016x}\n", 7u64);
+        render_file(&mut text, 42, &f);
+        assert!(parse(&text, 8).is_none(), "registry hash mismatch");
+        let stale = text.replace("facts v2", "facts v1");
+        assert!(parse(&stale, 7).is_none(), "version mismatch");
+    }
+
+    #[test]
+    fn any_malformed_line_discards_the_whole_cache() {
+        let f = sample();
+        let mut text = format!("{VERSION} {:016x}\n", 7u64);
+        render_file(&mut text, 42, &f);
+        text.push_str("Z\tbogus\n");
+        assert!(parse(&text, 7).is_none());
+    }
+
+    #[test]
+    fn save_and_load_through_the_filesystem() {
+        let root = std::env::temp_dir().join(format!("emblookup-lint-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(&root).expect("mkdir");
+        let f = sample();
+        save(&root, 9, &[(42, &f)]).expect("save");
+        let cache = load(&root, 9);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.get("crates/kg/src/lib.rs", 42), Some(&f));
+        // wrong registry hash → empty
+        assert!(load(&root, 10).is_empty());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

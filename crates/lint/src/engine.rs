@@ -18,12 +18,33 @@
 //! directive's own line and the next source line; the reason is mandatory.
 
 use crate::lexer::{lex, Token, TokenKind};
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, HashSet};
 
 /// All enforceable rules, in catalog order. L005 (layering) and L006
 /// (API drift) are workspace-level passes run by [`crate::workspace`];
-/// the rest are per-file passes on [`SourceFile`].
-pub const RULES: &[&str] = &["L001", "L002", "L003", "L004", "L005", "L006", "L007"];
+/// L008–L010 are the interprocedural passes in [`crate::rules`] fed by
+/// the call graph ([`crate::callgraph`]) and the effect lattice
+/// ([`crate::effects`]); the rest are per-file passes on [`SourceFile`].
+pub const RULES: &[&str] =
+    &["L001", "L002", "L003", "L004", "L005", "L006", "L007", "L008", "L009", "L010"];
+
+/// One `// lint: allow(Lxxx) reason` directive. It suppresses `rule` on
+/// its own line and the next source line; the stale-allow audit reports
+/// directives that never matched a diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowDecl {
+    /// Rule id the directive suppresses.
+    pub rule: String,
+    /// 1-based line of the directive comment.
+    pub line: u32,
+}
+
+impl AllowDecl {
+    /// True when this directive covers `rule` at `line`.
+    pub fn covers(&self, rule: &str, line: u32) -> bool {
+        self.rule == rule && (line == self.line || line == self.line + 1)
+    }
+}
 
 /// One diagnostic produced by a lint pass.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -90,8 +111,8 @@ pub struct SourceFile {
     test_ranges: Vec<(usize, usize)>,
     /// Whether the module carries a `// lint: hot-path` annotation.
     hot_path: bool,
-    /// rule id → lines where it is suppressed by an allow directive.
-    allows: HashMap<String, HashSet<u32>>,
+    /// Allow directives in declaration order.
+    allows: Vec<AllowDecl>,
     /// Malformed-directive diagnostics discovered during parsing.
     directive_errors: Vec<(u32, String)>,
 }
@@ -102,7 +123,7 @@ impl SourceFile {
         let tokens = lex(src);
         let test_ranges = find_test_ranges(&tokens);
         let mut hot_path = false;
-        let mut allows: HashMap<String, HashSet<u32>> = HashMap::new();
+        let mut allows: Vec<AllowDecl> = Vec::new();
         let mut directive_errors = Vec::new();
         for t in &tokens {
             if t.kind != TokenKind::LineComment {
@@ -133,9 +154,7 @@ impl SourceFile {
                         for id in ids.split(',') {
                             let id = id.trim();
                             if RULES.contains(&id) {
-                                let lines = allows.entry(id.to_string()).or_default();
-                                lines.insert(t.line);
-                                lines.insert(t.line + 1);
+                                allows.push(AllowDecl { rule: id.to_string(), line: t.line });
                             } else {
                                 directive_errors.push((
                                     t.line,
@@ -178,10 +197,22 @@ impl SourceFile {
     }
 
     /// True when rule `rule` is suppressed on `line` by an allow
-    /// directive. The workspace-level passes (L005/L006) consult this
-    /// before reporting, mirroring [`SourceFile::push`].
+    /// directive. The workspace-level passes consult this before
+    /// reporting.
     pub(crate) fn allowed(&self, rule: &str, line: u32) -> bool {
-        self.allows.get(rule).is_some_and(|l| l.contains(&line))
+        self.allows.iter().any(|d| d.covers(rule, line))
+    }
+
+    /// The file's allow directives, in declaration order — the raw
+    /// material of the central suppression pass and the stale-allow
+    /// audit.
+    pub(crate) fn allow_decls(&self) -> &[AllowDecl] {
+        &self.allows
+    }
+
+    /// Whether the file is a `// lint: hot-path` module.
+    pub(crate) fn is_hot_path(&self) -> bool {
+        self.hot_path
     }
 
     /// Previous non-comment token before `idx`.
@@ -198,8 +229,21 @@ impl SourceFile {
             .nth(nth - 1)
     }
 
-    /// Runs every pass over this file.
+    /// Runs every pass over this file and applies the file's allow
+    /// directives — the fixture-test entry point. The workspace driver
+    /// uses [`SourceFile::check_raw`] instead and suppresses centrally
+    /// so allow usage can be audited.
     pub fn check(&self, registry: &NameRegistry) -> Vec<Violation> {
+        self.check_raw(registry)
+            .into_iter()
+            .filter(|v| v.rule == "L000" || !self.allowed(&v.rule, v.line))
+            .collect()
+    }
+
+    /// Runs every per-file pass without applying allow directives.
+    /// `L000` directive errors are included (they are never
+    /// suppressible).
+    pub fn check_raw(&self, registry: &NameRegistry) -> Vec<Violation> {
         let mut out = Vec::new();
         for (line, message) in &self.directive_errors {
             out.push(Violation {
@@ -227,15 +271,13 @@ impl SourceFile {
         message: String,
         suggestion: Option<String>,
     ) {
-        if !self.allowed(rule, line) {
-            out.push(Violation {
-                file: self.path.clone(),
-                line,
-                rule: rule.to_string(),
-                message,
-                suggestion,
-            });
-        }
+        out.push(Violation {
+            file: self.path.clone(),
+            line,
+            rule: rule.to_string(),
+            message,
+            suggestion,
+        });
     }
 
     fn check_l001(&self, out: &mut Vec<Violation>) {

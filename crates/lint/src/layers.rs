@@ -118,16 +118,21 @@ pub fn check_manifests(manifests: &[Manifest]) -> Vec<Violation> {
 /// Checks one source file's `emblookup_*::` references against the DAG.
 /// `krate` is the owning package name (dash form); `refs` come from
 /// [`crate::parser::crate_refs`] and exclude test regions already.
+/// Violations are raw — the workspace driver applies `allow(L005)`
+/// directives centrally so their usage can be audited.
 pub fn check_source(sf: &SourceFile, krate: &str, refs: &[CrateRef]) -> Vec<Violation> {
+    check_refs(&sf.path, krate, refs)
+}
+
+/// Path-based variant of [`check_source`] for pre-extracted facts (the
+/// incremental cache path, where no parsed [`SourceFile`] exists).
+pub fn check_refs(path: &str, krate: &str, refs: &[CrateRef]) -> Vec<Violation> {
     let mut out = Vec::new();
     for r in refs {
         let dep = r.krate.replace('_', "-");
         if let Err(why) = judge(krate, &dep) {
-            if sf.allowed("L005", r.line) {
-                continue;
-            }
             out.push(Violation {
-                file: sf.path.clone(),
+                file: path.to_string(),
                 line: r.line,
                 rule: "L005".to_string(),
                 message: format!("use of `{}::` — {why}", r.krate),
@@ -229,10 +234,15 @@ mod tests {
     }
 
     #[test]
-    fn allow_directive_suppresses_source_violation() {
+    fn check_source_reports_raw_violations_even_when_allowed() {
+        // Suppression is central (workspace::check matches allow
+        // directives against raw violations so it can audit stale
+        // allows); the layering pass itself stays raw.
         let src = "// lint: allow(L005) transitional: moving to core in PR 9\nuse emblookup_core::EmbLookup;\npub fn f() {}\n";
         let sf = SourceFile::parse("crates/tensor/src/lib.rs", src);
         let refs = crate_refs(&sf);
-        assert!(check_source(&sf, "emblookup-tensor", &refs).is_empty());
+        let v = check_source(&sf, "emblookup-tensor", &refs);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "L005");
     }
 }

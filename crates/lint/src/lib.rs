@@ -13,11 +13,22 @@
 //!   against the declared layer DAG (L005, [`layers`]) and public-API
 //!   drift gating against the checked-in `API.lock` (L006, [`api`]),
 //!   fed by the [`cargo`] manifest reader and [`parser`] item extractor.
+//! * **Interprocedural** ([`rules`]): a workspace call graph
+//!   ([`callgraph`]) with a propagated effect lattice ([`effects`])
+//!   drives determinism analysis (L008), lock-order/pool-interaction
+//!   discipline (L009) and transitive hot-path effect gating (L010),
+//!   with diagnostics that print the offending call chain.
+//!
+//! Per-file analysis results round-trip through an incremental
+//! content-hash cache ([`cache`], under `target/emblookup-lint/`);
+//! allow-directive suppression is applied centrally by [`workspace`]
+//! so stale directives can be audited.
 //!
 //! The `emblookup-lint` binary walks `crates/*/src` and `src/`
-//! ([`walk`]), renders text or golden-stable JSON ([`report`]) and can
-//! rewrite metric-name literals in place ([`fix`]). It is wired into
-//! `scripts/ci.sh` as a hard gate (with `--api-check`).
+//! ([`walk`]), renders text or golden-stable JSON ([`report`]), can
+//! rewrite metric-name literals in place ([`fix`]) and explains any
+//! rule via `--explain Lxxx` (from the [`rules::RULE_DOCS`] table). It
+//! is wired into `scripts/ci.sh` as a hard gate (with `--api-check`).
 //!
 //! See CONTRIBUTING.md ("Static analysis") for the rule catalog, the
 //! `// lint: allow(Lxxx) reason` escape-hatch policy and the
@@ -26,18 +37,24 @@
 #![warn(missing_docs)]
 
 pub mod api;
+pub mod cache;
+pub mod callgraph;
 pub mod cargo;
+pub mod effects;
 pub mod engine;
+pub mod facts;
 pub mod fix;
 pub mod layers;
 pub mod lexer;
 pub mod parser;
 pub mod report;
+pub mod rules;
 pub mod walk;
 pub mod workspace;
 
 pub use engine::{classify, obs_name_registry, FileClass, NameRegistry, SourceFile, Violation};
-pub use workspace::Workspace;
+pub use facts::FileFacts;
+pub use workspace::{Report, Workspace};
 
 /// Lints a single in-memory source file against the obs name registry —
 /// the entry point the fixture tests use. Runs the per-file passes

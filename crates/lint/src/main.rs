@@ -3,9 +3,10 @@
 //! usage/IO error.
 //!
 //! ```text
-//! emblookup-lint [--root DIR] [--format text|json]
+//! emblookup-lint [--root DIR] [--format text|json] [--no-cache]
 //!                [--api-check | --api-bless]
 //!                [--fix-metric-names [--write]]
+//! emblookup-lint --explain Lxxx
 //! ```
 //!
 //! * `--api-check` additionally diffs the current public-API snapshot
@@ -16,6 +17,15 @@
 //!   literal onto its `emblookup_obs::names` constant; with `--write`
 //!   the files are rewritten in place (idempotently) and the report
 //!   reflects the rewritten tree.
+//! * `--explain Lxxx` prints the rule's rationale, an offending example
+//!   and the escape-hatch policy from the in-source rule-doc table.
+//! * `--no-cache` bypasses the incremental fact cache under
+//!   `target/emblookup-lint/` (a cached run reports identical
+//!   diagnostics; the flag exists for debugging and the CI identity
+//!   test).
+//!
+//! Advisory warnings (the stale-allow audit) are printed after the
+//! violations and never affect the exit code.
 //!
 //! # JSON output schema (`--format json`)
 //!
@@ -25,17 +35,20 @@
 //! {"violations":[
 //!    {"file":"crates/x/src/lib.rs","line":3,"rule":"L001",
 //!     "message":"…","suggestion":"…"}],
+//!  "warnings":[],
 //!  "files_checked":42,
 //!  "rule_counts":{"L000":0,"L001":1,"L002":0,"L003":0,"L004":0,
-//!                 "L005":0,"L006":0,"L007":0}}
+//!                 "L005":0,"L006":0,"L007":0,"L008":0,"L009":0,
+//!                 "L010":0}}
 //! ```
 //!
 //! `violations` is sorted by (file, line, rule); `suggestion` appears
 //! only on violations that carry one (L003 literals with a registered
-//! constant); `rule_counts` always lists every catalog rule, zeros
-//! included, in catalog order.
+//! constant); `warnings` holds the advisory stale-allow audit;
+//! `rule_counts` always lists every catalog rule, zeros included, in
+//! catalog order.
 
-use emblookup_lint::{api, fix, obs_name_registry, report, walk, workspace, Workspace};
+use emblookup_lint::{api, fix, obs_name_registry, report, rules, walk, workspace, Workspace};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -46,6 +59,8 @@ struct Options {
     write: bool,
     api_check: bool,
     api_bless: bool,
+    no_cache: bool,
+    explain: Option<String>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -56,6 +71,8 @@ fn parse_args() -> Result<Options, String> {
         write: false,
         api_check: false,
         api_bless: false,
+        no_cache: false,
+        explain: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -73,11 +90,18 @@ fn parse_args() -> Result<Options, String> {
             "--write" => opts.write = true,
             "--api-check" => opts.api_check = true,
             "--api-bless" => opts.api_bless = true,
+            "--no-cache" => opts.no_cache = true,
+            "--explain" => {
+                let v = args.next().ok_or("--explain requires a rule id (e.g. L008)")?;
+                opts.explain = Some(v);
+            }
             "--help" | "-h" => {
                 println!(
-                    "emblookup-lint [--root DIR] [--format text|json] [--api-check | --api-bless] [--fix-metric-names [--write]]\n\
+                    "emblookup-lint [--root DIR] [--format text|json] [--no-cache] [--api-check | --api-bless] [--fix-metric-names [--write]] | --explain Lxxx\n\
                      Repo-specific lints: L001 panic-freedom, L002 hot-path, L003 metric names,\n\
-                     L004 TODO hygiene, L005 crate layering, L006 API drift (API.lock), L007 float discipline."
+                     L004 TODO hygiene, L005 crate layering, L006 API drift (API.lock), L007 float discipline,\n\
+                     L008 determinism, L009 lock discipline, L010 interprocedural hot-path effects.\n\
+                     `--explain Lxxx` prints any rule's rationale, example and escape-hatch policy."
                 );
                 std::process::exit(0);
             }
@@ -95,6 +119,18 @@ fn parse_args() -> Result<Options, String> {
 
 fn run() -> Result<ExitCode, String> {
     let opts = parse_args()?;
+    if let Some(id) = &opts.explain {
+        return match rules::explain(id) {
+            Some(text) => {
+                println!("{text}");
+                Ok(ExitCode::SUCCESS)
+            }
+            None => Err(format!(
+                "unknown rule `{id}`; known rules: {}",
+                rules::RULE_DOCS.iter().map(|d| d.id).collect::<Vec<_>>().join(", ")
+            )),
+        };
+    }
     let cwd = std::env::current_dir().map_err(|e| format!("cwd: {e}"))?;
     let root = match opts.root {
         Some(r) => r,
@@ -102,7 +138,8 @@ fn run() -> Result<ExitCode, String> {
             .ok_or("no workspace root found (run inside the repo or pass --root)")?,
     };
     let registry = obs_name_registry();
-    let mut ws = Workspace::load(&root)?;
+    let use_cache = !opts.no_cache;
+    let mut ws = Workspace::load(&root, &registry, use_cache)?;
 
     if opts.api_bless {
         let snapshot = ws.api_snapshot();
@@ -133,10 +170,12 @@ fn run() -> Result<ExitCode, String> {
         }
         println!("--fix-metric-names: {rewritten} file(s) rewritten");
         // report on the rewritten tree
-        ws = Workspace::load(&root)?;
+        ws = Workspace::load(&root, &registry, use_cache)?;
     }
 
-    let mut violations = ws.check(&registry);
+    let report = ws.check();
+    let mut violations = report.violations;
+    let warnings = report.warnings;
     if opts.api_check {
         let lock_path = root.join(api::LOCK_FILE);
         let lock_text = std::fs::read_to_string(&lock_path).map_err(|e| {
@@ -150,17 +189,24 @@ fn run() -> Result<ExitCode, String> {
     }
 
     if opts.json {
-        println!("{}", report::render_json(&violations, ws.files.len()));
+        println!("{}", report::render_json(&violations, &warnings, ws.files.len()));
     } else {
         for v in &violations {
             println!("{}:{}: {}: {}", v.file, v.line, v.rule, v.message);
         }
+        for w in &warnings {
+            println!("{}:{}: warning: {}", w.file, w.line, w.message);
+        }
         println!("emblookup-lint: {}", report::render_rule_summary(&violations));
         println!(
-            "emblookup-lint: {} files checked, {} violation{}{}",
+            "emblookup-lint: {} files checked ({} cached, {} cold), {} violation{}, {} warning{}{}",
             ws.files.len(),
+            ws.cache_hits,
+            ws.cache_misses,
             violations.len(),
             if violations.len() == 1 { "" } else { "s" },
+            warnings.len(),
+            if warnings.len() == 1 { "" } else { "s" },
             if opts.api_check { " (API.lock checked)" } else { "" }
         );
     }

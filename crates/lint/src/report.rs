@@ -43,17 +43,38 @@ pub fn rule_counts(violations: &[Violation]) -> Vec<(&'static str, usize)> {
 ///     {"file": "crates/x/src/lib.rs", "line": 3, "rule": "L001",
 ///      "message": "…", "suggestion": "…"}
 ///   ],
+///   "warnings": [
+///     {"file": "crates/x/src/lib.rs", "line": 9, "rule": "L000",
+///      "message": "stale `// lint: allow(L001)`: …"}
+///   ],
 ///   "files_checked": 42,
 ///   "rule_counts": {"L000": 0, "L001": 1, "…": 0}
 /// }
 /// ```
 ///
 /// `suggestion` is present only when the violation carries one (today:
-/// L003 literals that map onto a registered constant). `rule_counts`
+/// L003 literals that map onto a registered constant). `warnings` holds
+/// advisory findings (the stale-allow audit) that do not affect the
+/// exit code and are not counted in `rule_counts`. `rule_counts`
 /// always lists every catalog rule, zeros included, in catalog order.
-pub fn render_json(violations: &[Violation], files_checked: usize) -> String {
+pub fn render_json(violations: &[Violation], warnings: &[Violation], files_checked: usize) -> String {
     let mut out = String::from("{\"violations\":[");
-    for (i, v) in violations.iter().enumerate() {
+    render_items(&mut out, violations);
+    out.push_str("],\"warnings\":[");
+    render_items(&mut out, warnings);
+    out.push_str(&format!("],\"files_checked\":{files_checked},\"rule_counts\":{{"));
+    for (i, (rule, n)) in rule_counts(violations).iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{rule}\":{n}"));
+    }
+    out.push_str("}}");
+    out
+}
+
+fn render_items(out: &mut String, items: &[Violation]) {
+    for (i, v) in items.iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
@@ -69,15 +90,6 @@ pub fn render_json(violations: &[Violation], files_checked: usize) -> String {
         }
         out.push('}');
     }
-    out.push_str(&format!("],\"files_checked\":{files_checked},\"rule_counts\":{{"));
-    for (i, (rule, n)) in rule_counts(violations).iter().enumerate() {
-        if i > 0 {
-            out.push(',');
-        }
-        out.push_str(&format!("\"{rule}\":{n}"));
-    }
-    out.push_str("}}");
-    out
 }
 
 /// Renders the one-line per-rule summary for the text report and CI
@@ -118,10 +130,12 @@ mod tests {
     #[test]
     fn json_escapes_and_orders_fields() {
         let vs = vec![v("a\"b.rs", 7, "L001", Some("X"))];
-        let j = render_json(&vs, 3);
+        let ws = vec![v("w.rs", 2, "L000", None)];
+        let j = render_json(&vs, &ws, 3);
         assert!(j.starts_with("{\"violations\":["));
         assert!(j.contains("\"file\":\"a\\\"b.rs\""));
         assert!(j.contains("\"suggestion\":\"X\""));
+        assert!(j.contains("\"warnings\":[{\"file\":\"w.rs\""));
         assert!(j.contains("\"files_checked\":3"));
         assert!(j.contains("\"rule_counts\":{\"L000\":0,\"L001\":1,"));
     }

@@ -1,0 +1,228 @@
+//! L010 — interprocedural hot-path effects: functions in
+//! `// lint: hot-path` files must be *transitively* panic-, lock- and
+//! allocation-free. The textual L002 already polices the file itself;
+//! this rule walks the propagated effect lattice so an allocating
+//! helper one crate over no longer slips through, and prints the
+//! offending call chain with file:line per hop.
+
+use crate::callgraph::CallGraph;
+use crate::effects::{bit_name, Effects, ALLOC, LOCKS, PANICS};
+use crate::engine::Violation;
+use std::collections::BTreeSet;
+
+/// Effect bits gated on hot paths.
+pub const GATE: u8 = PANICS | LOCKS | ALLOC;
+
+/// Reports every call from a hot-path function to a callee carrying a
+/// gated effect. Local seeds are L001/L002's territory (textual,
+/// per-file); this rule owns the edges.
+pub fn check(g: &CallGraph, fx: &Effects) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (i, node) in g.nodes.iter().enumerate() {
+        if !node.hot {
+            continue;
+        }
+        let mut seen: BTreeSet<(u32, u8)> = BTreeSet::new();
+        for (ci, cands) in g.resolved[i].iter().enumerate() {
+            let call = &node.fact.calls[ci];
+            for &j in cands {
+                if j == i {
+                    continue;
+                }
+                let bad = fx.effects[j] & GATE;
+                if bad == 0 {
+                    continue;
+                }
+                for bit in [PANICS, LOCKS, ALLOC] {
+                    if bad & bit == 0 || !seen.insert((call.line, bit)) {
+                        continue;
+                    }
+                    out.push(Violation {
+                        file: node.file.clone(),
+                        line: call.line,
+                        rule: "L010".to_string(),
+                        message: format!(
+                            "hot-path `{}` calls `{}`, which transitively {}: `{}` ({}:{}) → {}",
+                            node.fact.name,
+                            call.name,
+                            bit_name(bit),
+                            node.fact.name,
+                            node.file,
+                            call.line,
+                            fx.chain(g, j, bit)
+                        ),
+                        suggestion: None,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::effects::propagate;
+    use crate::facts::FileFacts;
+
+    fn run(files: Vec<FileFacts>) -> Vec<Violation> {
+        let mut names: Vec<String> = files.iter().map(|f| f.krate.clone()).collect();
+        names.sort();
+        names.dedup();
+        let manifests: Vec<_> = names
+            .iter()
+            .map(|k| {
+                let dir = format!("crates/{}", k.trim_start_matches("emblookup-"));
+                let mut text = format!("[package]\nname = \"{k}\"\n[dependencies]\n");
+                for other in &names {
+                    if other != k {
+                        text.push_str(&format!("{other}.workspace = true\n"));
+                    }
+                }
+                crate::cargo::parse_manifest(
+                    &format!("{dir}/Cargo.toml"),
+                    std::path::Path::new(&dir),
+                    &text,
+                )
+                .expect("fixture manifest")
+            })
+            .collect();
+        let g = CallGraph::build(&manifests, &files);
+        let fx = propagate(&g);
+        check(&g, &fx)
+    }
+
+    #[test]
+    fn golden_cross_crate_allocation_chain() {
+        let kg = "\
+pub fn describe(n: u32) -> String { format!(\"node {n}\") }
+";
+        let ann = "\
+// lint: hot-path
+use emblookup_kg::describe;
+pub fn score(n: u32) -> usize { label(n) }
+pub fn label(n: u32) -> usize { describe(n).len() }
+";
+        let v = run(vec![
+            FileFacts::fixture("crates/kg/src/lib.rs", "emblookup-kg", kg),
+            FileFacts::fixture("crates/ann/src/flat.rs", "emblookup-ann", ann),
+        ]);
+        // `score → label` and `label → describe` both cross into an
+        // allocating chain; the leaf hop carries the seed description
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().all(|x| x.rule == "L010"));
+        let leaf = v.iter().find(|x| x.message.contains("calls `describe`")).expect("leaf edge");
+        assert!(
+            leaf.message.contains("transitively allocates"),
+            "{}",
+            leaf.message
+        );
+        assert!(
+            leaf.message
+                .contains("`describe` (crates/kg/src/lib.rs:1: `format!` allocates)"),
+            "chain must end at the seed with file:line — {}",
+            leaf.message
+        );
+        let edge = v.iter().find(|x| x.message.contains("calls `label`")).expect("inner edge");
+        assert!(
+            edge.message.contains("`score` (crates/ann/src/flat.rs:3)")
+                && edge.message.contains("`label` (crates/ann/src/flat.rs:4)"),
+            "full chain with one file:line per hop — {}",
+            edge.message
+        );
+    }
+
+    #[test]
+    fn justified_leaf_allow_absolves_hot_callers() {
+        let kg = "\
+pub fn describe(n: u32) -> String {
+    // lint: allow(L002) cold diagnostics path, never per-query
+    format!(\"node {n}\")
+}
+";
+        let ann = "\
+// lint: hot-path
+use emblookup_kg::describe;
+pub fn score(n: u32) -> usize { describe(n).len() }
+";
+        let v = run(vec![
+            FileFacts::fixture("crates/kg/src/lib.rs", "emblookup-kg", kg),
+            FileFacts::fixture("crates/ann/src/flat.rs", "emblookup-ann", ann),
+        ]);
+        assert!(v.is_empty(), "leaf allow must suppress the seed: {v:?}");
+    }
+
+    #[test]
+    fn trait_method_over_approximation_reaches_all_impls() {
+        let kg = "\
+pub struct Fast;
+pub struct Slow;
+impl Fast { pub fn describe(&self) -> u32 { 1 } }
+impl Slow { pub fn describe(&self) -> u32 { let s = format!(\"x\"); s.len() as u32 } }
+";
+        let ann = "\
+// lint: hot-path
+pub fn score(d: &dyn Descr) -> u32 { d.describe() }
+";
+        let v = run(vec![
+            FileFacts::fixture("crates/kg/src/lib.rs", "emblookup-kg", kg),
+            FileFacts::fixture("crates/ann/src/flat.rs", "emblookup-ann", ann),
+        ]);
+        // `d.describe()` over-approximates to both impls; `Slow`'s
+        // allocation makes the call suspect
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("transitively allocates"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn clean_hot_path_is_silent() {
+        let ann = "\
+// lint: hot-path
+pub fn score(xs: &[f32]) -> f32 { acc(xs) }
+pub fn acc(xs: &[f32]) -> f32 { let mut s = 0.0; for x in xs { s += *x; } s }
+";
+        let v = run(vec![FileFacts::fixture("crates/ann/src/flat.rs", "emblookup-ann", ann)]);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn resolved_lock_helper_carries_its_own_allow() {
+        // the pool pattern: a poison-tolerant `lock()` helper whose
+        // `.lock()` seed carries the one documented allow. A `lock(…)`
+        // call that resolves to it flows through the edge instead of
+        // re-seeding at the call site, so hot callers stay clean.
+        let pool = "\
+// lint: hot-path
+// lint: allow(L002) bounded critical sections are the pool design
+fn lock(m: &std::sync::Mutex<u32>) -> u32 { *m.lock().unwrap_or_else(e) }
+pub fn depth(m: &std::sync::Mutex<u32>) -> u32 { lock(m) }
+";
+        let v = run(vec![FileFacts::fixture("crates/pool/src/lib.rs", "emblookup-pool", pool)]);
+        let locks: Vec<_> = v.iter().filter(|x| x.message.contains("locks")).collect();
+        assert!(locks.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn unresolved_lock_idiom_still_seeds_at_the_call_site() {
+        // no local `lock` definition: the call-site seed stands in,
+        // and the hot caller one hop up inherits it
+        let pool = "pub fn depth(m: &M) -> u32 { lock(m) }\n";
+        let ann = "\
+// lint: hot-path
+use emblookup_pool::depth;
+pub fn probe(m: &M) -> u32 { depth(m) }
+";
+        let v = run(vec![
+            FileFacts::fixture("crates/pool/src/lib.rs", "emblookup-pool", pool),
+            FileFacts::fixture("crates/ann/src/flat.rs", "emblookup-ann", ann),
+        ]);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("transitively locks"), "{}", v[0].message);
+        assert!(
+            v[0].message.contains("`lock(…)` acquires a mutex"),
+            "chain must end at the idiom seed — {}",
+            v[0].message
+        );
+    }
+}

@@ -1,28 +1,26 @@
 //! Workspace-level analysis: loads every manifest and lintable source
-//! file once, then runs the per-file passes (L001–L004, L007), the
-//! layering pass (L005) and the API snapshot (L006) over the shared
-//! model. This is what the `emblookup-lint` binary drives.
+//! file once (through the incremental fact cache when enabled), then
+//! runs the per-file passes (L001–L004, L007), the layering pass
+//! (L005), the interprocedural rules (L008–L010) and the API snapshot
+//! (L006) over the shared model. This is what the `emblookup-lint`
+//! binary drives.
+//!
+//! Allow-directive suppression is **central**: every pass returns raw
+//! violations, and this module matches them against the owning file's
+//! `// lint: allow` directives. That single choke point is what makes
+//! the stale-allow audit possible — a directive that suppressed
+//! nothing anywhere in the run is reported as a warning. Manifest-side
+//! L005 violations and L000 directive errors bypass suppression by
+//! construction.
 
 use crate::api::Snapshot;
+use crate::cache;
 use crate::cargo::{read_manifests, Manifest};
-use crate::engine::{NameRegistry, SourceFile, Violation};
-use crate::parser::crate_refs;
-use crate::{layers, walk};
+use crate::engine::{NameRegistry, Violation};
+use crate::facts::FileFacts;
+use crate::{layers, rules, walk};
+use std::collections::{HashMap, HashSet};
 use std::path::{Path, PathBuf};
-
-/// One lintable source file with its owning crate resolved.
-pub struct WorkspaceFile {
-    /// Workspace-relative display path (`crates/ann/src/topk.rs`).
-    pub rel: String,
-    /// Path inside the owning crate's `src/` (`topk.rs`); drives the
-    /// module-path derivation of the API snapshot.
-    pub src_rel: String,
-    /// Owning package name (`emblookup-ann`); empty when the file sits
-    /// outside any known package.
-    pub krate: String,
-    /// Lexed and analyzed source.
-    pub source: SourceFile,
-}
 
 /// The loaded workspace model.
 pub struct Workspace {
@@ -30,48 +28,149 @@ pub struct Workspace {
     pub root: PathBuf,
     /// Parsed member manifests (root package + `crates/*`).
     pub manifests: Vec<Manifest>,
-    /// Parsed source files, sorted by path.
-    pub files: Vec<WorkspaceFile>,
+    /// Extracted per-file facts, sorted by path.
+    pub files: Vec<FileFacts>,
+    /// Files served from the incremental cache.
+    pub cache_hits: usize,
+    /// Files analyzed cold this run.
+    pub cache_misses: usize,
+}
+
+/// Outcome of a full check: hard errors and advisory warnings.
+pub struct Report {
+    /// Rule violations after central allow suppression (exit-code 1).
+    pub violations: Vec<Violation>,
+    /// Stale-allow audit findings (advisory, rule `L000`).
+    pub warnings: Vec<Violation>,
 }
 
 impl Workspace {
-    /// Reads manifests and sources under `root`.
-    pub fn load(root: &Path) -> Result<Workspace, String> {
+    /// Reads manifests and sources under `root`, extracting facts for
+    /// each file — via the content-hash cache under
+    /// `target/emblookup-lint/` unless `use_cache` is false. The cache
+    /// is refreshed (best-effort) after a run with any misses.
+    pub fn load(root: &Path, registry: &NameRegistry, use_cache: bool) -> Result<Workspace, String> {
         let manifests = read_manifests(root)
             .map_err(|e| format!("reading manifests under {}: {e}", root.display()))?;
         let rels = walk::lintable_files(root)
             .map_err(|e| format!("walking {}: {e}", root.display()))?;
+        let reg_hash = cache::registry_hash(registry);
+        let cached = if use_cache { cache::load(root, reg_hash) } else { cache::Cache::default() };
         let mut files = Vec::with_capacity(rels.len());
+        let mut hashes = Vec::with_capacity(rels.len());
+        let mut hits = 0usize;
+        let mut misses = 0usize;
         for rel_path in rels {
             let rel = rel_path.to_string_lossy().replace('\\', "/");
             let src = std::fs::read_to_string(root.join(&rel_path))
                 .map_err(|e| format!("reading {rel}: {e}"))?;
+            let hash = cache::fnv1a(src.as_bytes());
             let (krate, src_rel) = owner(&manifests, &rel);
-            files.push(WorkspaceFile {
-                source: SourceFile::parse(&rel, &src),
-                rel,
-                src_rel,
-                krate,
-            });
+            match cached.get(&rel, hash) {
+                Some(f) if f.krate == krate && f.src_rel == src_rel => {
+                    files.push(f.clone());
+                    hits += 1;
+                }
+                _ => {
+                    files.push(FileFacts::extract(&rel, &src_rel, &krate, &src, registry));
+                    misses += 1;
+                }
+            }
+            hashes.push(hash);
         }
-        Ok(Workspace { root: root.to_path_buf(), manifests, files })
+        if use_cache && misses > 0 {
+            let entries: Vec<(u64, &FileFacts)> =
+                hashes.iter().copied().zip(files.iter()).collect();
+            // best-effort: a read-only target/ only costs the next run
+            let _ = cache::save(root, reg_hash, &entries);
+        }
+        Ok(Workspace {
+            root: root.to_path_buf(),
+            manifests,
+            files,
+            cache_hits: hits,
+            cache_misses: misses,
+        })
     }
 
-    /// Runs every per-file pass plus L005 layering. (L006 runs
-    /// separately via [`Workspace::api_snapshot`] + [`crate::api::diff`]
-    /// because it needs the checked-in lockfile.)
-    pub fn check(&self, registry: &NameRegistry) -> Vec<Violation> {
-        let mut out = Vec::new();
-        out.extend(layers::check_manifests(&self.manifests));
+    /// In-memory constructor for fixture tests: no filesystem, no
+    /// cache.
+    pub fn from_parts(manifests: Vec<Manifest>, files: Vec<FileFacts>) -> Workspace {
+        let misses = files.len();
+        Workspace { root: PathBuf::new(), manifests, files, cache_hits: 0, cache_misses: misses }
+    }
+
+    /// Runs every pass and applies allow suppression centrally. (L006
+    /// runs separately via [`Workspace::api_snapshot`] +
+    /// [`crate::api::diff`] because it needs the checked-in lockfile.)
+    pub fn check(&self) -> Report {
+        // manifest-side L005: no source line to hang an allow on —
+        // never suppressible
+        let mut violations = layers::check_manifests(&self.manifests);
+
+        // raw per-file + layering + interprocedural findings
+        let mut raw: Vec<Violation> = Vec::new();
         for f in &self.files {
-            out.extend(f.source.check(registry));
+            raw.extend(f.raw.iter().cloned());
             if !f.krate.is_empty() {
-                let refs = crate_refs(&f.source);
-                out.extend(layers::check_source(&f.source, &f.krate, &refs));
+                raw.extend(layers::check_refs(&f.rel, &f.krate, &f.refs));
             }
         }
-        sort(&mut out);
-        out
+        raw.extend(rules::run(&self.manifests, &self.files));
+
+        // central suppression + usage tracking
+        let by_rel: HashMap<&str, &FileFacts> =
+            self.files.iter().map(|f| (f.rel.as_str(), f)).collect();
+        let mut used: HashSet<(String, String, u32)> = HashSet::new();
+        // allows consumed at seed level (a justified leaf allow absolves
+        // transitive callers — see callgraph::Scanner::seed) are used
+        // even though no central violation matches them
+        for f in &self.files {
+            for fun in &f.fns {
+                for (rule, decl_line) in &fun.seed_allows {
+                    used.insert((f.rel.clone(), rule.clone(), *decl_line));
+                }
+            }
+        }
+        for v in raw {
+            if v.rule == "L000" {
+                violations.push(v);
+                continue;
+            }
+            let decl = by_rel
+                .get(v.file.as_str())
+                .and_then(|f| f.allows.iter().find(|d| d.covers(&v.rule, v.line)));
+            match decl {
+                Some(d) => {
+                    used.insert((v.file.clone(), d.rule.clone(), d.line));
+                }
+                None => violations.push(v),
+            }
+        }
+
+        // stale-allow audit: directives that suppressed nothing
+        let mut warnings = Vec::new();
+        for f in &self.files {
+            for d in &f.allows {
+                if !used.contains(&(f.rel.clone(), d.rule.clone(), d.line)) {
+                    warnings.push(Violation {
+                        file: f.rel.clone(),
+                        line: d.line,
+                        rule: "L000".to_string(),
+                        message: format!(
+                            "stale `// lint: allow({})`: no {} diagnostic here any more; \
+                             remove the directive",
+                            d.rule, d.rule
+                        ),
+                        suggestion: None,
+                    });
+                }
+            }
+        }
+
+        sort(&mut violations);
+        sort(&mut warnings);
+        Report { violations, warnings }
     }
 
     /// Builds the current public-API snapshot over every library file.
@@ -81,7 +180,7 @@ impl Workspace {
             if f.krate.is_empty() {
                 continue;
             }
-            snap.add_file(&f.krate, &f.rel, &f.src_rel, &f.source);
+            snap.add_items(&f.krate, &f.rel, &f.src_rel, f.class, &f.api);
         }
         snap
     }
@@ -139,5 +238,57 @@ mod tests {
             ("emblookup".to_string(), "lib.rs".to_string())
         );
         assert_eq!(owner(&ms, "crates/unknown/src/lib.rs").0, "");
+    }
+
+    #[test]
+    fn central_suppression_covers_layering_and_tracks_usage() {
+        let src = "// lint: allow(L005) transitional: moving to core in PR 9\n\
+                   use emblookup_core::EmbLookup;\npub fn f() {}\n";
+        let f = FileFacts::fixture("crates/tensor/src/lib.rs", "emblookup-tensor", src);
+        let ws = Workspace::from_parts(
+            vec![manifest("emblookup-tensor", "crates/tensor"), manifest("emblookup-core", "crates/core")],
+            vec![f],
+        );
+        let report = ws.check();
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        assert!(report.warnings.is_empty(), "used allow must not be stale: {:?}", report.warnings);
+    }
+
+    #[test]
+    fn stale_allow_is_warned_not_errored() {
+        let src = "// lint: allow(L001) left over from a removed unwrap\npub fn f() {}\n";
+        let f = FileFacts::fixture("crates/kg/src/lib.rs", "emblookup-kg", src);
+        let ws = Workspace::from_parts(vec![manifest("emblookup-kg", "crates/kg")], vec![f]);
+        let report = ws.check();
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        assert_eq!(report.warnings.len(), 1, "{:?}", report.warnings);
+        assert_eq!(report.warnings[0].rule, "L000");
+        assert_eq!(report.warnings[0].line, 1);
+        assert!(report.warnings[0].message.contains("stale"), "{}", report.warnings[0].message);
+    }
+
+    #[test]
+    fn interprocedural_rules_run_through_check() {
+        let hot = "// lint: hot-path\nuse emblookup_kg::describe;\n\
+                   pub fn score(n: u32) -> usize { describe(n).len() }\n";
+        let leaf = "pub fn describe(n: u32) -> String { format!(\"node {n}\") }\n";
+        let kg = manifest("emblookup-kg", "crates/kg");
+        let ann = parse_manifest(
+            "crates/ann/Cargo.toml",
+            Path::new("crates/ann"),
+            "[package]\nname = \"emblookup-ann\"\n[dependencies]\nemblookup-kg.workspace = true\n",
+        )
+        .expect("manifest");
+        let ws = Workspace::from_parts(
+            vec![kg, ann],
+            vec![
+                FileFacts::fixture("crates/kg/src/lib.rs", "emblookup-kg", leaf),
+                FileFacts::fixture("crates/ann/src/flat.rs", "emblookup-ann", hot),
+            ],
+        );
+        let report = ws.check();
+        let l010: Vec<_> = report.violations.iter().filter(|v| v.rule == "L010").collect();
+        assert_eq!(l010.len(), 1, "{:?}", report.violations);
+        assert!(l010[0].message.contains("transitively allocates"), "{}", l010[0].message);
     }
 }

@@ -306,7 +306,7 @@ fn l007_integer_comparisons_are_clean() {
 fn json_report_is_golden_stable() {
     let src = "pub fn f(x: Option<u32>) -> u32 {\n    emblookup_obs::global().counter(\"train.epochs\");\n    x.unwrap()\n}\n";
     let violations = lint_source("crates/demo/src/a \"b.rs", src);
-    let got = emblookup_lint::report::render_json(&violations, 1);
+    let got = emblookup_lint::report::render_json(&violations, &[], 1);
     let want = concat!(
         "{\"violations\":[",
         "{\"file\":\"crates/demo/src/a \\\"b.rs\",\"line\":2,\"rule\":\"L003\",",
@@ -314,8 +314,9 @@ fn json_report_is_golden_stable() {
         "\"suggestion\":\"TRAIN_EPOCHS\"},",
         "{\"file\":\"crates/demo/src/a \\\"b.rs\",\"line\":3,\"rule\":\"L001\",",
         "\"message\":\".unwrap() can panic; propagate a Result or add `// lint: allow(L001) reason`\"}",
-        "],\"files_checked\":1,",
-        "\"rule_counts\":{\"L000\":0,\"L001\":1,\"L002\":0,\"L003\":1,\"L004\":0,\"L005\":0,\"L006\":0,\"L007\":0}}"
+        "],\"warnings\":[],\"files_checked\":1,",
+        "\"rule_counts\":{\"L000\":0,\"L001\":1,\"L002\":0,\"L003\":1,\"L004\":0,\"L005\":0,\"L006\":0,",
+        "\"L007\":0,\"L008\":0,\"L009\":0,\"L010\":0}}"
     );
     assert_eq!(got, want);
 }
@@ -334,4 +335,78 @@ fn fix_write_round_trips_and_relints_clean() {
     assert!(emblookup_lint::fix::rewrite_source(LIB, &fixed, &registry).is_none());
     // and the result re-lints clean
     assert_eq!(rules_at(LIB, &fixed), vec![]);
+}
+
+// ---------------------------------------------------------------------
+// incremental fact cache: a cached run must report exactly what a cold
+// run reports
+
+#[test]
+fn cached_run_reports_identical_diagnostics_to_cold_run() {
+    use emblookup_lint::engine::obs_name_registry;
+    use emblookup_lint::workspace::Workspace;
+    use std::fs;
+
+    let root = std::env::temp_dir().join(format!("emblookup-lint-cache-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&root);
+    fs::create_dir_all(root.join("crates/kg/src")).expect("mkdir");
+    fs::create_dir_all(root.join("crates/ann/src")).expect("mkdir");
+    fs::write(
+        root.join("Cargo.toml"),
+        "[package]\nname = \"emblookup\"\n[workspace]\nmembers = [\"crates/*\"]\n",
+    )
+    .expect("write");
+    fs::create_dir_all(root.join("src")).expect("mkdir");
+    fs::write(root.join("src/lib.rs"), "pub use emblookup_kg::describe;\n").expect("write");
+    fs::write(
+        root.join("crates/kg/Cargo.toml"),
+        "[package]\nname = \"emblookup-kg\"\n",
+    )
+    .expect("write");
+    fs::write(
+        root.join("crates/kg/src/lib.rs"),
+        "pub fn describe(n: u32) -> String { format!(\"node {n}\") }\n",
+    )
+    .expect("write");
+    fs::write(
+        root.join("crates/ann/Cargo.toml"),
+        "[package]\nname = \"emblookup-ann\"\n[dependencies]\nemblookup-kg.workspace = true\n",
+    )
+    .expect("write");
+    fs::write(
+        root.join("crates/ann/src/flat.rs"),
+        "// lint: hot-path\nuse emblookup_kg::describe;\n\
+         // lint: allow(L005) fixture: stale on purpose\n\
+         pub fn score(n: u32) -> usize { describe(n).len() }\n\
+         pub fn dead(x: Option<u32>) -> u32 { x.unwrap() }\n",
+    )
+    .expect("write");
+
+    let registry = obs_name_registry();
+    let cold_ws = Workspace::load(&root, &registry, true).expect("cold load");
+    assert_eq!(cold_ws.cache_hits, 0, "first run must be fully cold");
+    let cold = cold_ws.check();
+
+    let warm_ws = Workspace::load(&root, &registry, true).expect("warm load");
+    assert!(warm_ws.cache_misses == 0, "second run must be fully cached");
+    assert!(warm_ws.cache_hits > 0);
+    let warm = warm_ws.check();
+
+    // the fixture exercises raw per-file rules (L001), interprocedural
+    // effects (L010) and the stale-allow audit — all must round-trip
+    let key = |v: &emblookup_lint::engine::Violation| {
+        (v.file.clone(), v.line, v.rule.clone(), v.message.clone())
+    };
+    assert!(!cold.violations.is_empty(), "fixture must produce diagnostics");
+    assert!(!cold.warnings.is_empty(), "fixture must produce a stale-allow warning");
+    assert_eq!(
+        cold.violations.iter().map(key).collect::<Vec<_>>(),
+        warm.violations.iter().map(key).collect::<Vec<_>>()
+    );
+    assert_eq!(
+        cold.warnings.iter().map(key).collect::<Vec<_>>(),
+        warm.warnings.iter().map(key).collect::<Vec<_>>()
+    );
+
+    let _ = fs::remove_dir_all(&root);
 }

@@ -139,6 +139,7 @@ pub fn clear_subscriber() {
 /// Sends an event to the installed subscriber, if any.
 pub fn emit(event: &Event<'_>) {
     // Uncontended read lock; None is the common case and returns at once.
+    // lint: allow(L002) uncontended read lock; no subscriber installed is the common case
     if let Some(sub) = SUBSCRIBER.read().unwrap_or_else(PoisonError::into_inner).as_ref() {
         sub.on_event(event);
     }

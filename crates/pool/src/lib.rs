@@ -54,6 +54,7 @@ use std::time::Duration;
 /// every critical section is a plain field update and task panics are
 /// already contained by `catch_unwind` before completion bookkeeping.
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    // lint: allow(L002) the pool's bounded critical sections are its documented design (DESIGN.md: work-stealing pool); every other lock in the workspace must justify itself
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
@@ -68,16 +69,19 @@ pub struct TaskPanic {
 impl TaskPanic {
     fn from_payload(payload: &(dyn Any + Send)) -> Self {
         let message = if let Some(s) = payload.downcast_ref::<&str>() {
+            // lint: allow(L002) panic error path: a worker task already panicked, the copy is for the report
             (*s).to_owned()
         } else if let Some(s) = payload.downcast_ref::<String>() {
             s.clone()
         } else {
+            // lint: allow(L002) panic error path: a worker task already panicked, the copy is for the report
             "task panicked".to_owned()
         };
         TaskPanic { message }
     }
 
     fn resume(self) -> ! {
+        // lint: allow(L002) panic resume path: re-throws a captured worker panic
         panic::resume_unwind(Box::new(self.message))
     }
 }

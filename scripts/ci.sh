@@ -34,11 +34,24 @@ cargo test -q --offline -p emblookup-serve --test server
 echo "== cargo clippy -- -D warnings =="
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
-echo "== emblookup-lint --api-check (L001-L007 incl. layering, API drift, float discipline) =="
-# Hard gate: exits 1 with file:line diagnostics on any violation. Prints a
-# per-rule violation count summary (zeros included); --api-check diffs the
-# public-API snapshot against API.lock (bless with --api-bless); the
-# --fix-metric-names dry run prints the literal→constant plan for the log.
-cargo run -q -p emblookup-lint --release --offline -- --api-check --fix-metric-names
+echo "== emblookup-lint --api-check (L001-L010 incl. layering, API drift, interprocedural effects) =="
+# Hard gate: exits 1 with file:line diagnostics on any violation — this
+# includes the interprocedural rules (L008 determinism, L009 lock
+# discipline, L010 hot-path effects), whose diagnostics print the full
+# call chain with file:line per hop. Prints a per-rule violation count
+# summary (zeros included); --api-check diffs the public-API snapshot
+# against API.lock (bless with --api-bless); the --fix-metric-names dry
+# run prints the literal→constant plan for the log. The full pass
+# (including the whole-workspace fixed point) must finish within a 30 s
+# wall-clock budget so the gate stays cheap enough to run on every push;
+# --no-cache keeps the timing honest on warm checkouts.
+lint_start=$(date +%s)
+cargo run -q -p emblookup-lint --release --offline -- --no-cache --api-check --fix-metric-names
+lint_elapsed=$(( $(date +%s) - lint_start ))
+echo "emblookup-lint: full pass took ${lint_elapsed}s (budget 30s)"
+if [ "$lint_elapsed" -gt 30 ]; then
+    echo "ci.sh: FAIL — lint pass exceeded the 30s wall-clock budget" >&2
+    exit 1
+fi
 
 echo "ci.sh: all checks passed"
