@@ -22,7 +22,9 @@ pub struct CachedService<S: LookupService> {
     // lint: allow(L002) the memo table needs shared interior mutability; one short critical section per query, amortized by hits
     cache: Mutex<HashMap<(String, usize), Vec<Candidate>>>,
     name: String,
+    // lint: atomic(counter) statistics only
     hits: AtomicU64,
+    // lint: atomic(counter) statistics only
     misses: AtomicU64,
 }
 

@@ -12,14 +12,15 @@
 //! file + rename so a crashed run cannot leave a torn cache.
 
 use crate::callgraph::{CallFact, DetSite, FnFact, LockAcq, Seed};
-use crate::engine::{AllowDecl, FileClass, NameRegistry, Violation};
+use crate::dataflow::{AtomicAccess, AtomicDecl, WriteSite};
+use crate::engine::{AllowDecl, AtomicMark, FileClass, NameRegistry, Violation};
 use crate::facts::FileFacts;
 use crate::parser::{ApiItem, CrateRef, ImportMap};
 use std::collections::HashMap;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
-const VERSION: &str = "emblookup-lint facts v2";
+const VERSION: &str = "emblookup-lint facts v3";
 
 /// FNV-1a 64-bit over raw bytes — stable, dependency-free, fast enough
 /// for whole-workspace hashing.
@@ -158,14 +159,38 @@ fn render_file(out: &mut String, hash: u64, f: &FileFacts) {
     for g in &f.imports.globs {
         let _ = writeln!(out, "G\t{}", esc(g));
     }
-    for fun in &f.fns {
+    for a in &f.atomics {
         let _ = writeln!(
             out,
-            "N\t{}\t{}\t{}\t{}",
+            "B\t{}\t{}\t{}\t{}\t{}",
+            esc(&a.name),
+            esc(&a.ty),
+            esc(&a.protocol),
+            u8::from(a.declared),
+            a.line
+        );
+    }
+    for m in &f.atomic_marks {
+        let _ = writeln!(out, "K\t{}\t{}", esc(&m.protocol), m.line);
+    }
+    for t in &f.arc_types {
+        let _ = writeln!(out, "U\t{}", esc(t));
+    }
+    for s in &f.statics {
+        let _ = writeln!(out, "M\t{}", esc(s));
+    }
+    for fun in &f.fns {
+        let checks: Vec<String> = fun.deadline_checks.iter().map(u32::to_string).collect();
+        let _ = writeln!(
+            out,
+            "N\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
             esc(&fun.name),
             esc(&fun.self_ty),
             fun.line,
-            u8::from(fun.is_test)
+            u8::from(fun.is_test),
+            u8::from(fun.mut_self),
+            u8::from(fun.deadline_param),
+            checks.join(",")
         );
         for c in &fun.calls {
             let _ = writeln!(
@@ -190,6 +215,19 @@ fn render_file(out: &mut String, hash: u64, f: &FileFacts) {
         }
         for (rule, decl_line) in &fun.seed_allows {
             let _ = writeln!(out, "E\t{}\t{}", esc(rule), decl_line);
+        }
+        for t in &fun.atomic_accesses {
+            let _ = writeln!(
+                out,
+                "T\t{}\t{}\t{}\t{}",
+                esc(&t.field),
+                esc(&t.method),
+                esc(&t.orderings.join(",")),
+                t.line
+            );
+        }
+        for w in &fun.writes {
+            let _ = writeln!(out, "W\t{}\t{}\t{}", esc(&w.target), w.line, esc(&w.held.join(",")));
         }
     }
 }
@@ -259,6 +297,10 @@ fn parse(text: &str, reg_hash: u64) -> Option<Cache> {
                         api: Vec::new(),
                         imports: ImportMap::default(),
                         fns: Vec::new(),
+                        atomics: Vec::new(),
+                        atomic_marks: Vec::new(),
+                        arc_types: Vec::new(),
+                        statics: Vec::new(),
                     },
                 ));
             }
@@ -316,10 +358,51 @@ fn parse(text: &str, reg_hash: u64) -> Option<Cache> {
                 }
                 f.imports.globs.push(unesc(fields[1])?);
             }
+            "B" => {
+                let f = &mut cur.as_mut()?.1;
+                if fields.len() != 6 {
+                    return None;
+                }
+                f.atomics.push(AtomicDecl {
+                    name: unesc(fields[1])?,
+                    ty: unesc(fields[2])?,
+                    protocol: unesc(fields[3])?,
+                    declared: fields[4] == "1",
+                    line: fields[5].parse().ok()?,
+                });
+            }
+            "K" => {
+                let f = &mut cur.as_mut()?.1;
+                if fields.len() != 3 {
+                    return None;
+                }
+                f.atomic_marks
+                    .push(AtomicMark { protocol: unesc(fields[1])?, line: fields[2].parse().ok()? });
+            }
+            "U" => {
+                let f = &mut cur.as_mut()?.1;
+                if fields.len() != 2 {
+                    return None;
+                }
+                f.arc_types.push(unesc(fields[1])?);
+            }
+            "M" => {
+                let f = &mut cur.as_mut()?.1;
+                if fields.len() != 2 {
+                    return None;
+                }
+                f.statics.push(unesc(fields[1])?);
+            }
             "N" => {
                 let f = &mut cur.as_mut()?.1;
-                if fields.len() != 5 {
+                if fields.len() != 8 {
                     return None;
+                }
+                let mut deadline_checks = Vec::new();
+                if !fields[7].is_empty() {
+                    for part in fields[7].split(',') {
+                        deadline_checks.push(part.parse().ok()?);
+                    }
                 }
                 f.fns.push(FnFact {
                     name: unesc(fields[1])?,
@@ -331,6 +414,11 @@ fn parse(text: &str, reg_hash: u64) -> Option<Cache> {
                     acquires: Vec::new(),
                     det_sites: Vec::new(),
                     seed_allows: Vec::new(),
+                    mut_self: fields[5] == "1",
+                    deadline_param: fields[6] == "1",
+                    deadline_checks,
+                    atomic_accesses: Vec::new(),
+                    writes: Vec::new(),
                 });
             }
             "C" => {
@@ -384,6 +472,29 @@ fn parse(text: &str, reg_hash: u64) -> Option<Cache> {
                 }
                 fun.seed_allows.push((unesc(fields[1])?, fields[2].parse().ok()?));
             }
+            "T" => {
+                let fun = cur.as_mut()?.1.fns.last_mut()?;
+                if fields.len() != 5 {
+                    return None;
+                }
+                fun.atomic_accesses.push(AtomicAccess {
+                    field: unesc(fields[1])?,
+                    method: unesc(fields[2])?,
+                    orderings: split_held(&unesc(fields[3])?),
+                    line: fields[4].parse().ok()?,
+                });
+            }
+            "W" => {
+                let fun = cur.as_mut()?.1.fns.last_mut()?;
+                if fields.len() != 4 {
+                    return None;
+                }
+                fun.writes.push(WriteSite {
+                    target: unesc(fields[1])?,
+                    line: fields[2].parse().ok()?,
+                    held: split_held(&unesc(fields[3])?),
+                });
+            }
             _ => return None,
         }
     }
@@ -419,7 +530,18 @@ mod tests {
                  let s = format!(\"tab\\there\");\n\
                  helper(s);\n\
                  m.keys().copied().collect()\n\
-             }\n",
+             }\n\
+             // lint: atomic(flag) publishes shutdown\n\
+             pub struct St { stop: AtomicBool }\n\
+             static TICKS: u64 = 0;\n\
+             impl St {\n\
+                 pub fn run(&self, clock: &DeadlineClock) {\n\
+                     if clock.expired() { return; }\n\
+                     self.stop.store(true, Ordering::Release);\n\
+                     self.cursor = 3;\n\
+                 }\n\
+             }\n\
+             pub fn share(p: Arc<St>) {}\n",
         )
     }
 
@@ -431,6 +553,16 @@ mod tests {
             "fixture must exercise seed_allows: {:?}",
             f.fns[0].seed_allows
         );
+        // the fixture must exercise every dataflow fact the v3 format adds
+        assert_eq!(f.atomics.len(), 1, "{:?}", f.atomics);
+        assert!(f.atomics[0].declared && f.atomics[0].protocol == "flag");
+        assert_eq!(f.atomic_marks.len(), 1);
+        assert_eq!(f.arc_types, vec!["St".to_string()]);
+        assert_eq!(f.statics, vec!["TICKS".to_string()]);
+        let run = f.fns.iter().find(|x| x.name == "run").expect("run fn");
+        assert!(run.deadline_param && run.deadline_checks.len() == 1);
+        assert_eq!(run.atomic_accesses.len(), 1);
+        assert_eq!(run.writes.len(), 1);
         let mut text = format!("{VERSION} {:016x}\n", 7u64);
         render_file(&mut text, 42, &f);
         let cache = parse(&text, 7).expect("parse back");
@@ -445,7 +577,7 @@ mod tests {
         let mut text = format!("{VERSION} {:016x}\n", 7u64);
         render_file(&mut text, 42, &f);
         assert!(parse(&text, 8).is_none(), "registry hash mismatch");
-        let stale = text.replace("facts v2", "facts v1");
+        let stale = text.replace("facts v3", "facts v2");
         assert!(parse(&stale, 7).is_none(), "version mismatch");
     }
 

@@ -1,0 +1,492 @@
+//! Intra-procedural concurrency dataflow: the facts behind the three
+//! protocol rules.
+//!
+//! This module owns the *model* — what an atomic protocol is, which
+//! orderings each protocol admits per operation, and the per-file scans
+//! that bind declarations to protocols — while the scanner in
+//! [`crate::callgraph`] collects the per-function *sites* (atomic
+//! accesses, shared-state writes, deadline checks) and the rules in
+//! [`crate::rules`] join the two:
+//!
+//! | rule | fact joined |
+//! |------|-------------|
+//! | L011 | [`AtomicDecl`] × [`AtomicAccess`] against the ordering table |
+//! | L012 | deadline params/checks × BLOCKS/POOLWAIT/SUBMITS sites over the call graph |
+//! | L013 | [`WriteSite`] × `Arc`-shared types / `static` roots |
+//!
+//! ## Protocol ordering tables
+//!
+//! A protocol names the synchronization discipline a field participates
+//! in; the table says which `Ordering` each operation may use. `✓` = any
+//! ordering (including `Relaxed`).
+//!
+//! | protocol | load | store | rmw |
+//! |----------|------|-------|-----|
+//! | `counter` | ✓ | ✓ | ✓ |
+//! | `flag` | Acquire/SeqCst | Release/SeqCst | non-Relaxed |
+//! | `seqlock` | Acquire/SeqCst | Release/SeqCst | non-Relaxed (CAS success) |
+//! | `ring_head` | Acquire/SeqCst | Release/SeqCst | Release/AcqRel/SeqCst |
+//! | `refcount` | ✓ | Release/SeqCst | `fetch_add` ✓, `fetch_sub` Release/AcqRel/SeqCst |
+//!
+//! Rationale: `counter` is a monotonic statistic nobody synchronizes
+//! through, so `Relaxed` is sufficient. A `flag` publishes data written
+//! before the store, so the store must Release and readers must Acquire.
+//! `seqlock` covers both the version word and the data slots of a
+//! sequence lock under a uniform Acquire-load / Release-store
+//! discipline: if a reader's data load synchronizes-with a concurrent
+//! writer's Release data store, the writer's earlier odd-version RMW is
+//! also visible, so the reader's Acquire recheck of the version word
+//! must observe the odd (or advanced) value and retry — torn reads
+//! cannot validate. `ring_head` is the overwrite-oldest ring cursor:
+//! the producer's `fetch_add` must Release the slot write that precedes
+//! it and readers must Acquire before scanning slots. `refcount` is the
+//! classic `Arc` discipline: increments may be `Relaxed` (the object is
+//! already kept alive by the reference being cloned) but the decrement
+//! must Release so the last owner's drop sees all prior writes.
+
+use crate::engine::SourceFile;
+use crate::lexer::TokenKind;
+
+/// The atomic integer/bool types whose fields the declaration scan
+/// recognizes (exact names — `AtomicDecl` the lint struct must not
+/// match).
+const ATOMIC_TYPES: &[&str] = &[
+    "AtomicBool",
+    "AtomicI16",
+    "AtomicI32",
+    "AtomicI64",
+    "AtomicI8",
+    "AtomicIsize",
+    "AtomicU16",
+    "AtomicU32",
+    "AtomicU64",
+    "AtomicU8",
+    "AtomicUsize",
+];
+
+/// Method names that constitute an atomic access when called with an
+/// explicit `Ordering` argument.
+pub const ATOMIC_METHODS: &[&str] = &[
+    "compare_and_swap",
+    "compare_exchange",
+    "compare_exchange_weak",
+    "fetch_add",
+    "fetch_and",
+    "fetch_max",
+    "fetch_min",
+    "fetch_nand",
+    "fetch_or",
+    "fetch_sub",
+    "fetch_update",
+    "fetch_xor",
+    "load",
+    "store",
+    "swap",
+];
+
+/// The five `std::sync::atomic::Ordering` variants, matched as bare
+/// idents inside an atomic method's argument list (import style —
+/// `Ordering::Relaxed` vs a `use Ordering::Relaxed` — doesn't matter).
+pub const ORDERINGS: &[&str] = &["AcqRel", "Acquire", "Relaxed", "Release", "SeqCst"];
+
+/// One atomic field or static declaration, bound to its protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AtomicDecl {
+    /// Field or static name.
+    pub name: String,
+    /// Declared type (`AtomicU64`, …).
+    pub ty: String,
+    /// Protocol (one of [`crate::engine::PROTOCOLS`]).
+    pub protocol: String,
+    /// True when an `// lint: atomic(...)` directive declared the
+    /// protocol; false for the inferred `counter` default.
+    pub declared: bool,
+    /// 1-based declaration line.
+    pub line: u32,
+}
+
+/// One atomic access site inside a function body:
+/// `recv.load(Ordering::Relaxed)` and friends.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AtomicAccess {
+    /// Receiver field name (last path segment before the method).
+    pub field: String,
+    /// Atomic method (`load`, `store`, `fetch_add`, …).
+    pub method: String,
+    /// Ordering idents in argument order (CAS carries success then
+    /// failure; only the success ordering is protocol-checked).
+    pub orderings: Vec<String>,
+    /// 1-based line of the access.
+    pub line: u32,
+}
+
+/// One assignment through `self` or a `static` root inside a function
+/// body, with the lock guards held at the write.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WriteSite {
+    /// Rendered assignment target (`self.head`, `COUNT`).
+    pub target: String,
+    /// 1-based line of the `=`.
+    pub line: u32,
+    /// Guard keys (from the L009 tracker) held at the write.
+    pub held: Vec<String>,
+}
+
+/// The operation classes the protocol table distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// `load`.
+    Load,
+    /// `store`.
+    Store,
+    /// `swap` / `fetch_*` read-modify-writes.
+    Rmw,
+    /// `compare_exchange[_weak]` / `compare_and_swap` / `fetch_update`.
+    Cas,
+}
+
+/// Classifies an atomic method name into its operation class.
+pub fn classify_op(method: &str) -> OpKind {
+    match method {
+        "load" => OpKind::Load,
+        "store" => OpKind::Store,
+        "compare_exchange" | "compare_exchange_weak" | "compare_and_swap" | "fetch_update" => {
+            OpKind::Cas
+        }
+        _ => OpKind::Rmw,
+    }
+}
+
+/// True when `ordering` is admissible for `method` under `protocol`
+/// (see the module-level table). Unknown protocols are permissive —
+/// the directive parser already rejects them.
+pub fn ordering_allowed(protocol: &str, method: &str, ordering: &str) -> bool {
+    let op = classify_op(method);
+    match protocol {
+        "flag" | "seqlock" => match op {
+            OpKind::Load => matches!(ordering, "Acquire" | "SeqCst"),
+            OpKind::Store => matches!(ordering, "Release" | "SeqCst"),
+            OpKind::Rmw | OpKind::Cas => ordering != "Relaxed",
+        },
+        "ring_head" => match op {
+            OpKind::Load => matches!(ordering, "Acquire" | "SeqCst"),
+            OpKind::Store => matches!(ordering, "Release" | "SeqCst"),
+            OpKind::Rmw | OpKind::Cas => matches!(ordering, "Release" | "AcqRel" | "SeqCst"),
+        },
+        "refcount" => match op {
+            OpKind::Load => true,
+            OpKind::Store => matches!(ordering, "Release" | "SeqCst"),
+            OpKind::Rmw if method == "fetch_add" => true,
+            OpKind::Rmw | OpKind::Cas => matches!(ordering, "Release" | "AcqRel" | "SeqCst"),
+        },
+        // `counter` (and anything unknown): any ordering
+        _ => true,
+    }
+}
+
+/// Human-readable admissible-orderings text for diagnostics.
+pub fn expected_orderings(protocol: &str, method: &str) -> &'static str {
+    let op = classify_op(method);
+    match protocol {
+        "flag" | "seqlock" => match op {
+            OpKind::Load => "Acquire or SeqCst",
+            OpKind::Store => "Release or SeqCst",
+            OpKind::Rmw | OpKind::Cas => "a non-Relaxed success ordering",
+        },
+        "ring_head" => match op {
+            OpKind::Load => "Acquire or SeqCst",
+            OpKind::Store => "Release or SeqCst",
+            OpKind::Rmw | OpKind::Cas => "Release, AcqRel, or SeqCst",
+        },
+        "refcount" => match op {
+            OpKind::Load => "any ordering",
+            OpKind::Store => "Release or SeqCst",
+            OpKind::Rmw if method == "fetch_add" => "any ordering",
+            OpKind::Rmw | OpKind::Cas => "Release, AcqRel, or SeqCst",
+        },
+        _ => "any ordering",
+    }
+}
+
+/// Scans a file for atomic field/static declarations and binds each to
+/// its protocol: an `// lint: atomic(p)` directive covering the
+/// declaration line wins; otherwise the `counter` default is inferred.
+///
+/// A declaration is the pattern `name : [Wrapper< / [ …]* AtomicXx`
+/// outside test regions, skipping `let`/`mut` local bindings and
+/// `fn` parameters (`&AtomicBool`). Constructor field inits
+/// (`seq: AtomicU64::new(0)`) match the same shape; duplicates are
+/// collapsed by name, preferring the annotated (else earliest) site.
+pub fn scan_atomics(sf: &SourceFile) -> Vec<AtomicDecl> {
+    let tokens = sf.tokens();
+    let sig: Vec<usize> = (0..tokens.len()).filter(|&i| !tokens[i].is_comment()).collect();
+    let txt = |s: usize| sig.get(s).map(|&j| tokens[j].text.as_str()).unwrap_or("");
+    let is_ident = |s: usize| sig.get(s).is_some_and(|&j| tokens[j].kind == TokenKind::Ident);
+
+    let mut out: Vec<AtomicDecl> = Vec::new();
+    for s in 0..sig.len() {
+        if !is_ident(s) || !ATOMIC_TYPES.contains(&txt(s)) || sf.in_test(sig[s]) {
+            continue;
+        }
+        // walk back over generic/array wrappers: `Arc<`, `Option<`, `Box<[`
+        let mut j = s;
+        while j > 0 && matches!(txt(j - 1), "<" | "[") {
+            j -= 1;
+            if j > 0 && is_ident(j - 1) {
+                j -= 1;
+            }
+        }
+        if j < 2 || txt(j - 1) != ":" || !is_ident(j - 2) {
+            continue;
+        }
+        let name = txt(j - 2);
+        // skip local bindings (`let v: Vec<AtomicU64>`) and `mut` patterns
+        if j >= 3 && matches!(txt(j - 3), "let" | "mut") {
+            continue;
+        }
+        let line = tokens[sig[s]].line;
+        let mark = sf.atomic_marks().iter().find(|m| m.covers(line));
+        let decl = AtomicDecl {
+            name: name.to_string(),
+            ty: txt(s).to_string(),
+            protocol: mark.map(|m| m.protocol.clone()).unwrap_or_else(|| "counter".to_string()),
+            declared: mark.is_some(),
+            line,
+        };
+        match out.iter_mut().find(|d| d.name == decl.name) {
+            // constructor inits shadow the field declaration: keep the
+            // annotated site, else the earliest
+            Some(prev) => {
+                if decl.declared && !prev.declared {
+                    *prev = decl;
+                }
+            }
+            None => out.push(decl),
+        }
+    }
+    out
+}
+
+/// Scans a file for the shared-state roots L013 checks against:
+/// type names wrapped in `Arc<…>` (whose `&self` methods may be called
+/// concurrently) and `static` item names.
+pub fn scan_shared_roots(sf: &SourceFile) -> (Vec<String>, Vec<String>) {
+    let tokens = sf.tokens();
+    let sig: Vec<usize> = (0..tokens.len()).filter(|&i| !tokens[i].is_comment()).collect();
+    let txt = |s: usize| sig.get(s).map(|&j| tokens[j].text.as_str()).unwrap_or("");
+    let is_ident = |s: usize| sig.get(s).is_some_and(|&j| tokens[j].kind == TokenKind::Ident);
+
+    let mut arc_types: Vec<String> = Vec::new();
+    let mut statics: Vec<String> = Vec::new();
+    for s in 0..sig.len() {
+        if !is_ident(s) {
+            continue;
+        }
+        match txt(s) {
+            // `Arc < Ty` — record Ty (skip a leading `dyn`)
+            "Arc" if txt(s + 1) == "<" => {
+                let t = if txt(s + 2) == "dyn" { s + 3 } else { s + 2 };
+                if is_ident(t) && !arc_types.iter().any(|x| x == txt(t)) {
+                    arc_types.push(txt(t).to_string());
+                }
+            }
+            // `static [mut] NAME :`
+            "static" => {
+                let n = if txt(s + 1) == "mut" { s + 2 } else { s + 1 };
+                if is_ident(n) && txt(n + 1) == ":" && !statics.iter().any(|x| x == txt(n)) {
+                    statics.push(txt(n).to_string());
+                }
+            }
+            _ => {}
+        }
+    }
+    (arc_types, statics)
+}
+
+/// Renders the committed `ATOMICS.md` protocol report: one table per
+/// file, every declared atomic with its protocol, provenance, and the
+/// observed access sites; unbound accesses (receivers with no matching
+/// declaration, e.g. locals or enum payload bindings) are listed
+/// separately under their inferred `counter` protocol.
+pub fn atomics_report(files: &[crate::facts::FileFacts]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    out.push_str("# Atomic protocol inventory\n\n");
+    out.push_str("Generated by `emblookup-lint --atomics-report`; regenerated and diffed by `scripts/ci.sh`. ");
+    out.push_str("Protocols are declared with `// lint: atomic(protocol)` on the field (default: `counter`) ");
+    out.push_str("and enforced per access by rule L011 (ordering tables in `crates/lint/src/dataflow.rs` ");
+    out.push_str("and DESIGN.md §1.3).\n");
+
+    let mut sorted: Vec<&crate::facts::FileFacts> = files.iter().collect();
+    sorted.sort_by(|a, b| a.rel.cmp(&b.rel));
+    let mut unbound: Vec<(String, String, String, u32)> = Vec::new(); // file, field, call, line
+    for f in &sorted {
+        // collect this file's access sites keyed by receiver
+        let mut accesses: Vec<(&str, &AtomicAccess)> = Vec::new();
+        for func in &f.fns {
+            if func.is_test {
+                continue;
+            }
+            for a in &func.atomic_accesses {
+                accesses.push((&func.name, a));
+            }
+        }
+        if f.atomics.is_empty() && accesses.is_empty() {
+            continue;
+        }
+        let _ = write!(out, "\n## `{}`\n\n", f.rel);
+        if !f.atomics.is_empty() {
+            out.push_str("| atomic | type | protocol | accesses |\n");
+            out.push_str("|--------|------|----------|----------|\n");
+            for d in &f.atomics {
+                let mut sites = String::new();
+                for (_, a) in accesses.iter().filter(|(_, a)| a.field == d.name) {
+                    if !sites.is_empty() {
+                        sites.push_str(", ");
+                    }
+                    let _ = write!(sites, "`{}({})`:{}", a.method, a.orderings.join(","), a.line);
+                }
+                if sites.is_empty() {
+                    sites.push('—');
+                }
+                let _ = writeln!(
+                    out,
+                    "| `{}`:{} | `{}` | `{}`{} | {} |",
+                    d.name,
+                    d.line,
+                    d.ty,
+                    d.protocol,
+                    if d.declared { "" } else { " (inferred)" },
+                    sites
+                );
+            }
+        }
+        for (func, a) in &accesses {
+            let bound = f.atomics.iter().any(|d| d.name == a.field);
+            if !bound {
+                unbound.push((
+                    f.rel.clone(),
+                    a.field.clone(),
+                    format!("`{}.{}({})` in `{}`", a.field, a.method, a.orderings.join(","), func),
+                    a.line,
+                ));
+            }
+        }
+    }
+    if !unbound.is_empty() {
+        out.push_str("\n## Unbound accesses\n\n");
+        out.push_str(
+            "Accesses whose receiver has no field declaration in the same file \
+             (locals, parameters, enum payload bindings); these follow the protocol \
+             of an `// lint: atomic(...)` directive on the access line, else `counter`.\n\n",
+        );
+        out.push_str("| file:line | access |\n|-----------|--------|\n");
+        for (file, _field, call, line) in &unbound {
+            let _ = writeln!(out, "| {}:{} | {} |", file, line, call);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> SourceFile {
+        SourceFile::parse("crates/x/src/lib.rs", src)
+    }
+
+    #[test]
+    fn declared_and_inferred_protocols() {
+        let src = "\
+pub struct S {
+    // lint: atomic(flag) publishes shutdown
+    stop: AtomicBool,
+    count: AtomicU64,
+    slots: Box<[AtomicU64; 8]>,
+    handle: Option<Arc<AtomicUsize>>,
+}
+";
+        let decls = scan_atomics(&parse(src));
+        let by_name = |n: &str| decls.iter().find(|d| d.name == n).expect(n);
+        assert_eq!(by_name("stop").protocol, "flag");
+        assert!(by_name("stop").declared);
+        assert_eq!(by_name("count").protocol, "counter");
+        assert!(!by_name("count").declared);
+        assert_eq!(by_name("slots").ty, "AtomicU64");
+        assert_eq!(by_name("handle").ty, "AtomicUsize");
+        assert_eq!(decls.len(), 4);
+    }
+
+    #[test]
+    fn locals_params_and_tests_are_not_declarations() {
+        let src = "\
+pub fn scan(stop: &AtomicBool) -> usize {
+    let v: Vec<AtomicU64> = Vec::new();
+    v.len()
+}
+#[cfg(test)]
+mod tests {
+    struct T { n: AtomicU32 }
+}
+";
+        assert!(scan_atomics(&parse(src)).is_empty());
+    }
+
+    #[test]
+    fn constructor_init_collapses_into_field_decl() {
+        let src = "\
+pub struct S {
+    // lint: atomic(refcount) live handle count
+    pending: AtomicUsize,
+}
+impl S {
+    pub fn new() -> Self { S { pending: AtomicUsize::new(0) } }
+}
+";
+        let decls = scan_atomics(&parse(src));
+        assert_eq!(decls.len(), 1);
+        assert_eq!(decls[0].protocol, "refcount");
+        assert_eq!(decls[0].line, 3);
+    }
+
+    #[test]
+    fn protocol_tables_match_the_doc() {
+        // counter: anything goes
+        assert!(ordering_allowed("counter", "load", "Relaxed"));
+        assert!(ordering_allowed("counter", "fetch_add", "Relaxed"));
+        // flag: Release store / Acquire load
+        assert!(!ordering_allowed("flag", "store", "Relaxed"));
+        assert!(!ordering_allowed("flag", "store", "Acquire"));
+        assert!(ordering_allowed("flag", "store", "Release"));
+        assert!(!ordering_allowed("flag", "load", "Relaxed"));
+        assert!(ordering_allowed("flag", "load", "SeqCst"));
+        // seqlock: uniform Acquire/Release, non-Relaxed RMW success
+        assert!(!ordering_allowed("seqlock", "compare_exchange", "Relaxed"));
+        assert!(ordering_allowed("seqlock", "compare_exchange", "Acquire"));
+        assert!(!ordering_allowed("seqlock", "store", "Relaxed"));
+        // ring_head: publishing fetch_add must Release
+        assert!(!ordering_allowed("ring_head", "fetch_add", "Relaxed"));
+        assert!(!ordering_allowed("ring_head", "fetch_add", "Acquire"));
+        assert!(ordering_allowed("ring_head", "fetch_add", "Release"));
+        assert!(!ordering_allowed("ring_head", "load", "Relaxed"));
+        // refcount: inc Relaxed ok, dec must Release
+        assert!(ordering_allowed("refcount", "fetch_add", "Relaxed"));
+        assert!(!ordering_allowed("refcount", "fetch_sub", "Relaxed"));
+        assert!(ordering_allowed("refcount", "fetch_sub", "AcqRel"));
+        assert!(ordering_allowed("refcount", "load", "Relaxed"));
+    }
+
+    #[test]
+    fn shared_roots_scan() {
+        let src = "\
+static mut SCRATCH: usize = 0;
+static TICKS: u64 = 0;
+pub struct Pool;
+pub fn share(p: Arc<Pool>, d: Arc<dyn Drain>) {}
+";
+        let (arcs, statics) = scan_shared_roots(&parse(src));
+        assert_eq!(arcs, vec!["Pool".to_string(), "Drain".to_string()]);
+        assert_eq!(statics, vec!["SCRATCH".to_string(), "TICKS".to_string()]);
+    }
+}

@@ -25,8 +25,14 @@ use std::collections::{BTreeMap, HashSet};
 /// L008–L010 are the interprocedural passes in [`crate::rules`] fed by
 /// the call graph ([`crate::callgraph`]) and the effect lattice
 /// ([`crate::effects`]); the rest are per-file passes on [`SourceFile`].
-pub const RULES: &[&str] =
-    &["L001", "L002", "L003", "L004", "L005", "L006", "L007", "L008", "L009", "L010"];
+pub const RULES: &[&str] = &[
+    "L001", "L002", "L003", "L004", "L005", "L006", "L007", "L008", "L009", "L010", "L011",
+    "L012", "L013",
+];
+
+/// The atomic protocols a `// lint: atomic(...)` annotation may declare
+/// (see [`crate::dataflow`] for the per-protocol ordering tables).
+pub const PROTOCOLS: &[&str] = &["counter", "flag", "seqlock", "ring_head", "refcount"];
 
 /// One `// lint: allow(Lxxx) reason` directive. It suppresses `rule` on
 /// its own line and the next source line; the stale-allow audit reports
@@ -43,6 +49,26 @@ impl AllowDecl {
     /// True when this directive covers `rule` at `line`.
     pub fn covers(&self, rule: &str, line: u32) -> bool {
         self.rule == rule && (line == self.line || line == self.line + 1)
+    }
+}
+
+/// One `// lint: atomic(protocol) reason` directive. It binds the atomic
+/// declaration (or access) on its own line or the next source line to
+/// one of [`PROTOCOLS`]; unbound directives are reported by the
+/// stale-annotation audit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AtomicMark {
+    /// Declared protocol (one of [`PROTOCOLS`]).
+    pub protocol: String,
+    /// 1-based line of the directive comment.
+    pub line: u32,
+}
+
+impl AtomicMark {
+    /// True when this directive covers an atomic declaration or access
+    /// at `line`.
+    pub fn covers(&self, line: u32) -> bool {
+        line == self.line || line == self.line + 1
     }
 }
 
@@ -113,6 +139,8 @@ pub struct SourceFile {
     hot_path: bool,
     /// Allow directives in declaration order.
     allows: Vec<AllowDecl>,
+    /// Atomic-protocol directives in declaration order.
+    atomic_marks: Vec<AtomicMark>,
     /// Malformed-directive diagnostics discovered during parsing.
     directive_errors: Vec<(u32, String)>,
 }
@@ -124,6 +152,7 @@ impl SourceFile {
         let test_ranges = find_test_ranges(&tokens);
         let mut hot_path = false;
         let mut allows: Vec<AllowDecl> = Vec::new();
+        let mut atomic_marks: Vec<AtomicMark> = Vec::new();
         let mut directive_errors = Vec::new();
         for t in &tokens {
             if t.kind != TokenKind::LineComment {
@@ -166,10 +195,30 @@ impl SourceFile {
                     None => directive_errors
                         .push((t.line, "unclosed lint allow directive".to_string())),
                 }
+            } else if let Some(rest) = directive.strip_prefix("atomic(") {
+                match rest.split_once(')') {
+                    Some((proto, _reason)) => {
+                        let proto = proto.trim();
+                        if PROTOCOLS.contains(&proto) {
+                            atomic_marks
+                                .push(AtomicMark { protocol: proto.to_string(), line: t.line });
+                        } else {
+                            directive_errors.push((
+                                t.line,
+                                format!(
+                                    "unknown atomic protocol `{proto}` (expected one of {})",
+                                    PROTOCOLS.join("|")
+                                ),
+                            ));
+                        }
+                    }
+                    None => directive_errors
+                        .push((t.line, "unclosed lint atomic directive".to_string())),
+                }
             } else {
                 directive_errors.push((
                     t.line,
-                    format!("unknown lint directive `{directive}` (expected `hot-path` or `allow(Lxxx) reason`)"),
+                    format!("unknown lint directive `{directive}` (expected `hot-path`, `allow(Lxxx) reason`, or `atomic(protocol) reason`)"),
                 ));
             }
         }
@@ -180,6 +229,7 @@ impl SourceFile {
             test_ranges,
             hot_path,
             allows,
+            atomic_marks,
             directive_errors,
         }
     }
@@ -213,6 +263,13 @@ impl SourceFile {
     /// Whether the file is a `// lint: hot-path` module.
     pub(crate) fn is_hot_path(&self) -> bool {
         self.hot_path
+    }
+
+    /// The file's `// lint: atomic(protocol)` directives, in declaration
+    /// order — consumed by the dataflow pass's atomic-declaration scan
+    /// and the stale-annotation audit.
+    pub(crate) fn atomic_marks(&self) -> &[AtomicMark] {
+        &self.atomic_marks
     }
 
     /// Previous non-comment token before `idx`.

@@ -18,6 +18,12 @@
 //!   drives determinism analysis (L008), lock-order/pool-interaction
 //!   discipline (L009) and transitive hot-path effect gating (L010),
 //!   with diagnostics that print the offending call chain.
+//! * **Concurrency protocol** ([`dataflow`] + [`rules`]): atomic
+//!   fields bound to declared `// lint: atomic(protocol)` disciplines
+//!   checked per access against the ordering tables (L011), deadline
+//!   propagation from serve request handlers to every reachable
+//!   blocking site (L012) and guard-free shared-state write detection
+//!   (L013); `--atomics-report` renders the committed `ATOMICS.md`.
 //!
 //! Per-file analysis results round-trip through an incremental
 //! content-hash cache ([`cache`], under `target/emblookup-lint/`);
@@ -40,6 +46,7 @@ pub mod api;
 pub mod cache;
 pub mod callgraph;
 pub mod cargo;
+pub mod dataflow;
 pub mod effects;
 pub mod engine;
 pub mod facts;

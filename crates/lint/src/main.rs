@@ -7,6 +7,7 @@
 //!                [--api-check | --api-bless]
 //!                [--fix-metric-names [--write]]
 //! emblookup-lint --explain Lxxx
+//! emblookup-lint --atomics-report
 //! ```
 //!
 //! * `--api-check` additionally diffs the current public-API snapshot
@@ -19,6 +20,9 @@
 //!   reflects the rewritten tree.
 //! * `--explain Lxxx` prints the rule's rationale, an offending example
 //!   and the escape-hatch policy from the in-source rule-doc table.
+//! * `--atomics-report` prints the per-atomic protocol inventory
+//!   (markdown) and exits; CI regenerates the committed `ATOMICS.md`
+//!   from it and fails on drift.
 //! * `--no-cache` bypasses the incremental fact cache under
 //!   `target/emblookup-lint/` (a cached run reports identical
 //!   diagnostics; the flag exists for debugging and the CI identity
@@ -39,7 +43,7 @@
 //!  "files_checked":42,
 //!  "rule_counts":{"L000":0,"L001":1,"L002":0,"L003":0,"L004":0,
 //!                 "L005":0,"L006":0,"L007":0,"L008":0,"L009":0,
-//!                 "L010":0}}
+//!                 "L010":0,"L011":0,"L012":0,"L013":0}}
 //! ```
 //!
 //! `violations` is sorted by (file, line, rule); `suggestion` appears
@@ -48,7 +52,7 @@
 //! `rule_counts` always lists every catalog rule, zeros included, in
 //! catalog order.
 
-use emblookup_lint::{api, fix, obs_name_registry, report, rules, walk, workspace, Workspace};
+use emblookup_lint::{api, dataflow, fix, obs_name_registry, report, rules, walk, workspace, Workspace};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -61,6 +65,7 @@ struct Options {
     api_bless: bool,
     no_cache: bool,
     explain: Option<String>,
+    atomics_report: bool,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -73,6 +78,7 @@ fn parse_args() -> Result<Options, String> {
         api_bless: false,
         no_cache: false,
         explain: None,
+        atomics_report: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -91,17 +97,20 @@ fn parse_args() -> Result<Options, String> {
             "--api-check" => opts.api_check = true,
             "--api-bless" => opts.api_bless = true,
             "--no-cache" => opts.no_cache = true,
+            "--atomics-report" => opts.atomics_report = true,
             "--explain" => {
                 let v = args.next().ok_or("--explain requires a rule id (e.g. L008)")?;
                 opts.explain = Some(v);
             }
             "--help" | "-h" => {
                 println!(
-                    "emblookup-lint [--root DIR] [--format text|json] [--no-cache] [--api-check | --api-bless] [--fix-metric-names [--write]] | --explain Lxxx\n\
+                    "emblookup-lint [--root DIR] [--format text|json] [--no-cache] [--api-check | --api-bless] [--fix-metric-names [--write]] | --explain Lxxx | --atomics-report\n\
                      Repo-specific lints: L001 panic-freedom, L002 hot-path, L003 metric names,\n\
                      L004 TODO hygiene, L005 crate layering, L006 API drift (API.lock), L007 float discipline,\n\
-                     L008 determinism, L009 lock discipline, L010 interprocedural hot-path effects.\n\
-                     `--explain Lxxx` prints any rule's rationale, example and escape-hatch policy."
+                     L008 determinism, L009 lock discipline, L010 interprocedural hot-path effects,\n\
+                     L011 atomics-ordering protocols, L012 deadline propagation, L013 guard-free shared writes.\n\
+                     `--explain Lxxx` prints any rule's rationale, example and escape-hatch policy;\n\
+                     `--atomics-report` prints the ATOMICS.md protocol inventory."
                 );
                 std::process::exit(0);
             }
@@ -140,6 +149,11 @@ fn run() -> Result<ExitCode, String> {
     let registry = obs_name_registry();
     let use_cache = !opts.no_cache;
     let mut ws = Workspace::load(&root, &registry, use_cache)?;
+
+    if opts.atomics_report {
+        print!("{}", dataflow::atomics_report(&ws.files));
+        return Ok(ExitCode::SUCCESS);
+    }
 
     if opts.api_bless {
         let snapshot = ws.api_snapshot();

@@ -1,0 +1,227 @@
+//! L011 — atomics-ordering discipline: every atomic access site must
+//! use an `Ordering` admitted by the field's declared (or inferred)
+//! protocol. The protocol model and ordering tables live in
+//! [`crate::dataflow`]; this rule joins declarations against the
+//! per-function access sites the scanner collected and prints a
+//! witness with file:line for both the access and the declaration.
+//!
+//! Protocol resolution per access, most specific first:
+//!
+//! 1. an `// lint: atomic(protocol)` directive covering the access
+//!    line (the escape for receivers with no nameable declaration,
+//!    e.g. enum payload bindings);
+//! 2. a declaration with the receiver's name in the same file;
+//! 3. a unique declaration with that name elsewhere in the same crate;
+//! 4. otherwise the access is *unbound* and checked as `counter`
+//!    (permissive) — the `--atomics-report` lists these separately so
+//!    they stay visible.
+
+use crate::dataflow::{expected_orderings, ordering_allowed};
+use crate::engine::Violation;
+use crate::facts::FileFacts;
+use std::collections::HashMap;
+
+/// Checks every non-test atomic access in `files` against its
+/// resolved protocol.
+pub fn check(files: &[FileFacts]) -> Vec<Violation> {
+    // (krate, field name) → (file, decl line, protocol) for cross-file
+    // resolution; None marks an ambiguous name
+    type DeclSite<'a> = Option<(&'a str, u32, &'a str)>;
+    let mut by_crate: HashMap<(&str, &str), DeclSite> = HashMap::new();
+    for f in files {
+        for d in &f.atomics {
+            by_crate
+                .entry((f.krate.as_str(), d.name.as_str()))
+                .and_modify(|e| *e = None)
+                .or_insert(Some((f.rel.as_str(), d.line, d.protocol.as_str())));
+        }
+    }
+
+    let mut out = Vec::new();
+    for f in files {
+        for func in &f.fns {
+            if func.is_test {
+                continue;
+            }
+            for a in &func.atomic_accesses {
+                let (protocol, provenance) =
+                    if let Some(m) = f.atomic_marks.iter().find(|m| m.covers(a.line)) {
+                        (m.protocol.as_str(), format!("directive at {}:{}", f.rel, m.line))
+                    } else if let Some(d) = f.atomics.iter().find(|d| d.name == a.field) {
+                        let src = if d.declared { "declared" } else { "inferred" };
+                        (d.protocol.as_str(), format!("{src} at {}:{}", f.rel, d.line))
+                    } else if let Some(Some((file, line, proto))) =
+                        by_crate.get(&(f.krate.as_str(), a.field.as_str()))
+                    {
+                        (*proto, format!("declared at {file}:{line}"))
+                    } else {
+                        continue; // unbound: counter, permissive
+                    };
+                // the success ordering (first argument) carries the
+                // protocol obligation; a CAS failure ordering may relax
+                let Some(ordering) = a.orderings.first() else { continue };
+                if ordering_allowed(protocol, &a.method, ordering) {
+                    continue;
+                }
+                out.push(Violation {
+                    file: f.rel.clone(),
+                    line: a.line,
+                    rule: "L011".to_string(),
+                    message: format!(
+                        "atomic `{}` follows the `{}` protocol ({provenance}) but \
+                         `{}.{}({})` in `{}` ({}:{}) uses `{ordering}`; `{}` here requires {} — \
+                         fix the ordering or re-declare the protocol with \
+                         `// lint: atomic(…) reason`",
+                        a.field,
+                        protocol,
+                        a.field,
+                        a.method,
+                        a.orderings.join(", "),
+                        func.name,
+                        f.rel,
+                        a.line,
+                        a.method,
+                        expected_orderings(protocol, &a.method),
+                    ),
+                    suggestion: None,
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Violation> {
+        check(&[FileFacts::fixture("crates/obs/src/ring.rs", "emblookup-obs", src)])
+    }
+
+    #[test]
+    fn golden_ring_head_relaxed_publish_is_flagged() {
+        // the exact shape of the pre-fix flight-recorder bug: Relaxed
+        // fetch_add publishing a slot write, Relaxed load scanning it
+        let src = "\
+pub struct Ring {
+    // lint: atomic(ring_head) publishes slot writes to scanners
+    head: AtomicU64,
+}
+impl Ring {
+    pub fn record(&self) -> u64 { self.head.fetch_add(1, Ordering::Relaxed) }
+    pub fn recent(&self) -> u64 { self.head.load(Ordering::Relaxed) }
+}
+";
+        let v = run(src);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().all(|x| x.rule == "L011"));
+        assert_eq!(
+            v[0].message,
+            "atomic `head` follows the `ring_head` protocol (declared at \
+             crates/obs/src/ring.rs:3) but `head.fetch_add(Relaxed)` in `record` \
+             (crates/obs/src/ring.rs:6) uses `Relaxed`; `fetch_add` here requires \
+             Release, AcqRel, or SeqCst — fix the ordering or re-declare the protocol \
+             with `// lint: atomic(…) reason`",
+        );
+        assert!(v[1].message.contains("`load` here requires Acquire or SeqCst"), "{}", v[1].message);
+    }
+
+    #[test]
+    fn conforming_protocol_accesses_are_silent() {
+        let src = "\
+pub struct Ring {
+    // lint: atomic(ring_head) publishes slot writes
+    head: AtomicU64,
+    // lint: atomic(flag) shutdown publication
+    stop: AtomicBool,
+    recorded: AtomicU64,
+}
+impl Ring {
+    pub fn record(&self) -> u64 {
+        self.recorded.fetch_add(1, Ordering::Relaxed);
+        self.head.fetch_add(1, Ordering::Release)
+    }
+    pub fn drain(&self) -> bool {
+        let _ = self.head.load(Ordering::Acquire);
+        self.stop.load(Ordering::Acquire)
+    }
+    pub fn shutdown(&self) { self.stop.store(true, Ordering::Release); }
+}
+";
+        assert!(run(src).is_empty(), "{:?}", run(src));
+    }
+
+    #[test]
+    fn seqlock_checks_the_cas_success_ordering_only() {
+        let src = "\
+pub struct Slot {
+    // lint: atomic(seqlock) version word
+    version: AtomicU64,
+}
+impl Slot {
+    pub fn claim(&self, v: u64) {
+        self.version.compare_exchange(v, v + 1, Ordering::Acquire, Ordering::Relaxed);
+    }
+    pub fn torn(&self, v: u64) {
+        self.version.compare_exchange(v, v + 1, Ordering::Relaxed, Ordering::Relaxed);
+    }
+}
+";
+        let v = run(src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].line, 10);
+    }
+
+    #[test]
+    fn directive_on_the_access_line_overrides_the_default() {
+        // enum payload binding: no declaration can carry the annotation,
+        // so the access line carries it instead
+        let src = "\
+pub fn now(ns: &AtomicU64) -> u64 {
+    // lint: atomic(flag) virtual clock publication
+    ns.load(Ordering::Relaxed)
+}
+";
+        let v = run(src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("directive at crates/obs/src/ring.rs:2"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn cross_file_unique_declaration_binds_the_access() {
+        let decl = "\
+pub struct Gauge {
+    // lint: atomic(flag) armed marker
+    armed: AtomicBool,
+}
+";
+        let user = "\
+impl Gauge {
+    pub fn arm(&self) { self.armed.store(true, Ordering::Relaxed); }
+}
+";
+        let v = check(&[
+            FileFacts::fixture("crates/obs/src/decl.rs", "emblookup-obs", decl),
+            FileFacts::fixture("crates/obs/src/user.rs", "emblookup-obs", user),
+        ]);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("declared at crates/obs/src/decl.rs:3"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn test_functions_are_exempt() {
+        let src = "\
+pub struct S {
+    // lint: atomic(flag) marker
+    stop: AtomicBool,
+}
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { S::default().stop.store(true, Ordering::Relaxed); }
+}
+";
+        assert!(run(src).is_empty());
+    }
+}

@@ -1,4 +1,4 @@
-//! Interprocedural rule families (L008–L010) and the single-source
+//! Interprocedural rule families (L008–L013) and the single-source
 //! rule documentation table behind `--explain` and the CONTRIBUTING.md
 //! catalog check.
 //!
@@ -10,9 +10,12 @@
 //! workspace driver applies `// lint: allow` directives centrally so
 //! their usage feeds the stale-allow audit.
 
+pub mod atomics;
+pub mod deadline;
 pub mod determinism;
 pub mod hotpath;
 pub mod locks;
+pub mod shared;
 
 use crate::callgraph::CallGraph;
 use crate::cargo::Manifest;
@@ -166,6 +169,51 @@ pub const RULE_DOCS: &[RuleDoc] = &[
                  `// lint: allow(L010) reason` at the call site for amortized effects, e.g. a \
                  batch fan-out that locks once per query batch.",
     },
+    RuleDoc {
+        id: "L011",
+        title: "atomics-ordering discipline",
+        rationale: "Every atomic field follows a declared protocol \
+                    (`// lint: atomic(counter|flag|seqlock|ring_head|refcount) reason` on the \
+                    line above the declaration; un-annotated atomics are inferred as `counter`), \
+                    and every load/store/RMW/CAS site must use an `Ordering` the protocol \
+                    admits — e.g. a `flag` is stored with Release and loaded with Acquire, a \
+                    `ring_head` publishes with Release and is scanned with Acquire. The tables \
+                    live in `crates/lint/src/dataflow.rs` and DESIGN.md §1.3; \
+                    `--atomics-report` regenerates the committed ATOMICS.md inventory.",
+        example: "// lint: atomic(ring_head) publishes slot writes\nhead: AtomicU64,\n…\nself.head.fetch_add(1, Ordering::Relaxed) // ring_head publish must be Release",
+        escape: "Fix the ordering, or re-declare the protocol (e.g. `atomic(counter)`) when the \
+                 field really is a statistic — the reason must say why no reader relies on the \
+                 access ordering. `// lint: allow(L011) reason` exists for genuinely mixed \
+                 disciplines but re-declaration is preferred.",
+    },
+    RuleDoc {
+        id: "L012",
+        title: "deadline propagation from serve handlers",
+        rationale: "Every function reachable from a serve request handler (`handle_*` in \
+                    `emblookup-serve`) that blocks — a `.recv()`/`.join()`/sleep site, a pool \
+                    `submit`, or a `parallel_*` fan-out — must receive a deadline-bearing \
+                    parameter (`DeadlineClock`, or a param named `clock`/`deadline`) or be \
+                    dominated by a deadline check along every unguarded call path. Otherwise a \
+                    slow shard turns the request-deadline machinery from PR 7 into decoration: \
+                    the handler has a budget but the work it fans out cannot observe it.",
+        example: "pub fn handle_lookup(req: Request) { stage(req) } // stage → drain → rx.recv()\npub fn drain() { rx.recv(); } // no DeadlineClock anywhere on the chain",
+        escape: "Pass the handler's `DeadlineClock` down the chain (preferred), dominate the \
+                 blocking site with `clock.expired()` / `remaining_ms()`, or \
+                 `// lint: allow(L012) reason` when the wait is provably bounded (say by what).",
+    },
+    RuleDoc {
+        id: "L013",
+        title: "guard-free shared-state writes",
+        rationale: "Assignments to fields of `Arc`-shared types through a `&self` receiver, or \
+                    to `static` items, with no lock guard held are data races the type system \
+                    did not catch (usually via `unsafe`, interior mutability misuse, or a \
+                    `static mut`). The guard tracker from L009 supplies the held-set; sharing \
+                    evidence is any `Arc<T>` appearance workspace-wide.",
+        example: "impl Registry { pub fn poke(&self) { self.cursor = 1; } }\npub fn install(r: Arc<Registry>) {}",
+        escape: "Guard the write with the owning lock, take `&mut self`, make the field atomic \
+                 (then L011 governs it), or `// lint: allow(L013) reason` when the write is \
+                 provably pre-sharing (e.g. builder code that runs before the Arc is cloned).",
+    },
 ];
 
 /// Looks up the documentation for `id` (case-sensitive, `L008` style).
@@ -196,14 +244,17 @@ pub fn explain(id: &str) -> Option<String> {
 pub fn run(manifests: &[Manifest], files: &[FileFacts]) -> Vec<Violation> {
     let g = CallGraph::build(manifests, files);
     let fx = propagate(&g);
-    run_on(&g, &fx)
+    run_on(&g, &fx, files)
 }
 
 /// Variant over a prebuilt graph + effects (shared with tests).
-pub fn run_on(g: &CallGraph, fx: &Effects) -> Vec<Violation> {
+pub fn run_on(g: &CallGraph, fx: &Effects, files: &[FileFacts]) -> Vec<Violation> {
     let mut out = determinism::check(g, fx);
     out.extend(locks::check(g, fx));
     out.extend(hotpath::check(g, fx));
+    out.extend(atomics::check(files));
+    out.extend(deadline::check(g));
+    out.extend(shared::check(g, files));
     out.sort_by(|a, b| {
         a.file.cmp(&b.file).then_with(|| a.line.cmp(&b.line)).then_with(|| a.rule.cmp(&b.rule))
     });

@@ -1,0 +1,191 @@
+//! L013 — guard-free shared-state writes: assignments to fields of
+//! `Arc`-shared types through a `&self` receiver, or to `static`
+//! items, with no lock guard held — the static complement of a race
+//! detector, reusing the L009 guard tracker's held-set bookkeeping.
+//!
+//! Evidence of sharing is workspace-global: a type name appearing
+//! inside `Arc<…>` anywhere marks every `&self` method of that type as
+//! potentially concurrent; `static` names are collected per file.
+//! Writes through `&mut self` receivers are exclusive by construction
+//! and never flagged; atomics have no `=` writes (their mutation goes
+//! through the L011-checked methods), and deref writes through lock
+//! guards (`*g = …`) are guard-mediated and excluded by the scanner.
+
+use crate::callgraph::CallGraph;
+use crate::engine::Violation;
+use crate::facts::FileFacts;
+use std::collections::HashSet;
+
+/// Checks every recorded write site against the shared-root evidence.
+pub fn check(g: &CallGraph, files: &[FileFacts]) -> Vec<Violation> {
+    let mut arc_types: HashSet<&str> = HashSet::new();
+    let mut statics: HashSet<&str> = HashSet::new();
+    for f in files {
+        arc_types.extend(f.arc_types.iter().map(String::as_str));
+        statics.extend(f.statics.iter().map(String::as_str));
+    }
+
+    let mut out = Vec::new();
+    for node in &g.nodes {
+        for w in &node.fact.writes {
+            if !w.held.is_empty() {
+                continue;
+            }
+            let root = w.target.split('.').next().unwrap_or("");
+            if root == "self" {
+                if node.fact.mut_self
+                    || node.fact.self_ty.is_empty()
+                    || !arc_types.contains(node.fact.self_ty.as_str())
+                {
+                    continue;
+                }
+                out.push(Violation {
+                    file: node.file.clone(),
+                    line: w.line,
+                    rule: "L013".to_string(),
+                    message: format!(
+                        "unguarded write to `{}` in `{}` ({}:{}): `{}` is Arc-shared and the \
+                         receiver is `&self` — guard the write with the owning lock, take \
+                         `&mut self`, or make the field atomic",
+                        w.target, node.fact.name, node.file, w.line, node.fact.self_ty,
+                    ),
+                    suggestion: None,
+                });
+            } else if statics.contains(root) {
+                out.push(Violation {
+                    file: node.file.clone(),
+                    line: w.line,
+                    rule: "L013".to_string(),
+                    message: format!(
+                        "unguarded write to `static {}` in `{}` ({}:{}) — guard the write with \
+                         a lock or replace the static with an atomic",
+                        w.target, node.fact.name, node.file, w.line,
+                    ),
+                    suggestion: None,
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(files: Vec<FileFacts>) -> Vec<Violation> {
+        let mut names: Vec<String> = files.iter().map(|f| f.krate.clone()).collect();
+        names.sort();
+        names.dedup();
+        let manifests: Vec<_> = names
+            .iter()
+            .map(|k| {
+                let dir = format!("crates/{}", k.trim_start_matches("emblookup-"));
+                let text = format!("[package]\nname = \"{k}\"\n[dependencies]\n");
+                crate::cargo::parse_manifest(
+                    &format!("{dir}/Cargo.toml"),
+                    std::path::Path::new(&dir),
+                    &text,
+                )
+                .expect("fixture manifest")
+            })
+            .collect();
+        let g = CallGraph::build(&manifests, &files);
+        check(&g, &files)
+    }
+
+    #[test]
+    fn golden_unguarded_arc_shared_write_is_flagged() {
+        let src = "\
+pub struct Registry {
+    cursor: usize,
+}
+impl Registry {
+    pub fn poke(&self) {
+        self.cursor = 1;
+    }
+}
+pub fn install(r: Arc<Registry>) {}
+";
+        let v = run(vec![FileFacts::fixture("crates/obs/src/reg.rs", "emblookup-obs", src)]);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(
+            v[0].message,
+            "unguarded write to `self.cursor` in `poke` (crates/obs/src/reg.rs:6): \
+             `Registry` is Arc-shared and the receiver is `&self` — guard the write with \
+             the owning lock, take `&mut self`, or make the field atomic",
+        );
+    }
+
+    #[test]
+    fn guarded_and_mut_self_writes_are_clean() {
+        let src = "\
+pub struct Registry {
+    cursor: usize,
+}
+impl Registry {
+    pub fn locked(&self) {
+        let g = self.state.lock();
+        self.cursor = 1;
+    }
+    pub fn excl(&mut self) {
+        self.cursor = 2;
+    }
+}
+pub fn install(r: Arc<Registry>) {}
+";
+        let v = run(vec![FileFacts::fixture("crates/obs/src/reg.rs", "emblookup-obs", src)]);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn unshared_types_are_not_flagged() {
+        let src = "\
+pub struct Local {
+    cursor: usize,
+}
+impl Local {
+    pub fn poke(&self) { self.cursor = 1; }
+}
+";
+        let v = run(vec![FileFacts::fixture("crates/obs/src/reg.rs", "emblookup-obs", src)]);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn arc_evidence_crosses_files() {
+        let decl = "\
+pub struct Registry { cursor: usize }
+impl Registry {
+    pub fn poke(&self) { self.cursor = 1; }
+}
+";
+        let user = "\
+use emblookup_obs::Registry;
+pub fn install(r: Arc<Registry>) {}
+";
+        let v = run(vec![
+            FileFacts::fixture("crates/obs/src/reg.rs", "emblookup-obs", decl),
+            FileFacts::fixture("crates/obs/src/install.rs", "emblookup-obs", user),
+        ]);
+        assert_eq!(v.len(), 1, "{v:?}");
+    }
+
+    #[test]
+    fn unguarded_static_write_is_flagged() {
+        let src = "\
+static mut SCRATCH: usize = 0;
+pub fn bump() {
+    unsafe { SCRATCH = 7; }
+}
+pub fn locked(m: &std::sync::Mutex<u32>) {
+    let g = m.lock();
+    unsafe { SCRATCH = 9; }
+}
+";
+        let v = run(vec![FileFacts::fixture("crates/obs/src/reg.rs", "emblookup-obs", src)]);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("`static SCRATCH`"), "{}", v[0].message);
+        assert_eq!(v[0].line, 3);
+    }
+}

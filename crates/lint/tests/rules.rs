@@ -316,7 +316,7 @@ fn json_report_is_golden_stable() {
         "\"message\":\".unwrap() can panic; propagate a Result or add `// lint: allow(L001) reason`\"}",
         "],\"warnings\":[],\"files_checked\":1,",
         "\"rule_counts\":{\"L000\":0,\"L001\":1,\"L002\":0,\"L003\":1,\"L004\":0,\"L005\":0,\"L006\":0,",
-        "\"L007\":0,\"L008\":0,\"L009\":0,\"L010\":0}}"
+        "\"L007\":0,\"L008\":0,\"L009\":0,\"L010\":0,\"L011\":0,\"L012\":0,\"L013\":0}}"
     );
     assert_eq!(got, want);
 }
@@ -381,6 +381,30 @@ fn cached_run_reports_identical_diagnostics_to_cold_run() {
          pub fn dead(x: Option<u32>) -> u32 { x.unwrap() }\n",
     )
     .expect("write");
+    // the concurrency-protocol facts (atomic decls/accesses, deadline
+    // params/checks, write sites, Arc/static sharing roots) must
+    // round-trip through the cache too: L011 + L012 + L013 findings
+    fs::create_dir_all(root.join("crates/serve/src")).expect("mkdir");
+    fs::write(
+        root.join("crates/serve/Cargo.toml"),
+        "[package]\nname = \"emblookup-serve\"\n",
+    )
+    .expect("write");
+    fs::write(
+        root.join("crates/serve/src/server.rs"),
+        "pub struct St {\n\
+         \x20   // lint: atomic(flag) fixture shutdown marker\n\
+         \x20   stop: AtomicBool,\n\
+         \x20   cursor: usize,\n\
+         }\n\
+         impl St {\n\
+         \x20   pub fn raise(&self) { self.stop.store(true, Ordering::Relaxed); }\n\
+         \x20   pub fn poke(&self) { self.cursor = 1; }\n\
+         }\n\
+         pub fn share(s: Arc<St>) {}\n\
+         pub fn handle_lookup(req: u32) -> u32 { rx.recv(); req }\n",
+    )
+    .expect("write");
 
     let registry = obs_name_registry();
     let cold_ws = Workspace::load(&root, &registry, true).expect("cold load");
@@ -393,12 +417,20 @@ fn cached_run_reports_identical_diagnostics_to_cold_run() {
     let warm = warm_ws.check();
 
     // the fixture exercises raw per-file rules (L001), interprocedural
-    // effects (L010) and the stale-allow audit — all must round-trip
+    // effects (L010), the concurrency-protocol family (L011–L013) and
+    // the stale-allow audit — all must round-trip
     let key = |v: &emblookup_lint::engine::Violation| {
         (v.file.clone(), v.line, v.rule.clone(), v.message.clone())
     };
     assert!(!cold.violations.is_empty(), "fixture must produce diagnostics");
     assert!(!cold.warnings.is_empty(), "fixture must produce a stale-allow warning");
+    for rule in ["L011", "L012", "L013"] {
+        assert!(
+            cold.violations.iter().any(|v| v.rule == rule),
+            "fixture must produce a {rule} diagnostic: {:?}",
+            cold.violations
+        );
+    }
     assert_eq!(
         cold.violations.iter().map(key).collect::<Vec<_>>(),
         warm.violations.iter().map(key).collect::<Vec<_>>()

@@ -7,7 +7,10 @@
 //! (6.25%). Recording is a handful of relaxed atomic adds — safe to call
 //! concurrently from any number of threads, with no lock anywhere.
 
-use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::atomic::{
+    AtomicU64,
+    Ordering::{AcqRel, Acquire, Relaxed, Release},
+};
 
 /// Values below this are counted in exact unit buckets.
 const LINEAR_CUTOFF: u64 = 16;
@@ -65,10 +68,23 @@ pub struct Exemplar {
 /// A lock-free exemplar slot: a seqlock-style `(value, trace_id)` pair.
 /// Writers skip on contention (the request path never blocks); readers
 /// retry on a torn read.
+///
+/// The handshake follows the uniform `seqlock` discipline (DESIGN.md
+/// §1.3): every load is `Acquire`, every store and the claiming CAS are
+/// `Release`-or-stronger. That makes the odd/even check sound: if a
+/// reader's data load synchronizes-with a writer's `Release` data
+/// store, that writer's odd version CAS (program-order-before the data
+/// store) is visible too, so the reader's `Acquire` recheck sees the
+/// odd or advanced version and retries — with the earlier all-`Relaxed`
+/// accesses, the recheck could validate a torn `(value, trace_id)`
+/// pair.
 #[derive(Debug, Default)]
 struct ExemplarSlot {
+    // lint: atomic(seqlock) version word of the (value, trace_id) pair
     version: AtomicU64,
+    // lint: atomic(seqlock) data slot published under `version`
     value: AtomicU64,
+    // lint: atomic(seqlock) data slot published under `version`
     trace_id: AtomicU64,
 }
 
@@ -76,38 +92,38 @@ impl ExemplarSlot {
     /// Best-effort publish; a concurrent writer wins and this write is
     /// silently skipped.
     fn offer(&self, value: u64, trace_id: u64) {
-        let v = self.version.load(Relaxed);
+        let v = self.version.load(Acquire);
         if v % 2 == 1 {
             return; // writer in progress
         }
         if self
             .version
-            .compare_exchange(v, v + 1, Relaxed, Relaxed)
+            .compare_exchange(v, v + 1, AcqRel, Relaxed)
             .is_err()
         {
             return;
         }
-        self.value.store(value, Relaxed);
-        self.trace_id.store(trace_id, Relaxed);
-        self.version.store(v + 2, Relaxed);
+        self.value.store(value, Release);
+        self.trace_id.store(trace_id, Release);
+        self.version.store(v + 2, Release);
     }
 
     fn value(&self) -> u64 {
-        self.value.load(Relaxed)
+        self.value.load(Acquire)
     }
 
     fn read(&self) -> Option<Exemplar> {
         for _ in 0..4 {
-            let v1 = self.version.load(Relaxed);
+            let v1 = self.version.load(Acquire);
             if v1 == 0 || v1 % 2 == 1 {
                 if v1 == 0 {
                     return None;
                 }
                 continue;
             }
-            let value = self.value.load(Relaxed);
-            let trace_id = self.trace_id.load(Relaxed);
-            if self.version.load(Relaxed) == v1 {
+            let value = self.value.load(Acquire);
+            let trace_id = self.trace_id.load(Acquire);
+            if self.version.load(Acquire) == v1 {
                 return (trace_id != 0).then_some(Exemplar { value, trace_id });
             }
         }
@@ -117,10 +133,15 @@ impl ExemplarSlot {
 
 /// Concurrent log-bucketed histogram over `u64` values.
 pub struct Histogram {
+    // lint: atomic(counter) statistics only; snapshots are point-in-time
     buckets: Box<[AtomicU64; NUM_BUCKETS]>,
+    // lint: atomic(counter) statistics only
     count: AtomicU64,
+    // lint: atomic(counter) statistics only
     sum: AtomicU64,
+    // lint: atomic(counter) statistics only
     min: AtomicU64,
+    // lint: atomic(counter) statistics only
     max: AtomicU64,
     ex_max: ExemplarSlot,
     ex_last: ExemplarSlot,
@@ -494,6 +515,42 @@ mod tests {
         assert_eq!(s.count, 4);
         assert_eq!(s.exemplar_max(), Some(Exemplar { value: 5_000, trace_id: 0xB }));
         assert_eq!(s.exemplar_last(), Some(Exemplar { value: 300, trace_id: 0xC }));
+    }
+
+    #[test]
+    fn exemplar_reads_are_never_torn() {
+        // regression for the seqlock fix: writers publish (value,
+        // trace_id) pairs with trace_id == value + 1; a reader that
+        // validates a read must never observe a mixed pair. Under the
+        // earlier all-Relaxed handshake the version recheck could
+        // validate a torn read.
+        use std::sync::Arc;
+        let slot = Arc::new(ExemplarSlot::default());
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let slot = Arc::clone(&slot);
+                scope.spawn(move || {
+                    for i in 0..20_000u64 {
+                        let value = t * 1_000_000 + i + 1;
+                        slot.offer(value, value + 1);
+                    }
+                });
+            }
+            for _ in 0..2 {
+                let slot = Arc::clone(&slot);
+                scope.spawn(move || {
+                    for _ in 0..50_000 {
+                        if let Some(e) = slot.read() {
+                            assert_eq!(
+                                e.trace_id,
+                                e.value + 1,
+                                "torn exemplar: value and trace_id from different writes"
+                            );
+                        }
+                    }
+                });
+            }
+        });
     }
 
     #[test]

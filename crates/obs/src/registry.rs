@@ -12,6 +12,7 @@ use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 /// Monotonically increasing counter.
 #[derive(Debug, Default)]
 pub struct Counter {
+    // lint: atomic(counter) statistics only
     value: AtomicU64,
 }
 
@@ -35,6 +36,7 @@ impl Counter {
 /// Last-write-wins gauge holding an `f64`.
 #[derive(Debug, Default)]
 pub struct Gauge {
+    // lint: atomic(counter) last-write-wins f64 bits; no ordering contract
     bits: AtomicU64,
 }
 

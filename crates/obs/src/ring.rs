@@ -17,8 +17,11 @@ use std::sync::{Arc, Mutex};
 #[derive(Debug)]
 pub struct FlightRecorder {
     slots: Vec<Mutex<Option<Arc<TraceData>>>>,
+    // lint: atomic(ring_head) the claimed value orders slot writes for scanners
     head: AtomicU64,
+    // lint: atomic(counter) statistics only
     recorded: AtomicU64,
+    // lint: atomic(counter) statistics only
     dropped: AtomicU64,
 }
 
@@ -39,7 +42,11 @@ impl FlightRecorder {
     /// trace is dropped and counted instead of blocking. Returns
     /// whether the trace was stored.
     pub fn record(&self, trace: Arc<TraceData>) -> bool {
-        let slot = (self.head.fetch_add(1, Ordering::Relaxed) as usize) % self.slots.len();
+        // Release: a scanner that observes the advanced head (Acquire in
+        // `recent`) must also observe the slot writes published before
+        // earlier advances; Relaxed here let `recent` start from a head
+        // value ahead of the slot state it paired with.
+        let slot = (self.head.fetch_add(1, Ordering::Release) as usize) % self.slots.len();
         match self.slots[slot].try_lock() {
             Ok(mut guard) => {
                 *guard = Some(trace);
@@ -57,7 +64,7 @@ impl FlightRecorder {
     /// head. Slots that are contended right now are skipped.
     pub fn recent(&self) -> Vec<Arc<TraceData>> {
         let n = self.slots.len();
-        let head = self.head.load(Ordering::Relaxed) as usize;
+        let head = self.head.load(Ordering::Acquire) as usize;
         let mut out = Vec::with_capacity(n);
         for i in 0..n {
             let slot = (head + i) % n;

@@ -63,6 +63,7 @@ pub fn trace_id_from_index(index: u64) -> u64 {
 /// `std::thread::ThreadId` so span records stay plain `u64`s.
 pub fn thread_ordinal() -> u64 {
     use std::cell::Cell;
+    // lint: atomic(counter) id allocator; uniqueness, not ordering
     static NEXT: AtomicU64 = AtomicU64::new(1);
     thread_local! {
         static ORDINAL: Cell<u64> = const { Cell::new(0) };
@@ -104,6 +105,7 @@ impl TraceClock {
     pub fn now_ns(&self) -> u64 {
         match self {
             TraceClock::Real(epoch) => epoch.elapsed().as_nanos() as u64,
+            // lint: atomic(counter) virtual clock: a late-by-one read only shifts a span timestamp
             TraceClock::Virtual(ns) => ns.load(Ordering::Relaxed),
         }
     }

@@ -101,6 +101,7 @@ impl std::error::Error for TaskPanic {}
 struct JobCore {
     data: *const (),
     call: unsafe fn(*const (), usize, usize),
+    // lint: atomic(refcount) chunks outstanding; the zero observer frees `data`
     pending: AtomicUsize,
     panic_payload: Mutex<Option<Box<dyn Any + Send>>>,
     done: Mutex<bool>,
@@ -175,14 +176,17 @@ struct Shared {
     /// Overflow queue for submissions from non-worker threads.
     injector: Mutex<VecDeque<Task>>,
     /// Tasks currently sitting in any queue (not yet picked up).
+    // lint: atomic(refcount) gates the worker sleep/wake handshake
     queued: AtomicUsize,
     /// Detached tasks currently waiting in the injector (the quantity the
     /// bounded mode caps).
+    // lint: atomic(refcount) gates the bounded-injector admission wait
     detached_queued: AtomicUsize,
     /// `usize::MAX` when unbounded.
     injector_cap: usize,
     sleep: Mutex<()>,
     wake: Condvar,
+    // lint: atomic(flag) one-way shutdown publication to workers
     shutdown: AtomicBool,
     tasks_total: Arc<Counter>,
     steals: Arc<Counter>,

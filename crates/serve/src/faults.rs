@@ -183,6 +183,7 @@ impl FaultLayer {
 pub struct DeadlineClock {
     start: Instant,
     budget_ms: u64,
+    // lint: atomic(counter) virtual clock; monotone accrual, no ordering contract
     virtual_ns: Arc<AtomicU64>,
     virtual_only: bool,
 }

@@ -113,6 +113,7 @@ struct ServerState {
     /// Flight recorder + tail sampler every completed trace publishes to.
     hub: TraceHub,
     /// Request indices in accept order; the fault layer's replay key.
+    // lint: atomic(counter) accept-order index allocator
     seq: AtomicU64,
 }
 
@@ -141,6 +142,7 @@ struct TraceCtx {
     /// The shared virtual nanosecond counter when the fault harness
     /// runs in virtual time; the deadline clock accrues into it so
     /// injected latency shows up in span durations.
+    // lint: atomic(counter) virtual clock handle; see DeadlineClock
     virtual_ns: Option<Arc<AtomicU64>>,
 }
 
@@ -148,6 +150,7 @@ struct TraceCtx {
 /// stops the accept loop and joins the worker pool.
 pub struct Server {
     addr: SocketAddr,
+    // lint: atomic(flag) one-way stop publication to the accept loop
     shutdown: Arc<AtomicBool>,
     handle: Option<JoinHandle<()>>,
     registry: Arc<MetricsRegistry>,

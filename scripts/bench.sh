@@ -66,3 +66,14 @@ for i, r in enumerate(rows):
     if i == 0:
         print("  ".join("-" * w for w in widths))
 PY
+
+# Lint-runtime stanza: the static-analysis gate is part of every push,
+# so its cold-run wall time is a perf number worth tracking alongside
+# the lookup latencies (ci.sh enforces the 30 s budget; this just
+# reports).
+echo
+echo "== emblookup-lint cold-run wall time (per-push gate; ci.sh budget 30s) =="
+lint_start_ns=$(date +%s%N)
+cargo run -q -p emblookup-lint --release --offline -- --no-cache > /dev/null || true
+lint_end_ns=$(date +%s%N)
+printf 'emblookup-lint --no-cache: %d ms\n' $(( (lint_end_ns - lint_start_ns) / 1000000 ))

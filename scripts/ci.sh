@@ -34,17 +34,20 @@ cargo test -q --offline -p emblookup-serve --test server
 echo "== cargo clippy -- -D warnings =="
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
-echo "== emblookup-lint --api-check (L001-L010 incl. layering, API drift, interprocedural effects) =="
+echo "== emblookup-lint --api-check (L001-L013 incl. layering, API drift, interprocedural effects, concurrency protocols) =="
 # Hard gate: exits 1 with file:line diagnostics on any violation — this
 # includes the interprocedural rules (L008 determinism, L009 lock
-# discipline, L010 hot-path effects), whose diagnostics print the full
-# call chain with file:line per hop. Prints a per-rule violation count
-# summary (zeros included); --api-check diffs the public-API snapshot
-# against API.lock (bless with --api-bless); the --fix-metric-names dry
-# run prints the literal→constant plan for the log. The full pass
-# (including the whole-workspace fixed point) must finish within a 30 s
-# wall-clock budget so the gate stays cheap enough to run on every push;
-# --no-cache keeps the timing honest on warm checkouts.
+# discipline, L010 hot-path effects) and the concurrency-protocol family
+# (L011 atomics-ordering discipline, L012 deadline propagation from
+# serve handlers, L013 guard-free shared-state writes), whose
+# diagnostics print the full call/witness chain with file:line per hop.
+# Prints a per-rule violation count summary (zeros included);
+# --api-check diffs the public-API snapshot against API.lock (bless with
+# --api-bless); the --fix-metric-names dry run prints the
+# literal→constant plan for the log. The full pass (including the
+# whole-workspace fixed point) must finish within a 30 s wall-clock
+# budget so the gate stays cheap enough to run on every push; --no-cache
+# keeps the timing honest on warm checkouts.
 lint_start=$(date +%s)
 cargo run -q -p emblookup-lint --release --offline -- --no-cache --api-check --fix-metric-names
 lint_elapsed=$(( $(date +%s) - lint_start ))
@@ -53,5 +56,17 @@ if [ "$lint_elapsed" -gt 30 ]; then
     echo "ci.sh: FAIL — lint pass exceeded the 30s wall-clock budget" >&2
     exit 1
 fi
+
+echo "== ATOMICS.md freshness (emblookup-lint --atomics-report) =="
+# The committed atomic-protocol inventory must match the tree: adding or
+# re-protocoling an atomic without regenerating ATOMICS.md fails here.
+cargo run -q -p emblookup-lint --release --offline -- --atomics-report > target/ATOMICS.md.new
+if ! diff -u ATOMICS.md target/ATOMICS.md.new; then
+    echo "ci.sh: FAIL — ATOMICS.md is stale; regenerate with" >&2
+    echo "  cargo run -q -p emblookup-lint --release --offline -- --atomics-report > ATOMICS.md" >&2
+    exit 1
+fi
+rm -f target/ATOMICS.md.new
+echo "ATOMICS.md is current"
 
 echo "ci.sh: all checks passed"
