@@ -5,11 +5,15 @@
 //! Standard construction: every vector gets a random level from a
 //! geometric distribution; search descends greedily from the top layer and
 //! runs a beam search (`ef`) on layer 0. Neighbour lists are pruned to `m`
-//! (2`m` on layer 0) by distance.
+//! (2`m` on layer 0) with the paper's diversity heuristic (Algorithm 4):
+//! a candidate is kept only if it is closer to the node than to every
+//! already-kept neighbour, which preserves the inter-cluster bridges that
+//! plain nearest-`m` pruning severs on clustered data.
 // lint: hot-path
 
+use crate::kernels::sq_l2;
 use crate::topk::{Neighbor, TopK};
-use crate::vectors::{sq_l2, VectorSet};
+use crate::vectors::VectorSet;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Ordering;
@@ -36,7 +40,7 @@ impl Default for HnswConfig {
 
 /// Max-heap entry ordered by distance (for result pruning).
 #[derive(PartialEq)]
-struct Far(f32, u32);
+pub(crate) struct Far(pub(crate) f32, pub(crate) u32);
 impl Eq for Far {}
 impl PartialOrd for Far {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
@@ -51,7 +55,7 @@ impl Ord for Far {
 
 /// Min-heap entry (via reversed ordering) for the candidate frontier.
 #[derive(PartialEq)]
-struct Near(f32, u32);
+pub(crate) struct Near(pub(crate) f32, pub(crate) u32);
 impl Eq for Near {}
 impl PartialOrd for Near {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
@@ -117,11 +121,11 @@ impl HnswIndex {
             let (candidates, _) =
                 self.search_layer(&query, current, layer, self.config.ef_construction);
             let max_links = self.layer_cap(layer);
-            let selected: Vec<u32> = candidates
+            let scored: Vec<(f32, u32)> = candidates
                 .iter()
-                .take(max_links)
-                .map(|n| n.index as u32)
+                .map(|n| (n.dist, n.index as u32))
                 .collect();
+            let selected = self.select_diverse(scored, max_links);
             for &peer in &selected {
                 self.links[node as usize][layer].push(peer);
                 self.links[peer as usize][layer].push(node);
@@ -145,20 +149,54 @@ impl HnswIndex {
         }
     }
 
-    /// Keeps only the `cap` nearest neighbours of `node` on `layer`.
+    /// Re-prunes `node`'s neighbour list on `layer` to its cap with the
+    /// diversity heuristic.
     fn prune(&mut self, node: u32, layer: usize) {
         let cap = self.layer_cap(layer);
         if self.links[node as usize][layer].len() <= cap {
             return;
         }
         let base = self.vectors.get(node as usize).to_vec();
-        let mut scored: Vec<(f32, u32)> = self.links[node as usize][layer]
+        let scored: Vec<(f32, u32)> = self.links[node as usize][layer]
             .iter()
             .map(|&p| (sq_l2(&base, self.vectors.get(p as usize)), p))
             .collect();
+        self.links[node as usize][layer] = self.select_diverse(scored, cap);
+    }
+
+    /// Neighbour-selection heuristic (Malkov & Yashunin, Algorithm 4):
+    /// candidates arrive scored by distance to the base point, are taken
+    /// in ascending order, and are kept only when closer to the base
+    /// than to every already-kept neighbour, so each kept edge covers a
+    /// distinct direction. Skipped candidates backfill remaining
+    /// capacity (`keepPrunedConnections`), keeping degree — and
+    /// therefore graph connectivity — high.
+    fn select_diverse(&self, mut scored: Vec<(f32, u32)>, cap: usize) -> Vec<u32> {
         scored.sort_by(|a, b| a.0.total_cmp(&b.0));
-        scored.truncate(cap);
-        self.links[node as usize][layer] = scored.into_iter().map(|(_, p)| p).collect();
+        scored.dedup_by_key(|&mut (_, p)| p);
+        let mut kept: Vec<u32> = Vec::with_capacity(cap);
+        let mut skipped: Vec<u32> = Vec::new();
+        for &(d, c) in &scored {
+            if kept.len() >= cap {
+                break;
+            }
+            let cv = self.vectors.get(c as usize);
+            let dominated = kept
+                .iter()
+                .any(|&k| sq_l2(cv, self.vectors.get(k as usize)) < d);
+            if dominated {
+                skipped.push(c);
+            } else {
+                kept.push(c);
+            }
+        }
+        for c in skipped {
+            if kept.len() >= cap {
+                break;
+            }
+            kept.push(c);
+        }
+        kept
     }
 
     /// One greedy hop-to-local-minimum pass on a layer.
@@ -241,6 +279,34 @@ impl HnswIndex {
     /// True when no vectors are indexed.
     pub fn is_empty(&self) -> bool {
         self.vectors.is_empty()
+    }
+
+    /// True index size in bytes: the raw vectors plus the graph
+    /// adjacency payload (neighbour ids across every layer).
+    pub fn nbytes(&self) -> usize {
+        self.vectors.nbytes() + self.links_nbytes()
+    }
+
+    /// Adjacency payload alone (u32 neighbour ids, all layers).
+    pub fn links_nbytes(&self) -> usize {
+        self.links
+            .iter()
+            .flat_map(|layers| layers.iter())
+            .map(|l| l.len() * std::mem::size_of::<u32>())
+            .sum()
+    }
+
+    /// Decomposes the graph for reuse by the PQ-fused variant:
+    /// `(vectors, links, entry, max_level, config)`.
+    pub(crate) fn into_parts(
+        self,
+    ) -> (VectorSet, Vec<Vec<Vec<u32>>>, u32, usize, HnswConfig) {
+        (self.vectors, self.links, self.entry, self.max_level, self.config)
+    }
+
+    /// Searches many queries, optionally in parallel across the pool.
+    pub fn search_batch(&self, queries: &VectorSet, k: usize, threads: usize) -> Vec<Vec<Neighbor>> {
+        crate::flat::batch_search(queries, k, threads, |q, k| self.search(q, k))
     }
 
     /// Approximate `k` nearest neighbours, ascending by distance.

@@ -7,9 +7,10 @@
 // lint: hot-path
 
 use crate::flat::batch_search;
+use crate::kernels::sq_l2;
 use crate::kmeans::{KMeans, KMeansConfig};
 use crate::topk::{Neighbor, TopK};
-use crate::vectors::{sq_l2, VectorSet};
+use crate::vectors::VectorSet;
 
 /// Configuration for [`IvfIndex::build`].
 #[derive(Debug, Clone, Copy)]
@@ -83,6 +84,15 @@ impl IvfIndex {
     /// Number of inverted lists.
     pub fn nlist(&self) -> usize {
         self.lists.len()
+    }
+
+    /// Exact byte size of the stored index: the full-precision vectors
+    /// plus the coarse centroids and the inverted-list postings (`u32`
+    /// row ids).
+    pub fn nbytes(&self) -> usize {
+        let postings: usize =
+            self.lists.iter().map(Vec::len).sum::<usize>() * std::mem::size_of::<u32>();
+        self.vectors.nbytes() + self.coarse.centroids().nbytes() + postings
     }
 
     /// Approximate `k` nearest neighbours scanning `nprobe` lists.

@@ -5,10 +5,11 @@
 // lint: hot-path
 
 use crate::flat::batch_search;
+use crate::kernels::sq_l2;
 use crate::kmeans::{KMeans, KMeansConfig};
 use crate::pq::{PqConfig, ProductQuantizer};
 use crate::topk::{Neighbor, TopK};
-use crate::vectors::{sq_l2, VectorSet};
+use crate::vectors::VectorSet;
 
 /// Configuration for [`IvfPqIndex::build`].
 #[derive(Debug, Clone, Copy)]
@@ -139,10 +140,26 @@ impl IvfPqIndex {
         let mut tk = TopK::new(k);
         let mut visited = 0u64;
         for &(list, _) in order.iter().take(self.nprobe) {
-            visited += self.list_ids[list].len() as u64;
-            for (slot, &id) in self.list_ids[list].iter().enumerate() {
-                let code = &self.list_codes[list][slot * m..(slot + 1) * m];
-                tk.push(id as usize, self.quantizer.adc(&table, code));
+            let ids = &self.list_ids[list];
+            let codes = &self.list_codes[list];
+            visited += ids.len() as u64;
+            // contiguous per-list codes score four at a time through the
+            // batched ADC kernel; the tail lanes are bit-exact with it
+            let mut quads = codes.chunks_exact(4 * m);
+            let mut slot = 0;
+            for quad in &mut quads {
+                let d = self.quantizer.adc4(
+                    &table,
+                    [&quad[..m], &quad[m..2 * m], &quad[2 * m..3 * m], &quad[3 * m..]],
+                );
+                for (l, &dl) in d.iter().enumerate() {
+                    tk.push(ids[slot + l] as usize, dl);
+                }
+                slot += 4;
+            }
+            for code in quads.remainder().chunks_exact(m) {
+                tk.push(ids[slot] as usize, self.quantizer.adc(&table, code));
+                slot += 1;
             }
         }
         crate::metrics::ivfpq_searches().inc();

@@ -1,0 +1,857 @@
+//! Runtime-dispatched SIMD distance kernels — the single home for every
+//! hot distance loop in the workspace (all ANN backends plus, via
+//! `emblookup-tensor`, the blocked-matmul inner product).
+//!
+//! # Dispatch
+//!
+//! The first distance call resolves a kernel *variant* once per process
+//! and caches it in an [`AtomicU8`]:
+//!
+//! | variant    | when                                                        |
+//! |------------|-------------------------------------------------------------|
+//! | `scalar`   | `EMBLOOKUP_KERNEL=scalar`, or no SIMD path for this CPU     |
+//! | `avx2fma`  | x86_64 with AVX2 **and** FMA detected at runtime            |
+//! | `neon`     | aarch64 (NEON is baseline on AArch64)                       |
+//!
+//! `EMBLOOKUP_KERNEL=scalar|auto` is resolved once, mirroring how
+//! `EMBLOOKUP_THREADS` pins the pool width; any value other than
+//! `scalar` means auto-detect. [`active`] reports the resolved name so
+//! benchmarks can record it next to their numbers.
+//!
+//! # Determinism contract
+//!
+//! For a *fixed* variant, every kernel is a pure function of its inputs:
+//! results are bit-identical across calls, threads, and pool widths.
+//! Scalar and SIMD variants of `sq_l2`/`dot`/`sq8_asym` may differ in
+//! float rounding (different add order, FMA contraction); tests bound
+//! the divergence at 1e-5 relative error. The ADC kernels are stricter:
+//! [`adc`] sums in ascending sub-quantizer order in every variant, and
+//! [`adc4`] accumulates each lane in that same order, so batched and
+//! per-code ADC agree **bit-exactly** under every variant.
+//!
+//! # Adding an ISA path
+//!
+//! Add a `#[target_feature]`-gated module here (L002 rejects
+//! `target_feature` in any other lib file), a variant constant, a
+//! detection arm in `detect()`, and a dispatch arm in each public
+//! wrapper. Every `unsafe` token needs an `// lint: allow(L002)`
+//! justification naming the dispatch-time feature check that makes it
+//! sound.
+// lint: hot-path
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Variant value before first resolution.
+const V_UNRESOLVED: u8 = 0;
+/// Unrolled scalar fallback (also the forced `EMBLOOKUP_KERNEL=scalar`).
+const V_SCALAR: u8 = 1;
+/// x86_64 AVX2 + FMA path.
+const V_AVX2: u8 = 2;
+/// aarch64 NEON path.
+const V_NEON: u8 = 3;
+
+// One-shot publication of the resolved kernel variant: init() detects CPU
+// features / reads EMBLOOKUP_KERNEL once and store(Release)s; hot-path
+// readers load(Acquire) and treat 0 as "unresolved". A benign race between
+// first callers only repeats the cheap, idempotent detection.
+// lint: atomic(flag) one-shot publish of the detected kernel variant
+static KERNEL: AtomicU8 = AtomicU8::new(V_UNRESOLVED);
+
+/// Resolved kernel variant, resolving it on first use.
+#[inline]
+fn variant() -> u8 {
+    match KERNEL.load(Ordering::Acquire) {
+        V_UNRESOLVED => init(),
+        v => v,
+    }
+}
+
+/// Cold path of [`variant`]: resolves `EMBLOOKUP_KERNEL` and CPU
+/// detection once, publishes the result.
+#[cold]
+fn init() -> u8 {
+    let forced_scalar = std::env::var("EMBLOOKUP_KERNEL")
+        .is_ok_and(|v| v.trim().eq_ignore_ascii_case("scalar"));
+    let v = if forced_scalar { V_SCALAR } else { detect() };
+    KERNEL.store(v, Ordering::Release);
+    v
+}
+
+/// CPU-feature detection (the `auto` policy).
+fn detect() -> u8 {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma") {
+        return V_AVX2;
+    }
+    if cfg!(target_arch = "aarch64") {
+        return V_NEON;
+    }
+    V_SCALAR
+}
+
+/// Name of the dispatched kernel variant (`"scalar"`, `"avx2fma"`, or
+/// `"neon"`), for benchmark records and diagnostics.
+pub fn active() -> &'static str {
+    match variant() {
+        V_AVX2 => "avx2fma",
+        V_NEON => "neon",
+        _ => "scalar",
+    }
+}
+
+/// Squared Euclidean distance between two equal-length slices.
+#[inline]
+pub fn sq_l2(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    #[cfg(target_arch = "x86_64")]
+    if variant() == V_AVX2 {
+        // lint: allow(L002) gated by dispatch: V_AVX2 is published only after is_x86_feature_detected verified avx2+fma
+        return unsafe { x86::sq_l2_avx2(a, b) };
+    }
+    #[cfg(target_arch = "aarch64")]
+    if variant() == V_NEON {
+        // lint: allow(L002) gated by dispatch: V_NEON implies NEON, which is baseline on aarch64
+        return unsafe { neon::sq_l2_neon(a, b) };
+    }
+    scalar::sq_l2(a, b)
+}
+
+/// Dot product of two equal-length slices.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    #[cfg(target_arch = "x86_64")]
+    if variant() == V_AVX2 {
+        // lint: allow(L002) gated by dispatch: V_AVX2 is published only after is_x86_feature_detected verified avx2+fma
+        return unsafe { x86::dot_avx2(a, b) };
+    }
+    #[cfg(target_arch = "aarch64")]
+    if variant() == V_NEON {
+        // lint: allow(L002) gated by dispatch: V_NEON implies NEON, which is baseline on aarch64
+        return unsafe { neon::dot_neon(a, b) };
+    }
+    scalar::dot(a, b)
+}
+
+/// ADC distance of one PQ code against a distance table laid out as
+/// `table[j * ks + c]`.
+///
+/// Deliberately scalar in every variant: for a single code the `m`
+/// dependent table loads don't amortize a gather, and the strict
+/// ascending-`j` summation is what makes [`adc4`] lanes bit-exact
+/// against this function.
+#[inline]
+pub fn adc(table: &[f32], ks: usize, code: &[u8]) -> f32 {
+    scalar::adc(table, ks, code)
+}
+
+/// Batched ADC: four codes scored against one distance table per call.
+///
+/// Each output lane equals `adc(table, ks, codes[lane])` bit-exactly:
+/// the SIMD path gathers one `j` row across all four lanes and adds in
+/// ascending `j`, the same order the single-code kernel uses.
+#[inline]
+pub fn adc4(table: &[f32], ks: usize, codes: [&[u8]; 4]) -> [f32; 4] {
+    #[cfg(target_arch = "x86_64")]
+    if variant() == V_AVX2 {
+        // lint: allow(L002) gated by dispatch: V_AVX2 is published only after is_x86_feature_detected verified avx2+fma
+        return unsafe { x86::adc4_avx2(table, ks, codes) };
+    }
+    scalar::adc4(table, ks, codes)
+}
+
+/// Block ADC: scores `out.len()` contiguous `m`-byte codes against one
+/// distance table in a single dispatched call.
+///
+/// `out[i]` equals `adc(table, ks, &codes[i * m..][..m])` **bit-exactly**
+/// under every variant: full quads go through the four-lane body (whose
+/// lanes add in ascending `j`) and the remainder uses the single-code
+/// order. One dispatch + one call per *block* is what lets the SIMD win
+/// survive — per-quad calls into a `#[target_feature]` function cannot
+/// inline, and the call overhead eats the kernel's gain.
+#[inline]
+pub fn adc_block(table: &[f32], ks: usize, m: usize, codes: &[u8], out: &mut [f32]) {
+    debug_assert!(m > 0 && out.len() * m <= codes.len());
+    debug_assert!(m * ks <= table.len());
+    #[cfg(target_arch = "x86_64")]
+    if variant() == V_AVX2 {
+        // lint: allow(L002) gated by dispatch: V_AVX2 is published only after is_x86_feature_detected verified avx2+fma
+        return unsafe { x86::adc_block_avx2(table, ks, m, codes, out) };
+    }
+    scalar::adc_block(table, ks, m, codes, out);
+}
+
+/// Block squared-L2: distances from `query` to `out.len()` contiguous
+/// rows of `query.len()` floats each, in a single dispatched call — the
+/// ADC table-build shape (one sub-query against a whole codebook).
+/// Same rounding contract as [`sq_l2`]: SIMD variants may differ from
+/// scalar within the tested 1e-5 relative bound.
+#[inline]
+pub fn sq_l2_block(query: &[f32], rows: &[f32], out: &mut [f32]) {
+    debug_assert!(out.len() * query.len() <= rows.len());
+    #[cfg(target_arch = "x86_64")]
+    if variant() == V_AVX2 {
+        // lint: allow(L002) gated by dispatch: V_AVX2 is published only after is_x86_feature_detected verified avx2+fma
+        return unsafe { x86::sq_l2_block_avx2(query, rows, out) };
+    }
+    #[cfg(target_arch = "aarch64")]
+    if variant() == V_NEON {
+        // lint: allow(L002) gated by dispatch: V_NEON implies NEON, which is baseline on aarch64
+        return unsafe { neon::sq_l2_block_neon(query, rows, out) };
+    }
+    scalar::sq_l2_block(query, rows, out);
+}
+
+/// Asymmetric SQ8 squared distance: raw query vs per-dimension affine
+/// code `mins[j] + code[j] * scales[j]`.
+#[inline]
+pub fn sq8_asym(query: &[f32], code: &[u8], mins: &[f32], scales: &[f32]) -> f32 {
+    debug_assert_eq!(query.len(), code.len());
+    #[cfg(target_arch = "x86_64")]
+    if variant() == V_AVX2 {
+        // lint: allow(L002) gated by dispatch: V_AVX2 is published only after is_x86_feature_detected verified avx2+fma
+        return unsafe { x86::sq8_asym_avx2(query, code, mins, scales) };
+    }
+    #[cfg(target_arch = "aarch64")]
+    if variant() == V_NEON {
+        // lint: allow(L002) gated by dispatch: V_NEON implies NEON, which is baseline on aarch64
+        return unsafe { neon::sq8_asym_neon(query, code, mins, scales) };
+    }
+    scalar::sq8_asym(query, code, mins, scales)
+}
+
+/// Unrolled scalar reference kernels — the fallback variant and the
+/// ground truth the SIMD paths are tested against. Four independent
+/// accumulators break the serial float dependency chain (the compiler
+/// cannot reassociate float adds itself), which both saturates the FMA
+/// pipes and gives the autovectorizer a clean reduction shape.
+pub mod scalar {
+    /// Squared Euclidean distance (reference).
+    #[inline]
+    pub fn sq_l2(a: &[f32], b: &[f32]) -> f32 {
+        let mut ca = a.chunks_exact(4);
+        let mut cb = b.chunks_exact(4);
+        let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+        for (ka, kb) in (&mut ca).zip(&mut cb) {
+            let d0 = ka[0] - kb[0];
+            let d1 = ka[1] - kb[1];
+            let d2 = ka[2] - kb[2];
+            let d3 = ka[3] - kb[3];
+            s0 += d0 * d0;
+            s1 += d1 * d1;
+            s2 += d2 * d2;
+            s3 += d3 * d3;
+        }
+        let rest: f32 = ca
+            .remainder()
+            .iter()
+            .zip(cb.remainder())
+            .map(|(&x, &y)| (x - y) * (x - y))
+            .sum();
+        (s0 + s1) + (s2 + s3) + rest
+    }
+
+    /// Dot product (reference).
+    #[inline]
+    pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+        let mut ca = a.chunks_exact(4);
+        let mut cb = b.chunks_exact(4);
+        let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+        for (ka, kb) in (&mut ca).zip(&mut cb) {
+            s0 += ka[0] * kb[0];
+            s1 += ka[1] * kb[1];
+            s2 += ka[2] * kb[2];
+            s3 += ka[3] * kb[3];
+        }
+        let rest: f32 = ca
+            .remainder()
+            .iter()
+            .zip(cb.remainder())
+            .map(|(&x, &y)| x * y)
+            .sum();
+        (s0 + s1) + (s2 + s3) + rest
+    }
+
+    /// Single-code ADC (reference). Strict ascending-`j` summation —
+    /// the order contract shared with [`adc4`].
+    #[inline]
+    pub fn adc(table: &[f32], ks: usize, code: &[u8]) -> f32 {
+        let mut acc = 0.0f32;
+        for (j, &c) in code.iter().enumerate() {
+            acc += table[j * ks + c as usize];
+        }
+        acc
+    }
+
+    /// Four-lane ADC (reference): each lane sums in ascending `j`, so
+    /// lane `l` equals `adc(table, ks, codes[l])` bit-exactly.
+    #[inline]
+    pub fn adc4(table: &[f32], ks: usize, codes: [&[u8]; 4]) -> [f32; 4] {
+        let m = codes[0].len();
+        let mut out = [0.0f32; 4];
+        for j in 0..m {
+            let row = j * ks;
+            out[0] += table[row + codes[0][j] as usize];
+            out[1] += table[row + codes[1][j] as usize];
+            out[2] += table[row + codes[2][j] as usize];
+            out[3] += table[row + codes[3][j] as usize];
+        }
+        out
+    }
+
+    /// Block ADC (reference): one single-code ADC per output slot, so
+    /// the block form is bit-exact against the per-code form by
+    /// construction.
+    #[inline]
+    pub fn adc_block(table: &[f32], ks: usize, m: usize, codes: &[u8], out: &mut [f32]) {
+        for (o, code) in out.iter_mut().zip(codes.chunks_exact(m)) {
+            *o = adc(table, ks, code);
+        }
+    }
+
+    /// Block squared-L2 (reference): one row at a time.
+    #[inline]
+    pub fn sq_l2_block(query: &[f32], rows: &[f32], out: &mut [f32]) {
+        let dim = query.len();
+        for (o, row) in out.iter_mut().zip(rows.chunks_exact(dim)) {
+            *o = sq_l2(query, row);
+        }
+    }
+
+    /// Asymmetric SQ8 distance (reference).
+    #[inline]
+    pub fn sq8_asym(query: &[f32], code: &[u8], mins: &[f32], scales: &[f32]) -> f32 {
+        let n = code.len();
+        let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+        let mut j = 0;
+        while j + 4 <= n {
+            let d0 = query[j] - (mins[j] + code[j] as f32 * scales[j]);
+            let d1 = query[j + 1] - (mins[j + 1] + code[j + 1] as f32 * scales[j + 1]);
+            let d2 = query[j + 2] - (mins[j + 2] + code[j + 2] as f32 * scales[j + 2]);
+            let d3 = query[j + 3] - (mins[j + 3] + code[j + 3] as f32 * scales[j + 3]);
+            s0 += d0 * d0;
+            s1 += d1 * d1;
+            s2 += d2 * d2;
+            s3 += d3 * d3;
+            j += 4;
+        }
+        let mut rest = 0.0f32;
+        while j < n {
+            let d = query[j] - (mins[j] + code[j] as f32 * scales[j]);
+            rest += d * d;
+            j += 1;
+        }
+        (s0 + s1) + (s2 + s3) + rest
+    }
+}
+
+/// AVX2 + FMA kernels. Every function here is sound only after
+/// dispatch-time detection; nothing outside [`variant`]-guarded arms
+/// may call in.
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use core::arch::x86_64::*;
+
+    /// Horizontal sum of one 256-bit register.
+    ///
+    /// # Safety
+    /// Requires AVX2 (guaranteed by the caller's dispatch check).
+    #[target_feature(enable = "avx2")]
+    // lint: allow(L002) target_feature helper, reached only from dispatch-gated kernels in this module
+    unsafe fn hsum256(v: __m256) -> f32 {
+        let lo = _mm256_castps256_ps128(v);
+        let hi = _mm256_extractf128_ps(v, 1);
+        let s = _mm_add_ps(lo, hi);
+        let s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+        let s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 0b01));
+        _mm_cvtss_f32(s)
+    }
+
+    /// Squared Euclidean distance, two FMA chains of 8 lanes.
+    ///
+    /// # Safety
+    /// Requires AVX2+FMA; called only when `variant() == V_AVX2`.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    // lint: allow(L002) sound under dispatch: V_AVX2 is published only after runtime avx2+fma detection
+    pub unsafe fn sq_l2_avx2(a: &[f32], b: &[f32]) -> f32 {
+        let n = a.len().min(b.len());
+        let mut acc0 = _mm256_setzero_ps();
+        let mut acc1 = _mm256_setzero_ps();
+        let mut i = 0;
+        while i + 16 <= n {
+            let d0 = _mm256_sub_ps(
+                _mm256_loadu_ps(a.as_ptr().add(i)),
+                _mm256_loadu_ps(b.as_ptr().add(i)),
+            );
+            let d1 = _mm256_sub_ps(
+                _mm256_loadu_ps(a.as_ptr().add(i + 8)),
+                _mm256_loadu_ps(b.as_ptr().add(i + 8)),
+            );
+            acc0 = _mm256_fmadd_ps(d0, d0, acc0);
+            acc1 = _mm256_fmadd_ps(d1, d1, acc1);
+            i += 16;
+        }
+        if i + 8 <= n {
+            let d = _mm256_sub_ps(
+                _mm256_loadu_ps(a.as_ptr().add(i)),
+                _mm256_loadu_ps(b.as_ptr().add(i)),
+            );
+            acc0 = _mm256_fmadd_ps(d, d, acc0);
+            i += 8;
+        }
+        let mut sum = hsum256(_mm256_add_ps(acc0, acc1));
+        while i < n {
+            let d = a[i] - b[i];
+            sum += d * d;
+            i += 1;
+        }
+        sum
+    }
+
+    /// Dot product, two FMA chains of 8 lanes.
+    ///
+    /// # Safety
+    /// Requires AVX2+FMA; called only when `variant() == V_AVX2`.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    // lint: allow(L002) sound under dispatch: V_AVX2 is published only after runtime avx2+fma detection
+    pub unsafe fn dot_avx2(a: &[f32], b: &[f32]) -> f32 {
+        let n = a.len().min(b.len());
+        let mut acc0 = _mm256_setzero_ps();
+        let mut acc1 = _mm256_setzero_ps();
+        let mut i = 0;
+        while i + 16 <= n {
+            acc0 = _mm256_fmadd_ps(
+                _mm256_loadu_ps(a.as_ptr().add(i)),
+                _mm256_loadu_ps(b.as_ptr().add(i)),
+                acc0,
+            );
+            acc1 = _mm256_fmadd_ps(
+                _mm256_loadu_ps(a.as_ptr().add(i + 8)),
+                _mm256_loadu_ps(b.as_ptr().add(i + 8)),
+                acc1,
+            );
+            i += 16;
+        }
+        if i + 8 <= n {
+            acc0 = _mm256_fmadd_ps(
+                _mm256_loadu_ps(a.as_ptr().add(i)),
+                _mm256_loadu_ps(b.as_ptr().add(i)),
+                acc0,
+            );
+            i += 8;
+        }
+        let mut sum = hsum256(_mm256_add_ps(acc0, acc1));
+        while i < n {
+            sum += a[i] * b[i];
+            i += 1;
+        }
+        sum
+    }
+
+    /// Four-lane ADC: per sub-quantizer, four unchecked table loads
+    /// packed into one 128-bit lane add. Lane adds happen in ascending
+    /// `j`, matching the scalar single-code order, so each lane is
+    /// bit-exact against `scalar::adc`. Deliberately NOT gather-based:
+    /// `vgatherdps` is microcoded (and Downfall-mitigated hosts make it
+    /// slower than four plain loads), while ADC is load-bound — the win
+    /// here is eliding the per-element bounds checks the safe scalar
+    /// path pays.
+    ///
+    /// # Safety
+    /// Requires AVX2; called only when `variant() == V_AVX2`. The table
+    /// loads stay in-bounds because every code byte `c` satisfies
+    /// `j * ks + c < table.len()` (codes are produced against the same
+    /// `m × ks` table layout).
+    #[target_feature(enable = "avx2")]
+    // lint: allow(L002) sound under dispatch: V_AVX2 is published only after runtime avx2+fma detection
+    pub unsafe fn adc4_avx2(table: &[f32], ks: usize, codes: [&[u8]; 4]) -> [f32; 4] {
+        let m = codes[0].len();
+        debug_assert!(m * ks <= table.len());
+        let base = table.as_ptr();
+        let (c0, c1, c2, c3) = (
+            codes[0].as_ptr(),
+            codes[1].as_ptr(),
+            codes[2].as_ptr(),
+            codes[3].as_ptr(),
+        );
+        let mut acc = _mm_setzero_ps();
+        let mut row = 0usize;
+        for j in 0..m {
+            let v = _mm_set_ps(
+                *base.add(row + *c3.add(j) as usize),
+                *base.add(row + *c2.add(j) as usize),
+                *base.add(row + *c1.add(j) as usize),
+                *base.add(row + *c0.add(j) as usize),
+            );
+            acc = _mm_add_ps(acc, v);
+            row += ks;
+        }
+        let mut out = [0.0f32; 4];
+        _mm_storeu_ps(out.as_mut_ptr(), acc);
+        out
+    }
+
+    /// Block ADC: full quads through the four-lane body, remainder in
+    /// single-code order — both with unchecked loads and ascending-`j`
+    /// scalar adds per lane, so every output slot is bit-exact against
+    /// `scalar::adc`. Looping *inside* the `target_feature` boundary
+    /// amortizes the uninlinable dispatch call over the whole block.
+    ///
+    /// # Safety
+    /// Requires AVX2; called only when `variant() == V_AVX2`. Caller
+    /// guarantees `out.len() * m <= codes.len()`, `m * ks <= table.len()`
+    /// and that every code byte is `< ks` (codes are produced against
+    /// the same `m × ks` table layout).
+    #[target_feature(enable = "avx2")]
+    // lint: allow(L002) sound under dispatch: V_AVX2 is published only after runtime avx2+fma detection
+    pub unsafe fn adc_block_avx2(table: &[f32], ks: usize, m: usize, codes: &[u8], out: &mut [f32]) {
+        let n = out.len();
+        let base = table.as_ptr();
+        let cp = codes.as_ptr();
+        let op = out.as_mut_ptr();
+        let mut i = 0;
+        while i + 4 <= n {
+            let c0 = cp.add(i * m);
+            let c1 = cp.add((i + 1) * m);
+            let c2 = cp.add((i + 2) * m);
+            let c3 = cp.add((i + 3) * m);
+            let mut acc = _mm_setzero_ps();
+            let mut row = 0usize;
+            for j in 0..m {
+                let v = _mm_set_ps(
+                    *base.add(row + *c3.add(j) as usize),
+                    *base.add(row + *c2.add(j) as usize),
+                    *base.add(row + *c1.add(j) as usize),
+                    *base.add(row + *c0.add(j) as usize),
+                );
+                acc = _mm_add_ps(acc, v);
+                row += ks;
+            }
+            _mm_storeu_ps(op.add(i), acc);
+            i += 4;
+        }
+        while i < n {
+            let c = cp.add(i * m);
+            let mut s = 0.0f32;
+            let mut row = 0usize;
+            for j in 0..m {
+                s += *base.add(row + *c.add(j) as usize);
+                row += ks;
+            }
+            *op.add(i) = s;
+            i += 1;
+        }
+    }
+
+    /// Block squared-L2: the row loop lives inside the feature boundary
+    /// so the per-row kernel inlines into it.
+    ///
+    /// # Safety
+    /// Requires AVX2+FMA; called only when `variant() == V_AVX2`. Caller
+    /// guarantees `out.len() * query.len() <= rows.len()`.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    // lint: allow(L002) sound under dispatch: V_AVX2 is published only after runtime avx2+fma detection
+    pub unsafe fn sq_l2_block_avx2(query: &[f32], rows: &[f32], out: &mut [f32]) {
+        let dim = query.len();
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = sq_l2_avx2(query, rows.get_unchecked(i * dim..(i + 1) * dim));
+        }
+    }
+
+    /// Asymmetric SQ8 distance: widen 8 code bytes, dequantize with one
+    /// FMA, accumulate the squared diff with another.
+    ///
+    /// # Safety
+    /// Requires AVX2+FMA; called only when `variant() == V_AVX2`.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    // lint: allow(L002) sound under dispatch: V_AVX2 is published only after runtime avx2+fma detection
+    pub unsafe fn sq8_asym_avx2(query: &[f32], code: &[u8], mins: &[f32], scales: &[f32]) -> f32 {
+        let n = code.len().min(query.len());
+        let mut acc = _mm256_setzero_ps();
+        let mut i = 0;
+        while i + 8 <= n {
+            let c = _mm_loadl_epi64(code.as_ptr().add(i) as *const __m128i);
+            let cf = _mm256_cvtepi32_ps(_mm256_cvtepu8_epi32(c));
+            let x = _mm256_fmadd_ps(
+                cf,
+                _mm256_loadu_ps(scales.as_ptr().add(i)),
+                _mm256_loadu_ps(mins.as_ptr().add(i)),
+            );
+            let d = _mm256_sub_ps(_mm256_loadu_ps(query.as_ptr().add(i)), x);
+            acc = _mm256_fmadd_ps(d, d, acc);
+            i += 8;
+        }
+        let mut sum = hsum256(acc);
+        while i < n {
+            let d = query[i] - (mins[i] + code[i] as f32 * scales[i]);
+            sum += d * d;
+            i += 1;
+        }
+        sum
+    }
+}
+
+/// NEON kernels (aarch64; NEON is architecturally baseline there, so
+/// dispatch needs no feature probe beyond the arch gate).
+#[cfg(target_arch = "aarch64")]
+mod neon {
+    use core::arch::aarch64::*;
+
+    /// Squared Euclidean distance, two FMA chains of 4 lanes.
+    ///
+    /// # Safety
+    /// Requires NEON; called only when `variant() == V_NEON`.
+    #[target_feature(enable = "neon")]
+    // lint: allow(L002) sound under dispatch: V_NEON is published only on aarch64 where NEON is baseline
+    pub unsafe fn sq_l2_neon(a: &[f32], b: &[f32]) -> f32 {
+        let n = a.len().min(b.len());
+        let mut acc0 = vdupq_n_f32(0.0);
+        let mut acc1 = vdupq_n_f32(0.0);
+        let mut i = 0;
+        while i + 8 <= n {
+            let d0 = vsubq_f32(vld1q_f32(a.as_ptr().add(i)), vld1q_f32(b.as_ptr().add(i)));
+            let d1 = vsubq_f32(
+                vld1q_f32(a.as_ptr().add(i + 4)),
+                vld1q_f32(b.as_ptr().add(i + 4)),
+            );
+            acc0 = vfmaq_f32(acc0, d0, d0);
+            acc1 = vfmaq_f32(acc1, d1, d1);
+            i += 8;
+        }
+        if i + 4 <= n {
+            let d = vsubq_f32(vld1q_f32(a.as_ptr().add(i)), vld1q_f32(b.as_ptr().add(i)));
+            acc0 = vfmaq_f32(acc0, d, d);
+            i += 4;
+        }
+        let mut sum = vaddvq_f32(vaddq_f32(acc0, acc1));
+        while i < n {
+            let d = a[i] - b[i];
+            sum += d * d;
+            i += 1;
+        }
+        sum
+    }
+
+    /// Dot product, two FMA chains of 4 lanes.
+    ///
+    /// # Safety
+    /// Requires NEON; called only when `variant() == V_NEON`.
+    #[target_feature(enable = "neon")]
+    // lint: allow(L002) sound under dispatch: V_NEON is published only on aarch64 where NEON is baseline
+    pub unsafe fn dot_neon(a: &[f32], b: &[f32]) -> f32 {
+        let n = a.len().min(b.len());
+        let mut acc0 = vdupq_n_f32(0.0);
+        let mut acc1 = vdupq_n_f32(0.0);
+        let mut i = 0;
+        while i + 8 <= n {
+            acc0 = vfmaq_f32(
+                acc0,
+                vld1q_f32(a.as_ptr().add(i)),
+                vld1q_f32(b.as_ptr().add(i)),
+            );
+            acc1 = vfmaq_f32(
+                acc1,
+                vld1q_f32(a.as_ptr().add(i + 4)),
+                vld1q_f32(b.as_ptr().add(i + 4)),
+            );
+            i += 8;
+        }
+        if i + 4 <= n {
+            acc0 = vfmaq_f32(
+                acc0,
+                vld1q_f32(a.as_ptr().add(i)),
+                vld1q_f32(b.as_ptr().add(i)),
+            );
+            i += 4;
+        }
+        let mut sum = vaddvq_f32(vaddq_f32(acc0, acc1));
+        while i < n {
+            sum += a[i] * b[i];
+            i += 1;
+        }
+        sum
+    }
+
+    /// Block squared-L2: the row loop lives inside the feature boundary
+    /// so the per-row kernel inlines into it.
+    ///
+    /// # Safety
+    /// Requires NEON; called only when `variant() == V_NEON`. Caller
+    /// guarantees `out.len() * query.len() <= rows.len()`.
+    #[target_feature(enable = "neon")]
+    // lint: allow(L002) sound under dispatch: V_NEON is published only on aarch64 where NEON is baseline
+    pub unsafe fn sq_l2_block_neon(query: &[f32], rows: &[f32], out: &mut [f32]) {
+        let dim = query.len();
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = sq_l2_neon(query, rows.get_unchecked(i * dim..(i + 1) * dim));
+        }
+    }
+
+    /// Asymmetric SQ8 distance: widen 4 code bytes per step, dequantize
+    /// and accumulate with FMA.
+    ///
+    /// # Safety
+    /// Requires NEON; called only when `variant() == V_NEON`.
+    #[target_feature(enable = "neon")]
+    // lint: allow(L002) sound under dispatch: V_NEON is published only on aarch64 where NEON is baseline
+    pub unsafe fn sq8_asym_neon(query: &[f32], code: &[u8], mins: &[f32], scales: &[f32]) -> f32 {
+        let n = code.len().min(query.len());
+        let mut acc = vdupq_n_f32(0.0);
+        let mut i = 0;
+        let mut widened = [0.0f32; 4];
+        while i + 4 <= n {
+            for (w, &c) in widened.iter_mut().zip(&code[i..i + 4]) {
+                *w = c as f32;
+            }
+            let cf = vld1q_f32(widened.as_ptr());
+            let x = vfmaq_f32(vld1q_f32(mins.as_ptr().add(i)), cf, vld1q_f32(scales.as_ptr().add(i)));
+            let d = vsubq_f32(vld1q_f32(query.as_ptr().add(i)), x);
+            acc = vfmaq_f32(acc, d, d);
+            i += 4;
+        }
+        let mut sum = vaddvq_f32(acc);
+        while i < n {
+            let d = query[i] - (mins[i] + code[i] as f32 * scales[i]);
+            sum += d * d;
+            i += 1;
+        }
+        sum
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_vec(n: usize, rng: &mut StdRng) -> Vec<f32> {
+        (0..n).map(|_| rng.gen_range(-2.0..2.0)).collect()
+    }
+
+    fn rel_err(got: f32, want: f32) -> f32 {
+        (got - want).abs() / want.abs().max(1.0)
+    }
+
+    #[test]
+    fn active_names_a_known_variant() {
+        assert!(matches!(active(), "scalar" | "avx2fma" | "neon"));
+    }
+
+    #[test]
+    fn scalar_env_override_forces_scalar() {
+        // ci.sh runs the suite under EMBLOOKUP_KERNEL=scalar and =auto;
+        // when the override is set it must win over detection.
+        if std::env::var("EMBLOOKUP_KERNEL").is_ok_and(|v| v.trim() == "scalar") {
+            assert_eq!(active(), "scalar");
+        }
+    }
+
+    #[test]
+    fn dispatched_matches_scalar_reference_across_tail_dims() {
+        // odd dims exercise every remainder tail: 1 (all tail), 7
+        // (sub-register), 63 (one short of two full AVX2 steps), 100
+        let mut rng = StdRng::seed_from_u64(7);
+        for &dim in &[1usize, 7, 63, 100] {
+            let a = random_vec(dim, &mut rng);
+            let b = random_vec(dim, &mut rng);
+            let e = rel_err(sq_l2(&a, &b), scalar::sq_l2(&a, &b));
+            assert!(e < 1e-5, "sq_l2 dim {dim}: rel err {e}");
+            let e = rel_err(dot(&a, &b), scalar::dot(&a, &b));
+            assert!(e < 1e-5, "dot dim {dim}: rel err {e}");
+            let mins = random_vec(dim, &mut rng);
+            let scales: Vec<f32> = (0..dim).map(|_| rng.gen_range(0.001..0.1)).collect();
+            let code: Vec<u8> = (0..dim).map(|_| rng.gen_range(0..=255u16) as u8).collect();
+            let e = rel_err(
+                sq8_asym(&a, &code, &mins, &scales),
+                scalar::sq8_asym(&a, &code, &mins, &scales),
+            );
+            assert!(e < 1e-5, "sq8_asym dim {dim}: rel err {e}");
+        }
+    }
+
+    #[test]
+    fn batched_adc_is_bit_exact_against_single_code() {
+        // odd m leaves no alignment escape hatch; both kernels must sum
+        // in ascending j so lanes match to the bit, per the module
+        // determinism contract.
+        let mut rng = StdRng::seed_from_u64(11);
+        for &(m, ks) in &[(1usize, 4usize), (5, 16), (8, 256)] {
+            let table = random_vec(m * ks, &mut rng);
+            let codes: Vec<Vec<u8>> = (0..4)
+                .map(|_| (0..m).map(|_| rng.gen_range(0..ks as u16) as u8).collect())
+                .collect();
+            let lanes = [&codes[0][..], &codes[1][..], &codes[2][..], &codes[3][..]];
+            let batched = adc4(&table, ks, lanes);
+            let reference = scalar::adc4(&table, ks, lanes);
+            for l in 0..4 {
+                let single = adc(&table, ks, &codes[l]);
+                assert_eq!(
+                    batched[l].to_bits(),
+                    single.to_bits(),
+                    "m={m} ks={ks} lane {l}: batched != single"
+                );
+                assert_eq!(batched[l].to_bits(), reference[l].to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn block_adc_is_bit_exact_against_single_code() {
+        // 7 codes: one full quad plus a 3-code remainder, so both block
+        // paths are exercised; both must match per-code ADC to the bit.
+        let mut rng = StdRng::seed_from_u64(17);
+        for &(m, ks) in &[(1usize, 4usize), (5, 16), (8, 256)] {
+            let table = random_vec(m * ks, &mut rng);
+            let n = 7;
+            let codes: Vec<u8> = (0..n * m).map(|_| rng.gen_range(0..ks as u16) as u8).collect();
+            let mut out = vec![0.0f32; n];
+            adc_block(&table, ks, m, &codes, &mut out);
+            for i in 0..n {
+                let single = adc(&table, ks, &codes[i * m..(i + 1) * m]);
+                assert_eq!(
+                    out[i].to_bits(),
+                    single.to_bits(),
+                    "m={m} ks={ks} code {i}: block != single"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn block_sq_l2_matches_per_row() {
+        let mut rng = StdRng::seed_from_u64(19);
+        for &dim in &[7usize, 8, 64] {
+            let q = random_vec(dim, &mut rng);
+            let n = 9;
+            let rows = random_vec(n * dim, &mut rng);
+            let mut out = vec![0.0f32; n];
+            sq_l2_block(&q, &rows, &mut out);
+            for i in 0..n {
+                let want = sq_l2(&q, &rows[i * dim..(i + 1) * dim]);
+                let e = rel_err(out[i], want);
+                assert!(e < 1e-5, "dim {dim} row {i}: rel err {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn adc_matches_naive_sum() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let (m, ks) = (6, 16);
+        let table = random_vec(m * ks, &mut rng);
+        let code: Vec<u8> = (0..m).map(|_| rng.gen_range(0..ks as u16) as u8).collect();
+        let naive: f32 = code
+            .iter()
+            .enumerate()
+            .map(|(j, &c)| table[j * ks + c as usize])
+            .sum();
+        assert!(rel_err(adc(&table, ks, &code), naive) < 1e-6);
+    }
+
+    #[test]
+    fn kernels_agree_on_known_values() {
+        assert_eq!(sq_l2(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+    }
+}

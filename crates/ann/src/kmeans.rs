@@ -1,7 +1,8 @@
 //! Lloyd's k-means with k-means++ seeding — the clustering engine behind
 //! product quantization (§III-D) and the IVF coarse quantizer.
 
-use crate::vectors::{sq_l2, VectorSet};
+use crate::kernels::sq_l2;
+use crate::vectors::VectorSet;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 

@@ -9,8 +9,10 @@
 
 pub mod flat;
 pub mod hnsw;
+pub mod hnsw_pq;
 pub mod ivf;
 pub mod ivfpq;
+pub mod kernels;
 pub mod kmeans;
 pub mod lsh;
 mod metrics;
@@ -23,6 +25,7 @@ pub mod vectors;
 
 pub use flat::FlatIndex;
 pub use hnsw::{HnswConfig, HnswIndex};
+pub use hnsw_pq::{HnswPqConfig, HnswPqIndex};
 pub use ivf::{IvfConfig, IvfIndex};
 pub use ivfpq::{IvfPqConfig, IvfPqIndex};
 pub use kmeans::{KMeans, KMeansConfig};

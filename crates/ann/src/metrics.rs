@@ -31,3 +31,5 @@ static_counter!(pq_searches, names::ANN_PQ_SEARCHES);
 static_counter!(pq_visited, names::ANN_PQ_VISITED);
 static_counter!(ivfpq_searches, names::ANN_IVFPQ_SEARCHES);
 static_counter!(ivfpq_visited, names::ANN_IVFPQ_VISITED);
+static_counter!(hnswpq_searches, names::ANN_HNSWPQ_SEARCHES);
+static_counter!(hnswpq_visited, names::ANN_HNSWPQ_VISITED);

@@ -96,20 +96,26 @@ impl Pca {
         self.mean.len()
     }
 
+    /// Size of the projection itself in bytes: the mean vector plus the
+    /// `k × dim` component rows (what an index must retain to project
+    /// queries, on top of its projected vectors).
+    pub fn nbytes(&self) -> usize {
+        let f32s = std::mem::size_of::<f32>();
+        self.mean.len() * f32s
+            + self.components.iter().map(|c| c.len() * f32s).sum::<usize>()
+    }
+
     /// Projects one vector to `k` dimensions.
     ///
     /// # Panics
     /// Panics on dimension mismatch.
     pub fn project(&self, v: &[f32]) -> Vec<f32> {
         assert_eq!(v.len(), self.dim(), "project dim {} != {}", v.len(), self.dim());
+        // center once, then one dispatched dot kernel per component
+        let centered: Vec<f32> = v.iter().zip(&self.mean).map(|(&xi, &mi)| xi - mi).collect();
         self.components
             .iter()
-            .map(|c| {
-                c.iter()
-                    .zip(v.iter().zip(&self.mean))
-                    .map(|(&ci, (&xi, &mi))| ci * (xi - mi))
-                    .sum()
-            })
+            .map(|c| crate::kernels::dot(c, &centered))
             .collect()
     }
 

@@ -8,9 +8,10 @@
 //! distances turns each distance evaluation into `m` table lookups.
 // lint: hot-path
 
+use crate::kernels::{self, sq_l2};
 use crate::kmeans::{KMeans, KMeansConfig};
 use crate::topk::{Neighbor, TopK};
-use crate::vectors::{sq_l2, VectorSet};
+use crate::vectors::VectorSet;
 
 /// Configuration for [`ProductQuantizer::train`].
 #[derive(Debug, Clone, Copy)]
@@ -151,36 +152,35 @@ impl ProductQuantizer {
         table.resize(self.m * self.ks, 0.0);
         for j in 0..self.m {
             let sub = &query[j * self.dsub..(j + 1) * self.dsub];
-            for (c, cent) in self.codebooks[j].iter().enumerate() {
-                table[j * self.ks + c] = sq_l2(sub, cent);
-            }
+            // one dispatched call per codebook row, not per centroid —
+            // at small dsub the per-call dispatch would otherwise cost
+            // more than the arithmetic
+            let ncent = self.codebooks[j].len();
+            kernels::sq_l2_block(
+                sub,
+                self.codebooks[j].flat(),
+                &mut table[j * self.ks..j * self.ks + ncent],
+            );
         }
     }
 
     /// Approximate squared distance via the ADC table.
     ///
-    /// Four independent accumulators keep the gathers in flight instead
-    /// of serializing them behind one float dependency chain; both the
-    /// single-query and batched paths call this same function, so their
-    /// results are exactly equal.
+    /// Delegates to the dispatched kernel layer, which sums in strict
+    /// ascending sub-quantizer order — the order contract that makes
+    /// [`ProductQuantizer::adc4`] lanes bit-exact against this function,
+    /// so batched and per-code scans always agree exactly.
     #[inline]
     pub fn adc(&self, table: &[f32], code: &[u8]) -> f32 {
-        let ks = self.ks;
-        let mut quads = code.chunks_exact(4);
-        let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
-        let mut j = 0;
-        for q in &mut quads {
-            s0 += table[j * ks + q[0] as usize];
-            s1 += table[(j + 1) * ks + q[1] as usize];
-            s2 += table[(j + 2) * ks + q[2] as usize];
-            s3 += table[(j + 3) * ks + q[3] as usize];
-            j += 4;
-        }
-        let mut rest = 0.0f32;
-        for (off, &c) in quads.remainder().iter().enumerate() {
-            rest += table[(j + off) * ks + c as usize];
-        }
-        (s0 + s1) + (s2 + s3) + rest
+        kernels::adc(table, self.ks, code)
+    }
+
+    /// Batched ADC: four codes against one table per call (one row
+    /// gather per sub-quantizer on SIMD targets). Lane `l` equals
+    /// `self.adc(table, codes[l])` bit-exactly.
+    #[inline]
+    pub fn adc4(&self, table: &[f32], codes: [&[u8]; 4]) -> [f32; 4] {
+        kernels::adc4(table, self.ks, codes)
     }
 }
 
@@ -269,14 +269,25 @@ impl PqIndex {
     }
 
     /// Scan under an already-built ADC table — the shared tail of the
-    /// single-query and batched paths.
+    /// single-query and batched paths. Codes are scored in fixed-size
+    /// blocks through [`kernels::adc_block`], which is bit-exact against
+    /// the per-code kernel, so results equal a per-code scan exactly.
     fn search_with_table(&self, table: &[f32], k: usize) -> Vec<Neighbor> {
         crate::metrics::pq_searches().inc();
         crate::metrics::pq_visited().add(self.n as u64);
         let m = self.quantizer.m();
+        let ks = self.quantizer.ks();
         let mut tk = TopK::new(k);
-        for (i, code) in self.codes.chunks_exact(m).enumerate() {
-            tk.push(i, self.quantizer.adc(table, code));
+        // stack block: one dispatched kernel call per 256 codes
+        let mut dists = [0.0f32; 256];
+        let mut i = 0;
+        for chunk in self.codes.chunks(256 * m) {
+            let cn = chunk.len() / m;
+            kernels::adc_block(table, ks, m, chunk, &mut dists[..cn]);
+            for (l, &dl) in dists[..cn].iter().enumerate() {
+                tk.push(i + l, dl);
+            }
+            i += cn;
         }
         tk.into_sorted()
     }

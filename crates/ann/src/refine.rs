@@ -5,9 +5,25 @@
 //! (the Figure 4 effect) at a fraction of the flat-scan cost.
 // lint: hot-path
 
+use crate::kernels::sq_l2;
 use crate::pq::PqIndex;
 use crate::topk::{Neighbor, TopK};
-use crate::vectors::{sq_l2, VectorSet};
+use crate::vectors::VectorSet;
+
+/// Exact re-ranking tail shared by every refined search: scores each
+/// candidate id against the raw vectors with the dispatched kernel and
+/// keeps the `k` nearest. Candidates may arrive in any order; ties and
+/// final order are fixed by [`TopK`].
+pub(crate) fn exact_rerank<I>(raw: &VectorSet, query: &[f32], candidates: I, k: usize) -> Vec<Neighbor>
+where
+    I: IntoIterator<Item = usize>,
+{
+    let mut tk = TopK::new(k);
+    for i in candidates {
+        tk.push(i, sq_l2(query, raw.get(i)));
+    }
+    tk.into_sorted()
+}
 
 /// PQ candidate generation with exact re-ranking against the raw vectors.
 pub struct RefinedPqIndex {
@@ -46,11 +62,7 @@ impl RefinedPqIndex {
         }
         let fetch = k.saturating_mul(self.refine_factor);
         let candidates = self.pq.search(query, fetch);
-        let mut tk = TopK::new(k);
-        for c in candidates {
-            tk.push(c.index, sq_l2(query, self.raw.get(c.index)));
-        }
-        tk.into_sorted()
+        exact_rerank(&self.raw, query, candidates.into_iter().map(|c| c.index), k)
     }
 }
 

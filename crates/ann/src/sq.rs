@@ -64,16 +64,11 @@ impl ScalarQuantizer {
     }
 
     /// Squared distance between a raw query and a code, computed by
-    /// on-the-fly dequantization (asymmetric).
+    /// on-the-fly dequantization (asymmetric). Dispatches through the
+    /// kernel layer (AVX2 widens 8 code bytes per step).
     #[inline]
     pub fn asym_sq_dist(&self, query: &[f32], code: &[u8]) -> f32 {
-        let mut acc = 0.0f32;
-        for j in 0..code.len() {
-            let x = self.mins[j] + code[j] as f32 * self.scales[j];
-            let d = query[j] - x;
-            acc += d * d;
-        }
-        acc
+        crate::kernels::sq8_asym(query, code, &self.mins, &self.scales)
     }
 }
 

@@ -84,34 +84,13 @@ impl VectorSet {
 
 /// Squared Euclidean distance between two equal-length slices.
 ///
-/// The hot loop of every index. Four independent accumulators break the
-/// serial floating-point dependency chain of a naive `sum()` — the
-/// compiler cannot reassociate float adds itself, so without this the
-/// loop runs at one add per ~4 cycles instead of saturating the FMA
-/// pipes. `chunks_exact` keeps the body free of bounds checks.
+/// The hot loop of every index. Kept as a re-export surface for
+/// backwards compatibility; the implementation is the runtime-dispatched
+/// kernel in [`crate::kernels`] (SIMD when the CPU supports it, the
+/// unrolled scalar reference otherwise).
 #[inline]
 pub fn sq_l2(a: &[f32], b: &[f32]) -> f32 {
-    debug_assert_eq!(a.len(), b.len());
-    let mut ca = a.chunks_exact(4);
-    let mut cb = b.chunks_exact(4);
-    let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
-    for (ka, kb) in (&mut ca).zip(&mut cb) {
-        let d0 = ka[0] - kb[0];
-        let d1 = ka[1] - kb[1];
-        let d2 = ka[2] - kb[2];
-        let d3 = ka[3] - kb[3];
-        s0 += d0 * d0;
-        s1 += d1 * d1;
-        s2 += d2 * d2;
-        s3 += d3 * d3;
-    }
-    let rest: f32 = ca
-        .remainder()
-        .iter()
-        .zip(cb.remainder())
-        .map(|(&x, &y)| (x - y) * (x - y))
-        .sum();
-    (s0 + s1) + (s2 + s3) + rest
+    crate::kernels::sq_l2(a, b)
 }
 
 #[cfg(test)]

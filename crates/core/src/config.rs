@@ -23,7 +23,8 @@ pub enum Compression {
     },
     /// IVF-Flat: approximate search over full-precision vectors (§III-C —
     /// EmbLookup "could accommodate either exact or approximate similarity
-    /// search"). Not a compression scheme; index size equals the flat one.
+    /// search"). Not a compression scheme; index size is the flat one plus
+    /// the coarse centroids and the posting lists.
     Ivf {
         /// Coarse clusters.
         nlist: usize,
@@ -38,6 +39,21 @@ pub enum Compression {
         m: usize,
         /// Beam width at query time.
         ef_search: usize,
+    },
+    /// PQ-fused HNSW: graph traversal scored on PQ codes laid out in
+    /// adjacency order, with an exact re-rank of the final frontier
+    /// (kANNolo-style). Combines sub-linear traversal with cache-friendly
+    /// compressed scoring.
+    HnswPq {
+        /// Max neighbours per node per layer.
+        m: usize,
+        /// Beam width at query time. Quantized traversal needs a wider
+        /// beam than exact HNSW for the same recall.
+        ef_search: usize,
+        /// PQ sub-quantizer count (must divide the embedding dimension).
+        pq_m: usize,
+        /// Centroids per sub-quantizer (≤ 256).
+        pq_ks: usize,
     },
 }
 
@@ -55,6 +71,7 @@ impl Compression {
             Compression::Pca { .. } => "pca",
             Compression::Ivf { .. } => "ivf",
             Compression::Hnsw { .. } => "hnsw",
+            Compression::HnswPq { .. } => "hnswpq",
         }
     }
 
@@ -238,6 +255,20 @@ impl EmbLookupConfig {
                 return Err(format!("HNSW m {m} / ef_search {ef_search} invalid"));
             }
         }
+        if let Compression::HnswPq { m, ef_search, pq_m, pq_ks } = self.compression {
+            if m == 0 || ef_search == 0 {
+                return Err(format!("HNSW-PQ m {m} / ef_search {ef_search} invalid"));
+            }
+            if pq_m == 0 || !self.embedding_dim.is_multiple_of(pq_m) {
+                return Err(format!(
+                    "HNSW-PQ pq_m = {pq_m} must divide embedding_dim = {}",
+                    self.embedding_dim
+                ));
+            }
+            if pq_ks == 0 || pq_ks > 256 {
+                return Err(format!("HNSW-PQ pq_ks = {pq_ks} out of range 1..=256"));
+            }
+        }
         Ok(())
     }
 }
@@ -275,6 +306,22 @@ mod tests {
         assert!(with_compression(Compression::Pca { k: 0 }).validate().is_err());
         assert!(with_compression(Compression::Pca { k: 65 }).validate().is_err());
         assert!(with_compression(Compression::Pca { k: 8 }).validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_bad_hnswpq() {
+        let bad = [
+            Compression::HnswPq { m: 0, ef_search: 48, pq_m: 8, pq_ks: 16 },
+            Compression::HnswPq { m: 12, ef_search: 0, pq_m: 8, pq_ks: 16 },
+            Compression::HnswPq { m: 12, ef_search: 48, pq_m: 7, pq_ks: 16 },
+            Compression::HnswPq { m: 12, ef_search: 48, pq_m: 8, pq_ks: 999 },
+        ];
+        for c in bad {
+            assert!(with_compression(c).validate().is_err(), "{c:?} accepted");
+        }
+        let ok = Compression::HnswPq { m: 12, ef_search: 96, pq_m: 8, pq_ks: 16 };
+        assert!(with_compression(ok).validate().is_ok());
+        assert_eq!(ok.name(), "hnswpq");
     }
 
     #[test]

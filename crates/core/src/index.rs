@@ -7,7 +7,10 @@
 
 use crate::config::Compression;
 use crate::model::EmbLookupModel;
-use emblookup_ann::{FlatIndex, HnswConfig, HnswIndex, IvfConfig, IvfIndex, Neighbor, Pca, PqIndex, VectorSet};
+use emblookup_ann::{
+    FlatIndex, HnswConfig, HnswIndex, HnswPqConfig, HnswPqIndex, IvfConfig, IvfIndex, Neighbor,
+    Pca, PqIndex, VectorSet,
+};
 use emblookup_kg::{EntityId, KnowledgeGraph};
 use emblookup_obs::names;
 
@@ -27,6 +30,7 @@ enum Backend {
     Pca { pca: Pca, flat: FlatIndex },
     Ivf(IvfIndex),
     Hnsw(HnswIndex),
+    HnswPq(HnswPqIndex),
 }
 
 impl EntityIndex {
@@ -105,6 +109,20 @@ impl EntityIndex {
                 vectors,
                 HnswConfig { m, ef_search, ef_construction: ef_search.max(2 * m), seed: 0xC0DE },
             )),
+            Compression::HnswPq { m, ef_search, pq_m, pq_ks } => {
+                Backend::HnswPq(HnswPqIndex::build(
+                    &vectors,
+                    HnswPqConfig {
+                        hnsw: HnswConfig {
+                            m,
+                            ef_search,
+                            ef_construction: ef_search.max(2 * m),
+                            seed: 0xC0DE,
+                        },
+                        pq: Compression::pq_config(pq_m, pq_ks, 0xC0DE),
+                    },
+                ))
+            }
         };
         EntityIndex { ids, backend, dim, multi_row }
     }
@@ -124,16 +142,21 @@ impl EntityIndex {
         self.dim
     }
 
-    /// Approximate byte size of the stored index (codes/vectors plus
-    /// codebooks), matching the storage comparisons of the evaluation.
+    /// Byte size of the stored index, matching the storage comparisons of
+    /// the evaluation. Every backend reports its true footprint: payload
+    /// vectors or codes plus whatever auxiliary structure queries need
+    /// (codebooks, projection matrices, centroids, posting or neighbour
+    /// lists).
     pub fn nbytes(&self) -> usize {
         match &self.backend {
             Backend::Flat(f) => f.nbytes(),
             Backend::Pq(p) => p.nbytes(),
-            Backend::Pca { flat, .. } => flat.nbytes(),
-            Backend::Ivf(i) => i.len() * self.dim * std::mem::size_of::<f32>(),
-            // vectors plus ~m links per node per layer (layer 0 dominant)
-            Backend::Hnsw(h) => h.len() * self.dim * std::mem::size_of::<f32>(),
+            // projected vectors plus the mean/component rows needed to
+            // project queries
+            Backend::Pca { pca, flat } => flat.nbytes() + pca.nbytes(),
+            Backend::Ivf(i) => i.nbytes(),
+            Backend::Hnsw(h) => h.nbytes(),
+            Backend::HnswPq(i) => i.nbytes(),
         }
     }
 
@@ -150,6 +173,7 @@ impl EntityIndex {
             Backend::Pca { .. } => "pca",
             Backend::Ivf(_) => "ivf",
             Backend::Hnsw(_) => "hnsw",
+            Backend::HnswPq(_) => "hnswpq",
         }
     }
 
@@ -194,6 +218,8 @@ impl EntityIndex {
             (Backend::Ivf(i), Some(s)) => i.search_traced(query, fetch, s),
             (Backend::Hnsw(h), None) => h.search(query, fetch),
             (Backend::Hnsw(h), Some(s)) => h.search_traced(query, fetch, s),
+            (Backend::HnswPq(i), None) => i.search(query, fetch),
+            (Backend::HnswPq(i), Some(s)) => i.search_traced(query, fetch, s),
         };
         let mapped = raw.into_iter().map(|n| (self.ids[n.index], n.dist));
         if !self.multi_row {
@@ -233,9 +259,8 @@ impl EntityIndex {
                 flat.search_batch(&projected, k, threads)
             }
             Backend::Ivf(i) => i.search_batch(queries, k, threads),
-            Backend::Hnsw(h) => (0..queries.len())
-                .map(|i| h.search(queries.get(i), k))
-                .collect(),
+            Backend::Hnsw(h) => h.search_batch(queries, k, threads),
+            Backend::HnswPq(i) => i.search_batch(queries, k, threads),
         };
         raw.into_iter()
             .map(|hits| {
@@ -326,6 +351,7 @@ mod tests {
             Compression::Pca { k: 4 },
             Compression::Ivf { nlist: 4, nprobe: 4 },
             Compression::Hnsw { m: 8, ef_search: 32 },
+            Compression::HnswPq { m: 8, ef_search: 64, pq_m: 4, pq_ks: 16 },
         ];
         for compression in compressions {
             let (ids, vs) = toy_vectors(120, 8);
@@ -414,7 +440,7 @@ mod ivf_backend_tests {
     }
 
     #[test]
-    fn ivf_nbytes_equals_flat() {
+    fn ivf_nbytes_is_flat_plus_overhead() {
         let mut vs = VectorSet::new(4);
         let ids: Vec<EntityId> = (0..50u32).map(EntityId).collect();
         for i in 0..50 {
@@ -422,7 +448,53 @@ mod ivf_backend_tests {
         }
         let flat = EntityIndex::from_vectors(ids.clone(), vs.clone(), Compression::None);
         let ivf = EntityIndex::from_vectors(ids, vs, Compression::Ivf { nlist: 4, nprobe: 2 });
-        assert_eq!(flat.nbytes(), ivf.nbytes());
+        // full vectors + 4 centroids of dim 4 + one u32 posting per row
+        let f32s = std::mem::size_of::<f32>();
+        assert_eq!(ivf.nbytes(), flat.nbytes() + 4 * 4 * f32s + 50 * std::mem::size_of::<u32>());
+    }
+}
+
+#[cfg(test)]
+mod hnswpq_backend_tests {
+    use super::*;
+
+    #[test]
+    fn hnswpq_backend_finds_exact_matches() {
+        let mut vs = VectorSet::new(4);
+        let mut ids = Vec::new();
+        for i in 0..200u32 {
+            let f = i as f32;
+            vs.push(&[f.sin(), f.cos(), f * 0.01, 1.0]);
+            ids.push(EntityId(i));
+        }
+        let idx = EntityIndex::from_vectors(
+            ids,
+            vs.clone(),
+            Compression::HnswPq { m: 8, ef_search: 64, pq_m: 4, pq_ks: 16 },
+        );
+        // the exact re-rank tail restores true distances for the frontier
+        let hits = idx.search(vs.get(17), 1);
+        assert_eq!(hits[0].0, EntityId(17));
+        assert_eq!(hits[0].1, 0.0);
+    }
+
+    #[test]
+    fn hnswpq_nbytes_reports_codes_not_just_vectors() {
+        let mut vs = VectorSet::new(8);
+        let ids: Vec<EntityId> = (0..300u32).map(EntityId).collect();
+        for i in 0..300 {
+            let v: Vec<f32> = (0..8).map(|j| ((i * 5 + j) % 17) as f32).collect();
+            vs.push(&v);
+        }
+        let flat = EntityIndex::from_vectors(ids.clone(), vs.clone(), Compression::None);
+        let hp = EntityIndex::from_vectors(
+            ids,
+            vs,
+            Compression::HnswPq { m: 8, ef_search: 48, pq_m: 4, pq_ks: 16 },
+        );
+        // raw vectors are retained for the re-rank, so the footprint must
+        // exceed flat by the traversal structures (codes + graph + map)
+        assert!(hp.nbytes() > flat.nbytes(), "hp {} vs flat {}", hp.nbytes(), flat.nbytes());
     }
 }
 

@@ -4,7 +4,7 @@
 //! | rule | invariant |
 //! |------|-----------|
 //! | L001 | no `unwrap()/expect()/panic!/unreachable!/todo!/unimplemented!` in non-test library code |
-//! | L002 | no locks / `sleep` / allocating formatting in `// lint: hot-path` modules |
+//! | L002 | no locks / `sleep` / allocating formatting / unjustified `unsafe` in `// lint: hot-path` modules; `#[target_feature]` only inside `kernels.rs` |
 //! | L003 | metric & span names come from `emblookup_obs::names`, never string literals |
 //! | L004 | task-marker comments carry an issue reference (`#123` or a URL) |
 //! | L007 | float discipline: no `==`/`!=` against float operands, no panicking or inconsistent `partial_cmp` comparators (use `total_cmp`) |
@@ -382,7 +382,28 @@ impl SourceFile {
     }
 
     fn check_l002(&self, out: &mut Vec<Violation>) {
-        if !self.hot_path || self.class != FileClass::Lib {
+        if self.class != FileClass::Lib {
+            return;
+        }
+        // `#[target_feature]` is confined to the runtime-dispatched kernel
+        // module: anywhere else a mis-gated call is a latent SIGILL on
+        // older CPUs. This arm applies to every lib file, hot-path or not.
+        if !self.path.replace('\\', "/").ends_with("kernels.rs") {
+            for (i, t) in self.tokens.iter().enumerate() {
+                if t.kind == TokenKind::Ident && t.text == "target_feature" && !self.in_test(i) {
+                    self.push(
+                        out,
+                        "L002",
+                        t.line,
+                        "`#[target_feature]` outside the kernel dispatch module; route SIMD \
+                         through `emblookup_ann::kernels` or add `// lint: allow(L002) reason`"
+                            .to_string(),
+                        None,
+                    );
+                }
+            }
+        }
+        if !self.hot_path {
             return;
         }
         for (i, t) in self.tokens.iter().enumerate() {
@@ -393,6 +414,17 @@ impl SourceFile {
                 format!("{what} in a `lint: hot-path` module; move it off the hot path or add `// lint: allow(L002) reason`")
             };
             match t.text.as_str() {
+                "unsafe" => {
+                    self.push(
+                        out,
+                        "L002",
+                        t.line,
+                        "`unsafe` on the hot path needs a written soundness argument: add \
+                         `// lint: allow(L002) reason` on the preceding line"
+                            .to_string(),
+                        None,
+                    );
+                }
                 "Mutex" | "RwLock" | "Condvar" | "Barrier" => {
                     self.push(out, "L002", t.line, flag(&format!("lock primitive `{}`", t.text)), None);
                 }

@@ -5,10 +5,12 @@
 //! ```text
 //!   rank 0    rand, obs              (utility leaves)
 //!   rank 5    pool                   (compute pool, over obs only)
-//!   rank 10   tensor, text           (substrates)
+//!   rank 10   text                   (string substrate)
+//!   rank 12   ann                    (index structures + the SIMD kernel layer)
+//!   rank 15   tensor                 (DL substrate; its matmul inner loop
+//!                                     dispatches through ann's kernels)
 //!   rank 20   kg                     (domain model)
 //!   rank 25   embed                  (encoders, over kg/text/tensor)
-//!   rank 30   ann                    (index structures)
 //!   rank 40   core                   (the EmbLookup pipeline)
 //!   rank 45   serve                  (hardened HTTP serving layer)
 //!   rank 50+  baselines, semtab, bench  (consumers)
@@ -34,11 +36,11 @@ pub const LAYERS: &[(&str, u32)] = &[
     ("rand", 0),
     ("emblookup-obs", 0),
     ("emblookup-pool", 5),
-    ("emblookup-tensor", 10),
     ("emblookup-text", 10),
+    ("emblookup-ann", 12),
+    ("emblookup-tensor", 15),
     ("emblookup-kg", 20),
     ("emblookup-embed", 25),
-    ("emblookup-ann", 30),
     ("emblookup-core", 40),
     ("emblookup-serve", 45),
     ("emblookup-baselines", 50),
@@ -86,7 +88,7 @@ fn judge(krate: &str, dep: &str) -> Result<(), String> {
     } else {
         Err(format!(
             "layering violation: `{krate}` (rank {rk}) may not depend on `{dep}` (rank {rd}); \
-             the layer DAG flows rand/obs -> tensor/text -> kg -> embed -> ann -> core -> \
+             the layer DAG flows rand/obs -> text -> ann -> tensor -> kg -> embed -> core -> \
              serve -> baselines/semtab/bench"
         ))
     }

@@ -66,8 +66,11 @@ pub const RULE_DOCS: &[RuleDoc] = &[
         title: "hot-path hygiene (textual)",
         rationale: "Files marked `// lint: hot-path` must not take locks, sleep, or heap-allocate \
                     per call (`format!`, `.to_string()`, `.to_owned()`, `Box::new`, \
-                    `String::from`). Allocation and lock traffic in the search inner loop is the \
-                    difference between the paper's latency numbers and noise.",
+                    `String::from`), and every `unsafe` block needs an `allow(L002)` soundness \
+                    argument. `#[target_feature]` is confined to `kernels.rs`, the one module \
+                    whose runtime dispatch guarantees the feature is present. Allocation and \
+                    lock traffic in the search inner loop is the difference between the paper's \
+                    latency numbers and noise.",
         example: "// lint: hot-path\npub fn search(&self) { let s = format!(\"q{}\", n); }",
         escape: "Allowed for setup/teardown code inside a hot-path file that is provably outside \
                  the per-query loop, with the reason stating so. See L010 for the \
@@ -96,10 +99,11 @@ pub const RULE_DOCS: &[RuleDoc] = &[
         id: "L005",
         title: "crate layering",
         rationale: "Dependencies must flow down the declared layer DAG (DESIGN.md §1.1): \
-                    rand/obs → pool → tensor/text → kg → embed → ann → core → serve → \
-                    baselines/semtab/bench → emblookup. Both manifest edges and source-level \
-                    `emblookup_*::` paths are checked. `emblookup-lint` is isolated (obs only, \
-                    nothing depends on it).",
+                    rand/obs → pool → text → ann → tensor → kg → embed → core → serve → \
+                    baselines/semtab/bench → emblookup (ann sits below tensor so the matmul \
+                    inner loop can dispatch through ann's SIMD kernel layer, DESIGN.md §10). \
+                    Both manifest edges and source-level `emblookup_*::` paths are checked. \
+                    `emblookup-lint` is isolated (obs only, nothing depends on it).",
         example: "// in crates/tensor\nuse emblookup_core::EmbLookup;",
         escape: "Source-side escapes need `// lint: allow(L005) reason` and are intended for \
                  short-lived transitions; manifest edges have no escape.",

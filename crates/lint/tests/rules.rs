@@ -93,6 +93,40 @@ fn l002_allow_with_reason_suppresses() {
     assert_eq!(rules_at(LIB, src), vec![]);
 }
 
+#[test]
+fn l002_unjustified_unsafe_in_hot_path_fires() {
+    let src = "// lint: hot-path\npub fn f(p: *const f32) -> f32 {\n    unsafe { *p }\n}\n";
+    assert_eq!(rules_at(LIB, src), vec![("L002".to_string(), 3)]);
+}
+
+#[test]
+fn l002_justified_unsafe_in_hot_path_is_clean() {
+    let src = "// lint: hot-path\npub fn f(p: *const f32) -> f32 {\n    // lint: allow(L002) caller guarantees p is valid for reads\n    unsafe { *p }\n}\n";
+    assert_eq!(rules_at(LIB, src), vec![]);
+}
+
+#[test]
+fn l002_unsafe_off_hot_path_is_clean() {
+    let src = "pub fn f(p: *const f32) -> f32 {\n    unsafe { *p }\n}\n";
+    assert_eq!(rules_at(LIB, src), vec![]);
+}
+
+#[test]
+fn l002_target_feature_outside_kernels_fires_even_without_hot_path() {
+    let src = "#[target_feature(enable = \"avx2\")]\npub unsafe fn f() {}\n";
+    let got = rules_at(LIB, src);
+    assert!(
+        got.contains(&("L002".to_string(), 1)),
+        "expected target_feature L002, got {got:?}"
+    );
+}
+
+#[test]
+fn l002_target_feature_inside_kernels_module_is_exempt() {
+    let src = "// lint: hot-path\n#[target_feature(enable = \"avx2\")]\n// lint: allow(L002) dispatch-gated: caller verified avx2\nunsafe fn f() {}\npub fn g() {}\n";
+    assert_eq!(rules_at("crates/demo/src/kernels.rs", src), vec![]);
+}
+
 // ----------------------------------------------------------------- L003
 
 #[test]

@@ -71,6 +71,10 @@ names! {
     ANN_IVFPQ_SEARCHES => "ann.ivfpq.searches",
     /// Counter of codes visited by IVFPQ searches.
     ANN_IVFPQ_VISITED => "ann.ivfpq.visited_nodes",
+    /// Counter of PQ-fused HNSW searches.
+    ANN_HNSWPQ_SEARCHES => "ann.hnswpq.searches",
+    /// Counter of graph nodes visited by PQ-fused HNSW searches.
+    ANN_HNSWPQ_VISITED => "ann.hnswpq.visited_nodes",
     /// Counter of HTTP requests received by the serving layer.
     SERVE_REQUESTS => "serve.requests",
     /// Counter of lookup requests admitted past admission control.

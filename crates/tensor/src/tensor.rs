@@ -416,28 +416,14 @@ impl Tensor {
     }
 }
 
-/// Inner product over four independent accumulators; the building block
-/// of the blocked matmul kernel. `chunks_exact` keeps the body free of
-/// bounds checks.
+/// Inner product — the building block of the blocked matmul kernel.
+/// Delegates to the runtime-dispatched kernel layer in `emblookup-ann`
+/// (AVX2/NEON when available, an unrolled scalar otherwise), so the
+/// matmul inner loop and the ANN distance loops share one home.
 #[inline]
 pub(crate) fn dot_unrolled(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());
-    let mut ca = a.chunks_exact(4);
-    let mut cb = b.chunks_exact(4);
-    let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
-    for (ka, kb) in (&mut ca).zip(&mut cb) {
-        s0 += ka[0] * kb[0];
-        s1 += ka[1] * kb[1];
-        s2 += ka[2] * kb[2];
-        s3 += ka[3] * kb[3];
-    }
-    let rest: f32 = ca
-        .remainder()
-        .iter()
-        .zip(cb.remainder())
-        .map(|(&x, &y)| x * y)
-        .sum();
-    (s0 + s1) + (s2 + s3) + rest
+    emblookup_ann::kernels::dot(a, b)
 }
 
 impl fmt::Debug for Tensor {

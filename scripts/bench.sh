@@ -3,19 +3,38 @@
 # quick pass), regenerates BENCH_lookup.json in the repo root, and prints a
 # delta table of histogram means against the previously checked-in snapshot
 # so a perf PR can paste before/after numbers straight from CI output.
+# Also runs the ANN scale-tier bench (BENCH_ann.json): pass --scale to add
+# the 1M-entity tier on top of the default 600 + 100k tiers.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# --scale is ann_bench-only; everything else (e.g. --smoke) goes to both
+repro_args=()
+ann_args=()
+for a in "$@"; do
+  case "$a" in
+    --scale) ann_args+=("$a") ;;
+    --smoke) repro_args+=("$a"); ann_args+=("$a") ;;
+    *) repro_args+=("$a") ;;
+  esac
+done
+
 prev=$(mktemp)
-trap 'rm -f "$prev"' EXIT
+prev_ann=$(mktemp)
+trap 'rm -f "$prev" "$prev_ann"' EXIT
 if [[ -f BENCH_lookup.json ]]; then
   cp BENCH_lookup.json "$prev"
 else
   echo '{"histograms":{}}' > "$prev"
 fi
+if [[ -f BENCH_ann.json ]]; then
+  cp BENCH_ann.json "$prev_ann"
+else
+  echo '{"tiers":[]}' > "$prev_ann"
+fi
 
-echo "== cargo run --release -p emblookup-bench --bin repro -- $* =="
-cargo run --release --offline -p emblookup-bench --bin repro -- "$@"
+echo "== cargo run --release -p emblookup-bench --bin repro -- ${repro_args[*]-} =="
+cargo run --release --offline -p emblookup-bench --bin repro -- ${repro_args[@]+"${repro_args[@]}"}
 
 # Append this run to the perf trajectory. The timestamp comes from
 # `date` here at script level, keeping the in-process snapshot (and the
@@ -61,6 +80,58 @@ for name in names:
 
 widths = [max(len(r[i]) for r in rows) for i in range(4)]
 print("\n== mean latency vs previous BENCH_lookup.json ==")
+for i, r in enumerate(rows):
+    print("  ".join(cell.ljust(widths[j]) for j, cell in enumerate(r)))
+    if i == 0:
+        print("  ".join("-" * w for w in widths))
+PY
+
+# ANN scale tiers: recall@10 + latency percentiles per backend, plus the
+# batched-ADC kernel speedup, regenerating BENCH_ann.json.
+echo
+echo "== cargo run --release -p emblookup-bench --bin ann_bench -- ${ann_args[*]-} =="
+cargo run --release --offline -p emblookup-bench --bin ann_bench -- ${ann_args[@]+"${ann_args[@]}"}
+
+python3 - "$prev_ann" BENCH_ann.json <<'PY'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    prev = json.load(f)
+with open(sys.argv[2]) as f:
+    cur = json.load(f)
+
+def index(snap):
+    out = {}
+    for tier in snap.get("tiers", []):
+        for b in tier.get("backends", []):
+            out[(tier["entities"], b["name"])] = b
+    return out
+
+pi, ci = index(prev), index(cur)
+
+def fmt(ns):
+    if ns is None:
+        return "-"
+    if ns >= 1e6:
+        return f"{ns / 1e6:.2f}ms"
+    if ns >= 1e3:
+        return f"{ns / 1e3:.2f}us"
+    return f"{ns:.0f}ns"
+
+rows = [("tier/backend", "recall@10", "p99", "prev p99", "speedup")]
+for key in sorted(ci):
+    c = ci[key]
+    p = pi.get(key, {})
+    pp, cp = p.get("p99_ns"), c.get("p99_ns")
+    speed = f"{pp / cp:.2f}x" if pp and cp else "-"
+    rows.append((f"{key[0]}/{key[1]}", f"{c['recall_at_10']:.3f}", fmt(cp), fmt(pp), speed))
+
+sp, sc = prev.get("adc_batch_speedup"), cur.get("adc_batch_speedup")
+rows.append(("adc batched-vs-per-code", "-", f"{sc:.2f}x" if sc else "-",
+             f"{sp:.2f}x" if sp else "-", "-"))
+
+widths = [max(len(r[i]) for r in rows) for i in range(5)]
+print("\n== ANN tiers vs previous BENCH_ann.json (kernel: %s) ==" % cur.get("kernel", "?"))
 for i, r in enumerate(rows):
     print("  ".join(cell.ljust(widths[j]) for j, cell in enumerate(r)))
     if i == 0:

@@ -17,6 +17,20 @@ EMBLOOKUP_THREADS=1 cargo test -q --offline
 echo "== cargo test -q --offline (default threads) =="
 cargo test -q --offline
 
+# Kernel-dispatch matrix: the ann suite must hold under both the forced
+# scalar fallback and auto-detected SIMD (EMBLOOKUP_KERNEL resolves once
+# per process, so each setting needs its own run). The ANN bench smoke
+# (600-tier only, snapshot untouched) proves the recall/latency harness
+# itself stays healthy.
+echo "== cargo test -q --offline -p emblookup-ann (EMBLOOKUP_KERNEL=scalar) =="
+EMBLOOKUP_KERNEL=scalar cargo test -q --offline -p emblookup-ann
+
+echo "== cargo test -q --offline -p emblookup-ann (EMBLOOKUP_KERNEL=auto) =="
+EMBLOOKUP_KERNEL=auto cargo test -q --offline -p emblookup-ann
+
+echo "== ann_bench --smoke (600-tier health check) =="
+cargo run -q --release --offline -p emblookup-bench --bin ann_bench -- --smoke
+
 # Serving-layer smoke: the integration suite drives a real server over
 # TCP — /healthz, /metrics (Prometheus text with trace-id exemplars),
 # /lookup through the degradation ladder, shed-under-load (429), panic
