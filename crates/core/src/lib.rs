@@ -29,6 +29,7 @@ pub mod index;
 pub mod mining;
 pub mod model;
 pub mod service;
+pub mod shards;
 pub mod trainer;
 
 pub use config::{Compression, EmbLookupConfig, LossKind};
@@ -39,4 +40,5 @@ pub use index::EntityIndex;
 pub use mining::{mine_triplets, MiningConfig, Triplet, TripletFamily};
 pub use model::EmbLookupModel;
 pub use service::{num_threads, EmbLookup};
+pub use shards::{merge_topk, shard_of, ShardedIndex};
 pub use trainer::{train, EpochStats, TrainReport};

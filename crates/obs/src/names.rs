@@ -97,6 +97,23 @@ names! {
     SERVE_DEGRADED_QGRAM => "serve.degraded.qgram",
     /// Counter of per-request panics contained by the serving layer.
     SERVE_PANICS => "serve.panics",
+    /// Counter of TCP connections accepted by the serving layer.
+    SERVE_CONNECTIONS => "serve.connections",
+    /// Gauge: index shards currently admitted to scatter-gather (breaker
+    /// not open).
+    SERVE_SHARDS_LIVE => "serve.shards.live",
+    /// Counter of responses assembled from a strict subset of shards.
+    SERVE_PARTIAL => "serve.partial",
+    /// Counter of per-shard circuit-breaker open transitions (including
+    /// re-opens after a failed half-open probe).
+    SERVE_BREAKER_OPENED => "serve.breaker.opened",
+    /// Counter of half-open probe attempts sent to an ejected shard.
+    SERVE_BREAKER_PROBES => "serve.breaker.probes",
+    /// Counter of shards re-admitted after a successful half-open probe.
+    SERVE_BREAKER_READMITTED => "serve.breaker.readmitted",
+    /// Counter of lookups pinned to the string rung by the whole-service
+    /// overload breaker.
+    SERVE_OVERLOAD_PINNED => "serve.overload.pinned",
     /// Counter of tasks executed by the compute pool.
     POOL_TASKS => "pool.tasks",
     /// Gauge: tasks currently queued in the compute pool.
@@ -117,6 +134,8 @@ names! {
     SPAN_STAGE_SEARCH => "stage.search",
     /// Trace span: result ranking + response assembly stage.
     SPAN_STAGE_RANK => "stage.rank",
+    /// Trace span: one shard's slice of a scatter-gather search.
+    SPAN_STAGE_SHARD => "stage.shard",
     /// Trace span: one pool chunk of a parallel traced region.
     SPAN_POOL_CHUNK => "pool.chunk",
     /// Counter of traces stored in the flight recorder.

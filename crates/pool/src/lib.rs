@@ -481,6 +481,29 @@ impl Pool {
         self.try_parallel_map_with(n, grain, || (), |(), i| f(i))
     }
 
+    /// Fans `f` out over `0..n` (grain 1, one task per index) with
+    /// **per-index panic containment**: unlike [`Pool::try_parallel_map`],
+    /// where one panicking index fails the whole job, each index's
+    /// outcome is reported independently as `Ok(value)` or
+    /// `Err(TaskPanic)` in index order. This is the scatter-gather
+    /// primitive for sharded serving, where one misbehaving shard must
+    /// cost only its own slot of the response, never its siblings'.
+    pub fn scatter<U, F>(&self, n: usize, f: F) -> Vec<Result<U, TaskPanic>>
+    where
+        U: Send,
+        F: Fn(usize) -> U + Sync,
+    {
+        match self.try_parallel_map(n, 1, |i| {
+            panic::catch_unwind(AssertUnwindSafe(|| f(i)))
+                .map_err(|payload| TaskPanic::from_payload(payload.as_ref()))
+        }) {
+            Ok(v) => v,
+            // Unreachable in practice: every index's panic is already
+            // contained above, so the outer job cannot fail.
+            Err(e) => e.resume(),
+        }
+    }
+
     /// Like [`Pool::parallel_map`] with per-chunk scratch state: `init`
     /// builds one `S` per executed chunk and `f(&mut scratch, i)` reuses
     /// it across that chunk's indices — the pattern for amortizing a
@@ -816,6 +839,38 @@ mod tests {
             assert_eq!(out.len(), 257);
             assert!(out.iter().enumerate().all(|(i, &v)| v == i * i));
         }
+    }
+
+    #[test]
+    fn scatter_preserves_order_and_contains_panics_per_index() {
+        for threads in [1, 4] {
+            let pool = Pool::with_threads(threads);
+            let out = pool.scatter(7, |i| {
+                if i == 3 {
+                    panic!("index 3 misbehaved");
+                }
+                i * 10
+            });
+            assert_eq!(out.len(), 7);
+            for (i, res) in out.iter().enumerate() {
+                if i == 3 {
+                    let err = res.as_ref().expect_err("index 3 must fail alone");
+                    assert!(err.message.contains("index 3 misbehaved"));
+                } else {
+                    assert_eq!(*res.as_ref().expect("healthy index"), i * 10);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_all_panicking_still_returns_every_slot() {
+        let pool = Pool::with_threads(2);
+        let out = pool.scatter(4, |_i| -> usize {
+            panic!("every shard down");
+        });
+        assert_eq!(out.len(), 4);
+        assert!(out.iter().all(|r| r.is_err()));
     }
 
     #[test]

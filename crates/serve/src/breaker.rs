@@ -1,0 +1,293 @@
+//! Circuit breakers: per-shard ejection and the whole-service overload
+//! pin.
+//!
+//! Both machines are deliberately **request-indexed, not wall-clocked**:
+//! transitions fire on the accept-order request index (the same key the
+//! fault harness replays on), so a seeded chaos run produces the exact
+//! same open/half-open/close sequence at any pool width and on any
+//! machine — the §8 determinism contract extended to failure handling.
+//!
+//! **Per-shard breaker** ([`ShardBreaker`]): `Closed → Open` after
+//! `threshold` consecutive shard failures (deadline-miss, error, or
+//! contained panic); `Open → HalfOpen` once `cooldown` requests have
+//! passed since opening, admitting a single probe; a successful probe
+//! re-admits the shard (`→ Closed`), a failed one re-opens it with a
+//! fresh cooldown. While a shard is open, scatter-gather simply skips
+//! it and the response is tagged partial (`x-emblookup-shards: k/N`).
+//!
+//! **Overload pin** ([`OverloadPin`]): when `/lookup` itself keeps
+//! missing deadlines (`threshold` consecutive `504`s), the service pins
+//! traffic to the degradation ladder's string rung — a cheap q-gram
+//! answer beats a timeout during sustained overload. Every
+//! `probe_interval`-th pinned request retries the full pipeline; the
+//! first one to beat its deadline unpins.
+
+/// Position of one breaker's state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: the shard participates in every scatter-gather.
+    Closed,
+    /// Ejected: the shard is skipped until its cooldown elapses.
+    Open,
+    /// Cooldown elapsed: one probe request is in flight.
+    HalfOpen,
+}
+
+/// A state change reported by [`ShardBreaker::record`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transition {
+    /// Closed → Open: consecutive failures reached the threshold.
+    Opened,
+    /// HalfOpen → Open: the probe failed; cooldown restarts.
+    Reopened,
+    /// HalfOpen → Closed: the probe succeeded; shard re-admitted.
+    Readmitted,
+}
+
+/// Per-shard circuit breaker, driven by request indices.
+#[derive(Debug)]
+pub struct ShardBreaker {
+    state: BreakerState,
+    consecutive_failures: u32,
+    opened_at: u64,
+    threshold: u32,
+    cooldown: u64,
+}
+
+impl ShardBreaker {
+    /// A closed breaker that opens after `threshold` consecutive
+    /// failures (min 1) and half-opens `cooldown` requests later.
+    pub fn new(threshold: u32, cooldown: u64) -> Self {
+        ShardBreaker {
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            opened_at: 0,
+            threshold: threshold.max(1),
+            cooldown: cooldown.max(1),
+        }
+    }
+
+    /// Current state (after any cooldown transition applied by
+    /// [`ShardBreaker::admit`]).
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Decides whether the shard participates in request `idx`'s
+    /// scatter-gather. An open breaker whose cooldown has elapsed
+    /// transitions to half-open here and admits the probe.
+    pub fn admit(&mut self, idx: u64) -> bool {
+        match self.state {
+            BreakerState::Closed | BreakerState::HalfOpen => true,
+            BreakerState::Open => {
+                if idx.saturating_sub(self.opened_at) >= self.cooldown {
+                    self.state = BreakerState::HalfOpen;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Records the outcome of an admitted shard attempt for request
+    /// `idx`; returns the transition it caused, if any.
+    pub fn record(&mut self, idx: u64, ok: bool) -> Option<Transition> {
+        match (self.state, ok) {
+            (BreakerState::Closed, true) => {
+                self.consecutive_failures = 0;
+                None
+            }
+            (BreakerState::Closed, false) => {
+                self.consecutive_failures += 1;
+                if self.consecutive_failures >= self.threshold {
+                    self.state = BreakerState::Open;
+                    self.opened_at = idx;
+                    Some(Transition::Opened)
+                } else {
+                    None
+                }
+            }
+            (BreakerState::HalfOpen, true) => {
+                self.state = BreakerState::Closed;
+                self.consecutive_failures = 0;
+                Some(Transition::Readmitted)
+            }
+            (BreakerState::HalfOpen, false) => {
+                self.state = BreakerState::Open;
+                self.opened_at = idx;
+                Some(Transition::Reopened)
+            }
+            // Not admitted, so nothing to record; tolerated rather than
+            // panicking because a racing caller is a metrics bug, not a
+            // correctness bug.
+            (BreakerState::Open, _) => None,
+        }
+    }
+}
+
+/// An event reported by [`OverloadPin::record`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PinEvent {
+    /// Consecutive deadline misses reached the threshold: traffic is
+    /// now pinned to the string rung.
+    Pinned,
+    /// A full-pipeline attempt beat its deadline: pin released.
+    Unpinned,
+}
+
+/// Whole-service breaker that pins sustained overload to the ladder's
+/// string rung instead of timing every request out.
+#[derive(Debug)]
+pub struct OverloadPin {
+    consecutive_misses: u32,
+    pinned: bool,
+    pinned_at: u64,
+    threshold: u32,
+    probe_interval: u64,
+}
+
+impl OverloadPin {
+    /// An unpinned breaker. `threshold == 0` disables pinning entirely;
+    /// `probe_interval` (min 1) is how often a pinned service retries
+    /// the full pipeline.
+    pub fn new(threshold: u32, probe_interval: u64) -> Self {
+        OverloadPin {
+            consecutive_misses: 0,
+            pinned: false,
+            pinned_at: 0,
+            threshold,
+            probe_interval: probe_interval.max(1),
+        }
+    }
+
+    /// True while traffic is pinned to the string rung.
+    pub fn is_pinned(&self) -> bool {
+        self.pinned
+    }
+
+    /// Should request `idx` answer from the string rung? Returns
+    /// `false` both when unpinned and for the periodic full-pipeline
+    /// probe a pinned service still sends.
+    pub fn pin(&self, idx: u64) -> bool {
+        if !self.pinned {
+            return false;
+        }
+        !idx.saturating_sub(self.pinned_at).is_multiple_of(self.probe_interval)
+    }
+
+    /// Records the outcome of a request that ran the full pipeline
+    /// (including probes): `miss` means it exhausted its deadline.
+    pub fn record(&mut self, idx: u64, miss: bool) -> Option<PinEvent> {
+        if self.threshold == 0 {
+            return None;
+        }
+        if miss {
+            self.consecutive_misses += 1;
+            if !self.pinned && self.consecutive_misses >= self.threshold {
+                self.pinned = true;
+                self.pinned_at = idx;
+                return Some(PinEvent::Pinned);
+            }
+            None
+        } else {
+            self.consecutive_misses = 0;
+            if self.pinned {
+                self.pinned = false;
+                Some(PinEvent::Unpinned)
+            } else {
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closed_opens_after_threshold_consecutive_failures() {
+        let mut b = ShardBreaker::new(3, 5);
+        assert!(b.admit(0));
+        assert_eq!(b.record(0, false), None);
+        assert_eq!(b.record(1, true), None, "a success resets the streak");
+        assert_eq!(b.record(2, false), None);
+        assert_eq!(b.record(3, false), None);
+        assert_eq!(b.record(4, false), Some(Transition::Opened));
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.admit(5), "open breaker skips the shard");
+    }
+
+    #[test]
+    fn open_half_opens_after_cooldown_and_readmits_on_probe_success() {
+        let mut b = ShardBreaker::new(1, 4);
+        assert_eq!(b.record(10, false), Some(Transition::Opened));
+        assert!(!b.admit(11));
+        assert!(!b.admit(13), "cooldown not yet elapsed");
+        assert!(b.admit(14), "cooldown elapsed: probe admitted");
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert_eq!(b.record(14, true), Some(Transition::Readmitted));
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.admit(15));
+    }
+
+    #[test]
+    fn failed_probe_reopens_with_fresh_cooldown() {
+        let mut b = ShardBreaker::new(1, 4);
+        assert_eq!(b.record(0, false), Some(Transition::Opened));
+        assert!(b.admit(4));
+        assert_eq!(b.record(4, false), Some(Transition::Reopened));
+        assert!(!b.admit(7), "cooldown restarts from the failed probe");
+        assert!(b.admit(8));
+    }
+
+    #[test]
+    fn breaker_sequence_is_a_pure_function_of_the_request_stream() {
+        let run = || {
+            let mut b = ShardBreaker::new(2, 3);
+            let outcomes = [false, false, true, false, false, true, true];
+            let mut log = Vec::new();
+            for (i, ok) in outcomes.iter().enumerate() {
+                let idx = i as u64;
+                let admitted = b.admit(idx);
+                let t = if admitted { b.record(idx, *ok) } else { None };
+                log.push((admitted, t, b.state()));
+            }
+            log
+        };
+        assert_eq!(run(), run(), "same stream, same transitions, always");
+    }
+
+    #[test]
+    fn overload_pin_engages_after_threshold_and_probes_periodically() {
+        let mut p = OverloadPin::new(2, 3);
+        assert!(!p.pin(0));
+        assert_eq!(p.record(0, false), None, "a hit resets nothing");
+        assert_eq!(p.record(1, true), None, "first miss is under threshold");
+        assert_eq!(p.record(2, true), Some(PinEvent::Pinned));
+        assert!(p.is_pinned());
+        assert!(p.pin(3), "pinned requests answer from the string rung");
+        assert!(p.pin(4));
+        assert!(!p.pin(5), "every probe_interval-th request probes the full path");
+        assert_eq!(p.record(5, true), None, "missed probe keeps the pin");
+        assert!(p.pin(6));
+        assert!(!p.pin(8));
+        assert_eq!(p.record(8, true), None);
+        assert!(!p.pin(11));
+        assert_eq!(p.record(11, false), Some(PinEvent::Unpinned));
+        assert!(!p.is_pinned());
+        assert!(!p.pin(12));
+    }
+
+    #[test]
+    fn zero_threshold_disables_the_pin() {
+        let mut p = OverloadPin::new(0, 4);
+        for i in 0..32 {
+            assert_eq!(p.record(i, true), None);
+            assert_eq!(p.record(i, false), None);
+            assert!(!p.pin(i));
+        }
+        assert!(!p.is_pinned());
+    }
+}

@@ -1,9 +1,11 @@
 //! A tiny blocking HTTP/1.1 client on `std::net::TcpStream`.
 //!
-//! Exists so the integration tests and the `emblookup-cli query`
-//! subcommand can exercise the server without pulling in an external
-//! HTTP dependency. One request per connection, mirroring the server's
-//! `Connection: close` contract.
+//! Exists so the integration tests, the load generator, and the
+//! `emblookup-cli query` subcommand can exercise the server without
+//! pulling in an external HTTP dependency. [`Connection`] holds one
+//! keep-alive socket and frames responses by `content-length`, so a
+//! bulk loop pays TCP setup once; the one-shot [`request`] helper keeps
+//! the old `Connection: close` behavior for single exchanges.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -88,6 +90,109 @@ pub fn post_json(
     let mut all = vec![("content-type", "application/json")];
     all.extend_from_slice(headers);
     request(addr, "POST", path, &all, body)
+}
+
+/// One keep-alive connection to a server; requests reuse the socket.
+#[derive(Debug)]
+pub struct Connection {
+    stream: TcpStream,
+}
+
+impl Connection {
+    /// Connects with a 30 s read timeout.
+    ///
+    /// # Errors
+    /// Propagates connect/configure failures.
+    pub fn open(addr: SocketAddr) -> std::io::Result<Connection> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        Ok(Connection { stream })
+    }
+
+    /// Sends one request on the kept-alive socket and reads one
+    /// `content-length`-framed response.
+    ///
+    /// # Errors
+    /// Propagates read/write failures and malformed framing as
+    /// `io::Error`; the connection should be dropped after an error.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        headers: &[(&str, &str)],
+        body: &str,
+    ) -> std::io::Result<HttpResponse> {
+        let mut out = String::with_capacity(body.len() + 128);
+        out.push_str(method);
+        out.push(' ');
+        out.push_str(path);
+        out.push_str(" HTTP/1.1\r\nhost: emblookup\r\ncontent-length: ");
+        out.push_str(&body.len().to_string());
+        for (name, value) in headers {
+            out.push_str("\r\n");
+            out.push_str(name);
+            out.push_str(": ");
+            out.push_str(value);
+        }
+        out.push_str("\r\nconnection: keep-alive\r\n\r\n");
+        out.push_str(body);
+        self.stream.write_all(out.as_bytes())?;
+        self.stream.flush()?;
+        read_framed_response(&mut self.stream)
+    }
+
+    /// `GET path` on the kept-alive socket.
+    ///
+    /// # Errors
+    /// See [`Connection::request`].
+    pub fn get(&mut self, path: &str) -> std::io::Result<HttpResponse> {
+        self.request("GET", path, &[], "")
+    }
+
+    /// `POST path` with a JSON body on the kept-alive socket.
+    ///
+    /// # Errors
+    /// See [`Connection::request`].
+    pub fn post_json(
+        &mut self,
+        path: &str,
+        body: &str,
+        headers: &[(&str, &str)],
+    ) -> std::io::Result<HttpResponse> {
+        let mut all = vec![("content-type", "application/json")];
+        all.extend_from_slice(headers);
+        self.request("POST", path, &all, body)
+    }
+}
+
+/// Reads one response head (byte-at-a-time until CRLFCRLF, never
+/// over-reading into the next response) plus its `content-length` body.
+fn read_framed_response(stream: &mut TcpStream) -> std::io::Result<HttpResponse> {
+    let bad = || std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed response");
+    let eof = || std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "connection closed");
+    let mut head = Vec::with_capacity(256);
+    let mut byte = [0u8; 1];
+    loop {
+        match stream.read(&mut byte)? {
+            0 => return Err(eof()),
+            _ => head.push(byte[0]),
+        }
+        if head.len() > 64 * 1024 {
+            return Err(bad());
+        }
+        if head.ends_with(b"\r\n\r\n") {
+            break;
+        }
+    }
+    let mut resp = parse_response(&head).ok_or_else(bad)?;
+    let content_length: usize = resp
+        .header("content-length")
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(bad)?;
+    let mut body = vec![0u8; content_length];
+    stream.read_exact(&mut body)?;
+    resp.body = String::from_utf8_lossy(&body).into_owned();
+    Ok(resp)
 }
 
 fn parse_response(raw: &[u8]) -> Option<HttpResponse> {

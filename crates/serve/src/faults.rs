@@ -63,6 +63,13 @@ pub struct StageFaults {
     /// The request is refused at the door (`429`) as if the queue were
     /// full — exercises the shed path without needing real overload.
     pub shed: bool,
+    /// `(target, ms)`: inject `ms` of latency into shard
+    /// `target % num_shards` during this request's scatter-gather.
+    /// Ignored by the unsharded path.
+    pub shard_latency: Option<(u32, u64)>,
+    /// Panic inside shard `target % num_shards` during scatter-gather
+    /// (per-shard containment drill). Ignored by the unsharded path.
+    pub shard_panic: Option<u32>,
 }
 
 /// How faults are generated across requests.
@@ -93,6 +100,10 @@ pub enum FaultConfig {
         panic_prob: f64,
         /// Probability the request is shed at admission.
         shed_prob: f64,
+        /// Probability one shard misbehaves during scatter-gather
+        /// (split evenly between a stall and a panic; the target shard
+        /// is drawn uniformly).
+        shard_fault_prob: f64,
         /// Advance the deadline clock instead of sleeping.
         virtual_time: bool,
     },
@@ -136,6 +147,7 @@ impl FaultLayer {
                 poison_prob,
                 panic_prob,
                 shed_prob,
+                shard_fault_prob,
                 ..
             } => {
                 // Mix the index through a distinct odd constant so
@@ -150,7 +162,7 @@ impl FaultLayer {
                         0
                     }
                 };
-                StageFaults {
+                let mut faults = StageFaults {
                     admit_latency_ms: latency(&mut rng),
                     encode_latency_ms: latency(&mut rng),
                     search_latency_ms: latency(&mut rng),
@@ -160,7 +172,21 @@ impl FaultLayer {
                     // Drawn last, and only when enabled: seeds chosen
                     // before the shed fault existed replay unchanged.
                     shed: *shed_prob > 0.0 && rng.gen_bool(*shed_prob),
+                    shard_latency: None,
+                    shard_panic: None,
+                };
+                // Shard faults are drawn after everything else and only
+                // when enabled, for the same stream-stability reason.
+                if *shard_fault_prob > 0.0 && rng.gen_bool(*shard_fault_prob) {
+                    let target = rng.gen_range(0..4096u64) as u32;
+                    if rng.gen_bool(0.5) {
+                        faults.shard_panic = Some(target);
+                    } else {
+                        let ms = rng.gen_range(0..(*max_latency_ms).max(1));
+                        faults.shard_latency = Some((target, ms));
+                    }
                 }
+                faults
             }
         }
     }
@@ -209,6 +235,12 @@ impl DeadlineClock {
     /// The shared virtual nanosecond counter behind this clock.
     pub fn virtual_ns_handle(&self) -> Arc<AtomicU64> {
         Arc::clone(&self.virtual_ns)
+    }
+
+    /// True when injected latency advances the clock instead of
+    /// sleeping (the clock was built with `virtual_only`).
+    pub fn is_virtual(&self) -> bool {
+        self.virtual_only
     }
 
     /// Applies `ms` of injected latency: virtually (clock advance) or
@@ -305,6 +337,7 @@ mod tests {
                 poison_prob: 0.2,
                 panic_prob: 0.1,
                 shed_prob: 0.0,
+                shard_fault_prob: 0.0,
                 virtual_time: true,
             })
         };
@@ -361,6 +394,7 @@ mod tests {
                 poison_prob: 0.2,
                 panic_prob: 0.1,
                 shed_prob,
+                shard_fault_prob: 0.0,
                 virtual_time: true,
             })
         };
@@ -373,6 +407,38 @@ mod tests {
                 StageFaults { shed: false, ..*b },
                 *a,
                 "non-shed fields must replay identically with shed enabled"
+            );
+        }
+    }
+
+    #[test]
+    fn shard_fault_draw_does_not_disturb_existing_streams() {
+        let make = |shard_fault_prob| {
+            FaultLayer::new(FaultConfig::Random {
+                seed: 11,
+                latency_prob: 0.5,
+                max_latency_ms: 100,
+                backend_error_prob: 0.2,
+                poison_prob: 0.2,
+                panic_prob: 0.1,
+                shed_prob: 0.3,
+                shard_fault_prob,
+                virtual_time: true,
+            })
+        };
+        let without: Vec<_> = (0..64).map(|i| make(0.0).for_request(i)).collect();
+        let with: Vec<_> = (0..64).map(|i| make(0.5).for_request(i)).collect();
+        assert!(
+            without.iter().all(|f| f.shard_latency.is_none() && f.shard_panic.is_none()),
+            "prob 0 must never inject shard faults"
+        );
+        assert!(with.iter().any(|f| f.shard_latency.is_some()), "prob 0.5 stalls a shard");
+        assert!(with.iter().any(|f| f.shard_panic.is_some()), "prob 0.5 panics a shard");
+        for (a, b) in without.iter().zip(&with) {
+            assert_eq!(
+                StageFaults { shard_latency: None, shard_panic: None, ..*b },
+                *a,
+                "non-shard fields must replay identically with shard faults enabled"
             );
         }
     }

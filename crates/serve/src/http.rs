@@ -1,10 +1,14 @@
 //! Minimal HTTP/1.1 framing on `std::net::TcpStream`.
 //!
-//! The server speaks one request per connection (`Connection: close`),
-//! which keeps the state machine trivial and makes shed/deadline
-//! responses unambiguous: every connection resolves to exactly one
-//! status line. Header and body sizes are capped so a malformed or
-//! hostile peer cannot grow buffers without bound.
+//! The server speaks HTTP/1.1 keep-alive: a connection carries a
+//! sequence of requests, each framed by `content-length`, answered in
+//! order. Because [`read_request`] consumes the stream byte-at-a-time
+//! and never reads past one request's body, a client may *pipeline* —
+//! write several requests back-to-back before reading — and the framing
+//! stays unambiguous. A request carrying `Connection: close` (or a
+//! response serialized with `keep_alive = false`) ends the connection
+//! after that exchange. Header and body sizes are capped so a malformed
+//! or hostile peer cannot grow buffers without bound.
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -50,6 +54,9 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
         match stream.read(&mut byte) {
             Ok(0) => return Err("connection closed before request head"),
             Ok(_) => head.push(byte[0]),
+            // A timeout with nothing read yet is an idle keep-alive
+            // connection going away, not a framing error.
+            Err(_) if head.is_empty() => return Err("connection closed before request head"),
             Err(_) => return Err("read failed or timed out"),
         }
         if head.len() > MAX_HEAD_BYTES {
@@ -141,15 +148,17 @@ fn reason(status: u16) -> &'static str {
         405 => "Method Not Allowed",
         429 => "Too Many Requests",
         500 => "Internal Server Error",
+        503 => "Service Unavailable",
         504 => "Gateway Timeout",
         _ => "Unknown",
     }
 }
 
-/// Serializes `resp` onto `stream` and flushes. Write errors are
-/// swallowed: the peer may have hung up, and the connection is closed
-/// either way.
-pub fn write_response(stream: &mut TcpStream, resp: &Response) {
+/// Serializes `resp` onto `stream` and flushes, advertising
+/// `connection: keep-alive` or `close` per `keep_alive`. Write errors
+/// are swallowed: the peer may have hung up, and the connection's fate
+/// is already decided either way.
+pub fn write_response(stream: &mut TcpStream, resp: &Response, keep_alive: bool) {
     let mut out = String::with_capacity(resp.body.len() + 128);
     out.push_str("HTTP/1.1 ");
     out.push_str(&resp.status.to_string());
@@ -165,7 +174,11 @@ pub fn write_response(stream: &mut TcpStream, resp: &Response) {
         out.push_str(": ");
         out.push_str(value);
     }
-    out.push_str("\r\nconnection: close\r\n\r\n");
+    out.push_str(if keep_alive {
+        "\r\nconnection: keep-alive\r\n\r\n"
+    } else {
+        "\r\nconnection: close\r\n\r\n"
+    });
     out.push_str(&resp.body);
     let _ = stream.write_all(out.as_bytes());
     let _ = stream.flush();

@@ -27,6 +27,19 @@
 //!   on a capped set → q-gram string similarity. The rung is tagged in
 //!   the response and counted in `serve.degraded.*`.
 //!
+//! With [`ServeConfig::shards`] `> 1` two more compose on top:
+//!
+//! * **Scatter-gather sharding** — the entity set is hash-partitioned
+//!   into `N` shards at startup; the full rung fans out over every live
+//!   shard (each under a slice of the request's budget) and merges
+//!   per-shard top-k deterministically. Connections are HTTP/1.1
+//!   keep-alive: one connection serves many requests in order.
+//! * **Circuit breakers** — a per-shard [`ShardBreaker`] ejects a shard
+//!   after consecutive failures and probes it back in (responses built
+//!   from a subset of shards carry `x-emblookup-shards: k/N`); a
+//!   whole-service [`OverloadPin`] pins sustained deadline-miss storms
+//!   to the q-gram rung, tagged `x-emblookup-overload: pinned`.
+//!
 //! A deterministic fault-injection harness ([`faults`]) drives all of
 //! this in tests: scripted or seeded-random stage latency, backend
 //! errors, poisoned scores, and in-search panics, replayable
@@ -46,6 +59,7 @@
 
 #![warn(missing_docs)]
 
+pub mod breaker;
 pub mod client;
 pub mod faults;
 pub mod http;
@@ -53,6 +67,7 @@ pub mod json;
 pub mod ladder;
 pub mod server;
 
+pub use breaker::{BreakerState, OverloadPin, PinEvent, ShardBreaker, Transition};
 pub use faults::{DeadlineClock, FaultConfig, FaultLayer, Stage, StageFaults};
 pub use ladder::{Ladder, Rung};
 pub use server::Server;
@@ -94,6 +109,28 @@ pub struct ServeConfig {
     /// Slow-trace threshold in milliseconds; `0` (the default) adapts
     /// to twice the observed p99 once 64 requests have completed.
     pub slow_trace_ms: u64,
+    /// Number of hash-partitioned index shards the full rung
+    /// scatter-gathers; `1` (the default) serves the single unsharded
+    /// index.
+    pub shards: usize,
+    /// Consecutive failures (deadline-miss / error / panic) that open a
+    /// shard's circuit breaker.
+    pub breaker_threshold: u32,
+    /// Requests an open breaker waits before admitting one half-open
+    /// probe.
+    pub breaker_cooldown: u64,
+    /// Consecutive whole-request deadline misses that pin the service
+    /// to the q-gram rung; `0` disables the overload pin.
+    pub overload_threshold: u32,
+    /// Every n-th pinned request retries the full pipeline; success
+    /// unpins.
+    pub overload_probe_interval: u64,
+    /// Base `Retry-After` for shed responses, in milliseconds; the
+    /// actual value is jittered deterministically over
+    /// `[base/2, 3*base/2]`.
+    pub retry_after_ms: u64,
+    /// Seed for the shed-retry jitter stream.
+    pub retry_jitter_seed: u64,
 }
 
 impl Default for ServeConfig {
@@ -112,6 +149,13 @@ impl Default for ServeConfig {
             trace_ring_cap: 256,
             trace_retain_per_trigger: 8,
             slow_trace_ms: 0,
+            shards: 1,
+            breaker_threshold: 3,
+            breaker_cooldown: 8,
+            overload_threshold: 3,
+            overload_probe_interval: 4,
+            retry_after_ms: 1000,
+            retry_jitter_seed: 0xEB10,
         }
     }
 }

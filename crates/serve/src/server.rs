@@ -3,19 +3,41 @@
 //!
 //! ## Threading model
 //!
-//! The accept thread owns the worker [`Pool`] and does all socket
-//! reads; tiny control-plane GETs (`/healthz`, `/metrics`) are answered
-//! inline so they can never be shed behind data-plane load. `POST`
-//! bodies are parsed and then submitted to the pool's **bounded
+//! The accept thread only accepts: each TCP connection gets its own
+//! connection thread that reads HTTP/1.1 keep-alive requests in order
+//! (pipelining-safe, because [`read_request`] never reads past one
+//! request's body). Tiny control-plane GETs (`/healthz`, `/metrics`,
+//! `/debug/traces*`) are answered inline on the connection thread so
+//! they can never be shed behind data-plane load. `POST` bodies are
+//! parsed and then submitted to the shared worker [`Pool`]'s **bounded
 //! injector** ([`Pool::try_submit`]): when the queue is at capacity the
-//! submission fails synchronously and the accept thread answers `429`
-//! with `Retry-After` — load is shed at the door, not buffered into an
-//! unbounded backlog.
+//! submission fails synchronously and the connection thread answers
+//! `429` with a deterministically jittered `Retry-After` — load is shed
+//! at the door, not buffered into an unbounded backlog. Admitted
+//! requests compute their response on a worker, hand it back through a
+//! condvar slot, and the connection thread writes it — responses stay
+//! in request order per connection.
 //!
-//! Keeping the pool on the accept thread also means the pool is never
-//! dropped from one of its own workers (which would self-join), and
-//! request indices are assigned in accept order — the anchor for
-//! deterministic fault replay.
+//! The pool rides in an `Arc` held by the accept thread and every
+//! connection thread; handler tasks capture only [`ServerState`], so
+//! the last `Arc` is always dropped by a serve-side thread, never by a
+//! pool worker (no self-join). Request indices are assigned in arrival
+//! order under the `seq` counter — the anchor for deterministic fault
+//! replay.
+//!
+//! ## Sharding, breakers, and the overload pin
+//!
+//! With `ServeConfig::shards > 1` the entity set is hash-partitioned at
+//! startup into a [`ShardedIndex`]; the full rung then scatter-gathers
+//! every live shard on the global pool, each under a private slice of
+//! the request's remaining deadline budget, and merges per-shard top-k
+//! deterministically (`total_cmp`, ties on entity id). A per-shard
+//! [`ShardBreaker`] ejects a shard after consecutive failures and
+//! half-open-probes it back in; responses assembled from a strict
+//! subset of shards carry `x-emblookup-shards: k/N`. A whole-service
+//! [`OverloadPin`] watches consecutive `/lookup` deadline misses and
+//! pins sustained overload to the ladder's string rung — cheap answers
+//! beat timeouts — with periodic full-pipeline probes to unpin.
 //!
 //! ## Request lifecycle
 //!
@@ -37,12 +59,13 @@
 //! virtual-time fault harness the trace clock shares the deadline
 //! clock's nanosecond counter, so captured durations are deterministic.
 
+use crate::breaker::{BreakerState, OverloadPin, ShardBreaker, Transition};
 use crate::faults::{DeadlineClock, FaultLayer, Stage, StageFaults};
 use crate::http::{read_request, write_response, Request, Response};
 use crate::json::{self, Json};
 use crate::ladder::{Ladder, Rung};
 use crate::ServeConfig;
-use emblookup_core::EmbLookup;
+use emblookup_core::{merge_topk, EmbLookup, EntityIndex, ShardedIndex};
 use emblookup_kg::{EntityId, KnowledgeGraph};
 use emblookup_obs::names;
 use emblookup_obs::{
@@ -51,10 +74,12 @@ use emblookup_obs::{
     TraceHub, TraceSpan, Trigger,
 };
 use emblookup_pool::{BoundedQueue, Pool};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -80,6 +105,13 @@ struct ServeMetrics {
     degraded_flat: Arc<Counter>,
     degraded_qgram: Arc<Counter>,
     panics: Arc<Counter>,
+    connections: Arc<Counter>,
+    shards_live: Arc<Gauge>,
+    partial: Arc<Counter>,
+    breaker_opened: Arc<Counter>,
+    breaker_probes: Arc<Counter>,
+    breaker_readmitted: Arc<Counter>,
+    overload_pinned: Arc<Counter>,
 }
 
 impl ServeMetrics {
@@ -95,8 +127,29 @@ impl ServeMetrics {
             degraded_flat: registry.counter(names::SERVE_DEGRADED_FLAT),
             degraded_qgram: registry.counter(names::SERVE_DEGRADED_QGRAM),
             panics: registry.counter(names::SERVE_PANICS),
+            connections: registry.counter(names::SERVE_CONNECTIONS),
+            shards_live: registry.gauge(names::SERVE_SHARDS_LIVE),
+            partial: registry.counter(names::SERVE_PARTIAL),
+            breaker_opened: registry.counter(names::SERVE_BREAKER_OPENED),
+            breaker_probes: registry.counter(names::SERVE_BREAKER_PROBES),
+            breaker_readmitted: registry.counter(names::SERVE_BREAKER_READMITTED),
+            overload_pinned: registry.counter(names::SERVE_OVERLOAD_PINNED),
         }
     }
+}
+
+/// Locks a serve-side mutex, ignoring poison: everything behind these
+/// mutexes is plain breaker/bookkeeping state, and handler panics are
+/// already contained by `catch_unwind` upstream.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The sharded serving state: the partitioned index plus one circuit
+/// breaker per shard.
+struct ShardServing {
+    index: ShardedIndex,
+    breakers: Mutex<Vec<ShardBreaker>>,
 }
 
 /// Everything the request handlers need, shared between the accept
@@ -112,9 +165,13 @@ struct ServerState {
     metrics: ServeMetrics,
     /// Flight recorder + tail sampler every completed trace publishes to.
     hub: TraceHub,
-    /// Request indices in accept order; the fault layer's replay key.
+    /// Request indices in arrival order; the fault layer's replay key.
     // lint: atomic(counter) accept-order index allocator
     seq: AtomicU64,
+    /// Hash-partitioned shards + per-shard breakers when `shards > 1`.
+    sharded: Option<ShardServing>,
+    /// Whole-service breaker pinning sustained overload to the string rung.
+    overload: Mutex<OverloadPin>,
 }
 
 impl ServerState {
@@ -195,6 +252,28 @@ impl Server {
         };
         let queue_cap = config.queue_cap;
         let hub = TraceHub::new(config.trace_ring_cap, config.trace_retain_per_trigger, &registry);
+        let sharded = if config.shards > 1 {
+            // Built single-threaded like the ladder: startup cost, paid
+            // once, in exchange for a deterministic partition.
+            let index = ShardedIndex::build(
+                service.model(),
+                kg,
+                service.model().config().compression,
+                config.shards,
+                1,
+            );
+            let breakers = (0..index.num_shards())
+                .map(|_| ShardBreaker::new(config.breaker_threshold, config.breaker_cooldown))
+                .collect();
+            Some(ShardServing { index, breakers: Mutex::new(breakers) })
+        } else {
+            None
+        };
+        metrics.shards_live.set(config.shards.max(1) as f64);
+        let overload = Mutex::new(OverloadPin::new(
+            config.overload_threshold,
+            config.overload_probe_interval,
+        ));
         let state = Arc::new(ServerState {
             service,
             ladder,
@@ -205,15 +284,20 @@ impl Server {
             metrics,
             hub,
             seq: AtomicU64::new(0),
+            sharded,
+            overload,
         });
         let shutdown = Arc::new(AtomicBool::new(false));
         let shutdown_flag = Arc::clone(&shutdown);
         let handle = std::thread::Builder::new()
             .name("emblookup-serve-accept".to_string())
             .spawn(move || {
-                // The accept thread owns the pool: it is dropped (and
-                // its workers joined) here, never from a worker.
-                let pool = Pool::with_threads_bounded(workers, BoundedQueue { cap: queue_cap });
+                // Shared with every connection thread through an Arc;
+                // handler tasks capture only `ServerState`, so the last
+                // Arc (and the worker join) always lands on a serve
+                // thread, never on a pool worker.
+                let pool =
+                    Arc::new(Pool::with_threads_bounded(workers, BoundedQueue { cap: queue_cap }));
                 accept_loop(&listener, &state, &pool, &shutdown_flag);
             })?;
         Ok(Server {
@@ -255,11 +339,11 @@ impl Drop for Server {
 fn accept_loop(
     listener: &TcpListener,
     state: &Arc<ServerState>,
-    pool: &Pool,
-    shutdown: &AtomicBool,
+    pool: &Arc<Pool>,
+    shutdown: &Arc<AtomicBool>,
 ) {
     loop {
-        let Ok((mut stream, _)) = listener.accept() else {
+        let Ok((stream, _)) = listener.accept() else {
             if shutdown.load(Ordering::SeqCst) {
                 return;
             }
@@ -268,25 +352,59 @@ fn accept_loop(
         if shutdown.load(Ordering::SeqCst) {
             return;
         }
-        let _ = stream.set_read_timeout(Some(Duration::from_millis(
-            state.config.read_timeout_ms.max(1),
-        )));
+        state.metrics.connections.inc();
+        let conn_state = Arc::clone(state);
+        let conn_pool = Arc::clone(pool);
+        let conn_shutdown = Arc::clone(shutdown);
+        // A failed spawn (fd/thread exhaustion) drops the connection —
+        // the client sees a reset and retries; the server stays up.
+        let _ = std::thread::Builder::new()
+            .name("emblookup-serve-conn".to_string())
+            .spawn(move || {
+                connection_loop(stream, &conn_state, &conn_pool, &conn_shutdown);
+            });
+    }
+}
+
+/// Serves one keep-alive connection: reads requests in order until the
+/// client closes, asks for `Connection: close`, errors, or shutdown.
+fn connection_loop(
+    mut stream: TcpStream,
+    state: &Arc<ServerState>,
+    pool: &Arc<Pool>,
+    shutdown: &AtomicBool,
+) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(
+        state.config.read_timeout_ms.max(1),
+    )));
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
         let req = match read_request(&mut stream, MAX_BODY_BYTES) {
             Ok(req) => req,
+            // An idle keep-alive peer hanging up (or timing out) between
+            // requests is the protocol working, not an error.
+            Err("connection closed before request head") => return,
             Err(why) => {
                 state.metrics.errors.inc();
                 let body = format!("{{\"error\":\"{}\"}}", json::escape(why));
-                write_response(&mut stream, &Response::json(400, body));
-                continue;
+                write_response(&mut stream, &Response::json(400, body), false);
+                return;
             }
         };
         state.metrics.requests.inc();
+        // HTTP/1.1 defaults to persistent; only an explicit close opts out.
+        let keep_alive = !req
+            .header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"));
         match (req.method.as_str(), req.path.as_str()) {
             // Control plane: answered inline, never queued, never shed.
             ("GET", "/healthz") => {
                 write_response(
                     &mut stream,
                     &Response::json(200, "{\"status\":\"ok\"}".to_string()),
+                    keep_alive,
                 );
             }
             ("GET", "/metrics") => {
@@ -295,10 +413,14 @@ fn accept_loop(
                     .queue_depth
                     .set(pool.detached_depth() as f64);
                 let body = state.registry.snapshot().to_prometheus();
-                write_response(&mut stream, &Response::text(200, body));
+                write_response(&mut stream, &Response::text(200, body), keep_alive);
             }
             ("GET", "/debug/traces") => {
-                write_response(&mut stream, &Response::json(200, debug_traces_json(state)));
+                write_response(
+                    &mut stream,
+                    &Response::json(200, debug_traces_json(state)),
+                    keep_alive,
+                );
             }
             ("GET", "/debug/traces/chrome") => {
                 let traces: Vec<TraceData> = state
@@ -311,6 +433,7 @@ fn accept_loop(
                 write_response(
                     &mut stream,
                     &Response::json(200, traces_to_chrome_json(&traces)),
+                    keep_alive,
                 );
             }
             ("GET", path) if path.starts_with("/debug/traces/") => {
@@ -322,23 +445,28 @@ fn accept_loop(
                     Some(r) => Response::json(200, retained_trace_json(&r)),
                     None => Response::json(404, "{\"error\":\"trace not found\"}".to_string()),
                 };
-                write_response(&mut stream, &resp);
+                write_response(&mut stream, &resp, keep_alive);
             }
             ("POST", "/lookup") | ("POST", "/lookup/bulk") => {
-                admit(state, pool, req, stream);
+                admit(state, pool, req, &mut stream, keep_alive);
             }
             ("GET", _) | ("POST", _) => {
                 write_response(
                     &mut stream,
                     &Response::json(404, "{\"error\":\"not found\"}".to_string()),
+                    keep_alive,
                 );
             }
             _ => {
                 write_response(
                     &mut stream,
                     &Response::json(405, "{\"error\":\"method not allowed\"}".to_string()),
+                    keep_alive,
                 );
             }
+        }
+        if !keep_alive {
+            return;
         }
     }
 }
@@ -363,9 +491,34 @@ fn mint_trace(req: &Request, idx: u64, virtual_time: bool) -> TraceCtx {
     TraceCtx { root, virtual_ns }
 }
 
+/// Deterministic bounded jitter for `Retry-After`: seeded off the
+/// request index, so a herd of shed clients spreads its retries over
+/// `[base/2, 3*base/2]` ms instead of stampeding back in lockstep —
+/// and a replayed chaos run reproduces the same spread byte-for-byte.
+fn retry_after_ms(state: &ServerState, idx: u64) -> u64 {
+    let base = state.config.retry_after_ms.max(2);
+    let mut rng = StdRng::seed_from_u64(
+        state
+            .config
+            .retry_jitter_seed
+            ^ idx.wrapping_mul(0xA076_1D64_78BD_642F),
+    );
+    base / 2 + rng.gen_range(0..=base)
+}
+
 /// Answers a shed request: publishes its minimal trace (root +
-/// `stage.admit`) under the [`Trigger::Shed`] class, then `429`.
-fn shed_response(state: &ServerState, ctx: &TraceCtx, reason: &'static str, mut stream: TcpStream) {
+/// `stage.admit`) under the [`Trigger::Shed`] class, then `429` with a
+/// jittered `Retry-After` (exact milliseconds in
+/// `x-emblookup-retry-after-ms`; the standard header rounds up to
+/// whole seconds).
+fn shed_response(
+    state: &ServerState,
+    ctx: &TraceCtx,
+    reason: &'static str,
+    idx: u64,
+    stream: &mut TcpStream,
+    keep_alive: bool,
+) {
     let admit_span = ctx.root.child(names::SPAN_STAGE_ADMIT);
     admit_span.annotate("shed", 1u64);
     admit_span.annotate("reason", reason);
@@ -374,13 +527,15 @@ fn shed_response(state: &ServerState, ctx: &TraceCtx, reason: &'static str, mut 
     ctx.root.finish();
     let trace_id = ctx.root.trace().id();
     state.hub.publish(ctx.root.trace().snapshot(), &[Trigger::Shed]);
+    let retry_ms = retry_after_ms(state, idx);
     let resp = Response::json(
         429,
         format!("{{\"error\":\"shed\",\"reason\":\"{}\"}}", json::escape(reason)),
     )
-    .with_header("retry-after", "1")
+    .with_header("retry-after", &retry_ms.div_ceil(1000).max(1).to_string())
+    .with_header("x-emblookup-retry-after-ms", &retry_ms.to_string())
     .with_header("x-emblookup-trace-id", &format_trace_id(trace_id));
-    write_response(&mut stream, &resp);
+    write_response(stream, &resp, keep_alive);
 }
 
 /// The trigger classes a completed request hit, derived from its
@@ -405,32 +560,40 @@ fn triggers_for(state: &ServerState, data: &TraceData, panicked: bool, status: u
 }
 
 /// Admission control: submit the request to the bounded injector; on
-/// `QueueFull` (or an injected shed fault), reclaim the stream and shed
-/// with `429`.
-fn admit(state: &Arc<ServerState>, pool: &Pool, req: Request, stream: TcpStream) {
+/// `QueueFull` (or an injected shed fault), shed with `429`. Admitted
+/// requests compute their response on a worker and hand it back
+/// through a condvar slot so the connection thread can write it in
+/// request order.
+fn admit(
+    state: &Arc<ServerState>,
+    pool: &Arc<Pool>,
+    req: Request,
+    stream: &mut TcpStream,
+    keep_alive: bool,
+) {
     let idx = state.seq.fetch_add(1, Ordering::SeqCst);
     let (faults, virtual_time) = faults_for(state, idx);
     let ctx = mint_trace(&req, idx, virtual_time);
     if faults.shed {
         state.metrics.shed.inc();
-        shed_response(state, &ctx, "fault injected", stream);
+        shed_response(state, &ctx, "fault injected", idx, stream, keep_alive);
         return;
     }
     // `try_submit` consumes its closure even when it sheds, so the
-    // stream (and the trace context) ride in a shared slot the accept
-    // thread can take back.
-    let slot = Arc::new(Mutex::new(Some((stream, ctx))));
-    let task_slot = Arc::clone(&slot);
+    // request (and the trace context) ride in a shared slot the
+    // connection thread can take back.
+    let payload = Arc::new(Mutex::new(Some((req, ctx))));
+    let done: Arc<(Mutex<Option<Response>>, Condvar)> =
+        Arc::new((Mutex::new(None), Condvar::new()));
+    let task_payload = Arc::clone(&payload);
+    let task_done = Arc::clone(&done);
     let task_state = Arc::clone(state);
     let outcome = pool.try_submit(move || {
-        let taken = task_slot
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .take();
-        let Some((mut stream, ctx)) = taken else {
+        let taken = lock(&task_payload).take();
+        let Some((req, ctx)) = taken else {
             return;
         };
-        // Counted here, not on the accept thread after `try_submit`
+        // Counted here, not on the connection thread after `try_submit`
         // returns: the client must never observe a response whose
         // admission is not yet reflected in the counters.
         task_state.metrics.admitted.inc();
@@ -449,24 +612,41 @@ fn admit(state: &Arc<ServerState>, pool: &Pool, req: Request, stream: TcpStream)
         ctx.root.finish();
         let data = ctx.root.trace().snapshot();
         let triggers = triggers_for(&task_state, &data, panicked, resp.status);
-        // Published before the response bytes leave: a client that saw
-        // the answer can always fetch its trace.
+        // Published before the response is handed back: a client that
+        // saw the answer can always fetch its trace.
         task_state.hub.publish(data, &triggers);
         task_state
             .metrics
             .latency
             .record_duration_with_exemplar(start.elapsed(), trace_id);
         let resp = resp.with_header("x-emblookup-trace-id", &format_trace_id(trace_id));
-        write_response(&mut stream, &resp);
+        *lock(&task_done.0) = Some(resp);
+        task_done.1.notify_all();
     });
     state.metrics.queue_depth.set(pool.detached_depth() as f64);
     match outcome {
-        Ok(()) => {}
+        Ok(()) => {
+            // Safe to block: this connection thread holds an `Arc<Pool>`
+            // keeping the workers alive, and the worker signals after
+            // storing the response.
+            let mut guard = lock(&done.0);
+            let resp = loop {
+                if let Some(r) = guard.take() {
+                    break r;
+                }
+                guard = done
+                    .1
+                    .wait(guard)
+                    .unwrap_or_else(PoisonError::into_inner);
+            };
+            drop(guard);
+            write_response(stream, &resp, keep_alive);
+        }
         Err(_full) => {
             state.metrics.shed.inc();
-            let reclaimed = slot.lock().unwrap_or_else(PoisonError::into_inner).take();
-            if let Some((stream, ctx)) = reclaimed {
-                shed_response(state, &ctx, "queue full", stream);
+            let reclaimed = lock(&payload).take();
+            if let Some((_req, ctx)) = reclaimed {
+                shed_response(state, &ctx, "queue full", idx, stream, keep_alive);
             }
         }
     }
@@ -480,7 +660,17 @@ fn dispatch_post(
     ctx: &TraceCtx,
 ) -> Response {
     match req.path.as_str() {
-        "/lookup" => handle_lookup(state, req, idx, faults, ctx),
+        "/lookup" => {
+            let (resp, pinned) = handle_lookup(state, req, idx, faults, ctx);
+            // Pinned answers skip the full pipeline, so they carry no
+            // signal about whether the overload cleared; only full
+            // attempts (200 = recovered, 504 = still drowning) feed the
+            // pin's state machine.
+            if state.config.overload_threshold > 0 && !pinned && matches!(resp.status, 200 | 504) {
+                lock(&state.overload).record(idx, resp.status == 504);
+            }
+            resp
+        }
         _ => handle_bulk(state, req, idx, faults, ctx),
     }
 }
@@ -615,14 +805,169 @@ fn ok_response(state: &ServerState, rung: Rung, results: &[(EntityId, f32)], ctx
     )
 }
 
-/// `POST /lookup` — the degradation ladder lives here.
+/// The replay-relevant identity of one admitted request, passed into
+/// the scatter so shard tasks can key fault injection off it.
+#[derive(Clone, Copy)]
+struct ShardReq {
+    idx: u64,
+    faults: StageFaults,
+}
+
+/// Scatter-gathers one closure across every breaker-admitted shard on
+/// the global pool, each attempt under a private slice of the request's
+/// remaining deadline budget. Returns the delivered per-shard results
+/// (in shard order), the number of shards that answered, and the total
+/// shard count.
+///
+/// Determinism: shard spans are pre-created sequentially
+/// ([`TraceSpan::child_deferred`]) so span ids are width-independent;
+/// shard tasks advance only their private clocks; gather and breaker
+/// bookkeeping run in shard order. A serialized request stream
+/// therefore produces byte-identical responses and traces at any pool
+/// width.
+fn scatter_shards<T: Send>(
+    state: &ServerState,
+    sharded: &ShardServing,
+    clock: &DeadlineClock,
+    req: ShardReq,
+    parent: &TraceSpan,
+    search: &(dyn Fn(&EntityIndex, &TraceSpan) -> T + Sync),
+) -> (Vec<T>, usize, usize) {
+    let total = sharded.index.num_shards();
+    let mut attempted: Vec<usize> = Vec::with_capacity(total);
+    {
+        let mut breakers = lock(&sharded.breakers);
+        for (i, b) in breakers.iter_mut().enumerate() {
+            if b.admit(req.idx) {
+                if b.state() == BreakerState::HalfOpen {
+                    state.metrics.breaker_probes.inc();
+                }
+                attempted.push(i);
+            }
+        }
+    }
+    if attempted.is_empty() {
+        return (Vec::new(), 0, total);
+    }
+    let slice_ms = (clock.deterministic_remaining_ms() / attempted.len() as u64).max(1);
+    let is_virtual = clock.is_virtual();
+    let spans: Vec<TraceSpan> = attempted
+        .iter()
+        .map(|&shard_idx| {
+            let span = parent.child_deferred(names::SPAN_STAGE_SHARD);
+            span.annotate("shard", shard_idx as u64);
+            span.annotate("budget_ms", slice_ms);
+            span
+        })
+        .collect();
+    let outcomes = Pool::global().scatter(attempted.len(), |i| {
+        let shard_idx = attempted[i];
+        let span = &spans[i];
+        span.begin();
+        // A private slice of the budget: a slow shard misses its own
+        // deadline without dragging the shared clock (and the other
+        // shards) down with it.
+        let shard_clock = DeadlineClock::new(slice_ms, is_virtual);
+        if let Some((target, ms)) = req.faults.shard_latency {
+            if target as usize % total == shard_idx {
+                span.annotate("fault_latency_ms", ms);
+                shard_clock.advance_ms(ms);
+            }
+        }
+        if let Some(target) = req.faults.shard_panic {
+            if target as usize % total == shard_idx {
+                span.annotate("fault_panic", 1u64);
+                span.finish();
+                // lint: allow(L001) fault-injected panic is this line's entire purpose
+                panic!("injected fault: panic in shard {shard_idx} (request {})", req.idx);
+            }
+        }
+        if shard_clock.expired() {
+            span.annotate("deadline_miss", 1u64);
+            span.finish();
+            return None;
+        }
+        let out = search(sharded.index.shard(shard_idx), span);
+        if shard_clock.expired() {
+            span.annotate("deadline_miss", 1u64);
+            span.finish();
+            return None;
+        }
+        span.finish();
+        Some(out)
+    });
+    if is_virtual {
+        // The request's own clock pays for the slowest shard attempt,
+        // capped at the slice: one stalled shard costs its slice, never
+        // the whole budget.
+        let injected = req
+            .faults
+            .shard_latency
+            .filter(|(target, _)| attempted.contains(&(*target as usize % total)))
+            .map(|(_, ms)| ms)
+            .unwrap_or(0);
+        clock.advance_ms(injected.min(slice_ms));
+    }
+    let mut delivered: Vec<T> = Vec::with_capacity(attempted.len());
+    let mut breakers = lock(&sharded.breakers);
+    for (slot, outcome) in outcomes.into_iter().enumerate() {
+        let shard_idx = attempted[slot];
+        let ok = match outcome {
+            Ok(Some(result)) => {
+                delivered.push(result);
+                true
+            }
+            Ok(None) => false,
+            Err(_panic) => {
+                state.metrics.panics.inc();
+                false
+            }
+        };
+        match breakers[shard_idx].record(req.idx, ok) {
+            Some(Transition::Opened | Transition::Reopened) => state.metrics.breaker_opened.inc(),
+            Some(Transition::Readmitted) => state.metrics.breaker_readmitted.inc(),
+            None => {}
+        }
+    }
+    let live = breakers
+        .iter()
+        .filter(|b| b.state() != BreakerState::Open)
+        .count();
+    state.metrics.shards_live.set(live as f64);
+    let ok_count = delivered.len();
+    (delivered, ok_count, total)
+}
+
+/// Full-rung sharded search: scatter the query embedding, merge the
+/// per-shard top-k deterministically. `None` means no shard answered.
+fn sharded_search(
+    state: &ServerState,
+    sharded: &ShardServing,
+    clock: &DeadlineClock,
+    req: ShardReq,
+    emb: &[f32],
+    k: usize,
+    parent: &TraceSpan,
+) -> (Option<Vec<(EntityId, f32)>>, usize, usize) {
+    let (per_shard, ok, total) = scatter_shards(state, sharded, clock, req, parent, &|shard, span| {
+        shard.search_traced(emb, k, span)
+    });
+    if ok == 0 {
+        return (None, 0, total);
+    }
+    (Some(merge_topk(&per_shard, k)), ok, total)
+}
+
+/// `POST /lookup` — the degradation ladder lives here. Returns the
+/// response plus whether it was answered from the overload pin (pinned
+/// answers must not feed back into the pin's own state machine).
 fn handle_lookup(
     state: &ServerState,
     req: &Request,
     idx: u64,
     faults: StageFaults,
     ctx: &TraceCtx,
-) -> Response {
+) -> (Response, bool) {
     let clock = request_clock(state, req, ctx);
 
     // -- admit stage ----------------------------------------------------
@@ -634,7 +979,7 @@ fn handle_lookup(
     clock.advance_ms(faults.admit_latency_ms);
     admit_span.finish();
     if clock.expired() {
-        return deadline_response(state, Stage::Admit, &clock);
+        return (deadline_response(state, Stage::Admit, &clock), false);
     }
 
     // -- decode stage ---------------------------------------------------
@@ -643,14 +988,14 @@ fn handle_lookup(
     let decode_span = ctx.root.child(names::SPAN_STAGE_DECODE);
     let body = match std::str::from_utf8(&req.body) {
         Ok(s) => s,
-        Err(_) => return bad_request(state, "body is not UTF-8"),
+        Err(_) => return (bad_request(state, "body is not UTF-8"), false),
     };
     let parsed = match json::parse(body) {
         Ok(v) => v,
-        Err(why) => return bad_request(state, why),
+        Err(why) => return (bad_request(state, why), false),
     };
     let Some(q) = parsed.get("q").and_then(Json::as_str) else {
-        return bad_request(state, "missing string field 'q'");
+        return (bad_request(state, "missing string field 'q'"), false);
     };
     let k = parsed
         .get("k")
@@ -658,9 +1003,23 @@ fn handle_lookup(
         .unwrap_or(10)
         .clamp(1, state.config.max_k as u64) as usize;
     decode_span.finish();
+
+    // -- overload pin ---------------------------------------------------
+    // Sustained deadline misses pinned the whole service to the string
+    // rung: answer cheap, fast, and honestly tagged. Every
+    // `overload_probe_interval`-th request still runs the full pipeline
+    // below, and its outcome (recorded in `dispatch_post`) unpins.
+    if state.config.overload_threshold > 0 && lock(&state.overload).pin(idx) {
+        state.metrics.overload_pinned.inc();
+        ctx.root.annotate("overload", "pinned");
+        let resp = finish_qgram(state, q, k, &clock, ctx)
+            .with_header("x-emblookup-overload", "pinned");
+        return (resp, true);
+    }
+
     if clock.frac_remaining() <= QGRAM_FRAC {
         // Not even the encoder fits in what's left: string rung.
-        return finish_qgram(state, q, k, &clock, ctx);
+        return (finish_qgram(state, q, k, &clock, ctx), false);
     }
 
     // -- encode stage ---------------------------------------------------
@@ -673,11 +1032,11 @@ fn handle_lookup(
     let emb = state.service.model().embed(q);
     encode_span.finish();
     if clock.expired() {
-        return deadline_response(state, Stage::Encode, &clock);
+        return (deadline_response(state, Stage::Encode, &clock), false);
     }
     let frac = clock.frac_remaining();
     if frac <= QGRAM_FRAC {
-        return finish_qgram(state, q, k, &clock, ctx);
+        return (finish_qgram(state, q, k, &clock, ctx), false);
     }
     let mut rung = if frac <= FLAT_FRAC { Rung::Flat } else { Rung::Full };
 
@@ -696,25 +1055,52 @@ fn handle_lookup(
         // lint: allow(L001) fault-injected panic is this line's entire purpose
         panic!("injected fault: panic in search stage (request {idx})");
     }
+    let mut shard_header: Option<(usize, usize)> = None;
     let mut results: Option<Vec<(EntityId, f32)>> = None;
     if rung == Rung::Full {
         if faults.backend_error {
             search_span.annotate("fault_backend_error", 1u64);
             rung = Rung::Flat;
         } else {
-            let mut hits: Vec<(EntityId, f32)> =
-                state.service.index().search_traced(&emb, k, &search_span);
-            if faults.poison {
-                for (_, d) in hits.iter_mut() {
-                    *d = f32::NAN;
+            let hits: Option<Vec<(EntityId, f32)>> = match &state.sharded {
+                Some(sharded) => {
+                    let (merged, ok, total) = sharded_search(
+                        state,
+                        sharded,
+                        &clock,
+                        ShardReq { idx, faults },
+                        &emb,
+                        k,
+                        &search_span,
+                    );
+                    shard_header = Some((ok, total));
+                    if merged.is_none() {
+                        search_span.annotate("all_shards_failed", 1u64);
+                    } else if ok < total {
+                        state.metrics.partial.inc();
+                        search_span.annotate("partial", 1u64);
+                    }
+                    merged
                 }
-            }
-            if hits.iter().any(|(_, d)| d.is_nan()) {
-                // Poisoned primary answer: reject it, step down.
-                search_span.annotate("fault_poison", 1u64);
-                rung = Rung::Flat;
-            } else {
-                results = Some(hits.into_iter().map(|(id, d)| (id, -d)).collect());
+                None => Some(state.service.index().search_traced(&emb, k, &search_span)),
+            };
+            match hits {
+                Some(mut hits) => {
+                    if faults.poison {
+                        for (_, d) in hits.iter_mut() {
+                            *d = f32::NAN;
+                        }
+                    }
+                    if hits.iter().any(|(_, d)| d.is_nan()) {
+                        // Poisoned primary answer: reject it, step down.
+                        search_span.annotate("fault_poison", 1u64);
+                        rung = Rung::Flat;
+                    } else {
+                        results = Some(hits.into_iter().map(|(id, d)| (id, -d)).collect());
+                    }
+                }
+                // Every shard failed: honest degradation, step down.
+                None => rung = Rung::Flat,
             }
         }
     }
@@ -724,15 +1110,19 @@ fn handle_lookup(
     };
     search_span.annotate("rung", rung.name());
     search_span.finish();
+    let tag = |resp: Response| match shard_header {
+        Some((ok, total)) => resp.with_header("x-emblookup-shards", &format!("{ok}/{total}")),
+        None => resp,
+    };
     if clock.expired() {
-        return deadline_response(state, Stage::Search, &clock);
+        return (tag(deadline_response(state, Stage::Search, &clock)), false);
     }
 
     // -- rank stage -----------------------------------------------------
     let rank_span = ctx.root.child(names::SPAN_STAGE_RANK);
-    let resp = ok_response(state, rung, &results, ctx);
+    let resp = tag(ok_response(state, rung, &results, ctx));
     rank_span.finish();
-    resp
+    (resp, false)
 }
 
 fn finish_qgram(
@@ -828,17 +1218,61 @@ fn handle_bulk(
         state.metrics.errors.inc();
         return Response::json(500, "{\"error\":\"backend error\"}".to_string());
     }
-    let batches = match state.service.try_bulk_lookup_traced(&refs, k, &search_span) {
-        Ok(b) => b,
-        Err(_) => {
-            state.metrics.errors.inc();
-            return Response::json(500, "{\"error\":\"bulk lookup failed\"}".to_string());
+    let mut shard_header: Option<(usize, usize)> = None;
+    let batches: Vec<Vec<(EntityId, f32)>> = match &state.sharded {
+        Some(sharded) => {
+            // One embedding pass for the whole batch, shared by every
+            // shard attempt.
+            let embs = state
+                .service
+                .model()
+                .embed_batch(&refs, emblookup_core::num_threads());
+            let (per_shard, ok, total) = scatter_shards(
+                state,
+                sharded,
+                &clock,
+                ShardReq { idx, faults },
+                &search_span,
+                &|shard, span| {
+                    span.annotate("queries", embs.len() as u64);
+                    embs.iter().map(|e| shard.search(e, k)).collect::<Vec<_>>()
+                },
+            );
+            shard_header = Some((ok, total));
+            if ok == 0 {
+                state.metrics.errors.inc();
+                search_span.annotate("all_shards_failed", 1u64);
+                return Response::json(500, "{\"error\":\"all shards failed\"}".to_string())
+                    .with_header("x-emblookup-shards", &format!("0/{total}"));
+            }
+            if ok < total {
+                state.metrics.partial.inc();
+                search_span.annotate("partial", 1u64);
+            }
+            (0..refs.len())
+                .map(|qi| {
+                    let lists: Vec<Vec<(EntityId, f32)>> =
+                        per_shard.iter().map(|s| s[qi].clone()).collect();
+                    merge_topk(&lists, k)
+                })
+                .collect()
         }
+        None => match state.service.try_bulk_lookup_traced(&refs, k, &search_span) {
+            Ok(b) => b,
+            Err(_) => {
+                state.metrics.errors.inc();
+                return Response::json(500, "{\"error\":\"bulk lookup failed\"}".to_string());
+            }
+        },
     };
     search_span.annotate("rung", Rung::Full.name());
     search_span.finish();
+    let tag = |resp: Response| match shard_header {
+        Some((ok, total)) => resp.with_header("x-emblookup-shards", &format!("{ok}/{total}")),
+        None => resp,
+    };
     if clock.expired() {
-        return deadline_response(state, Stage::Search, &clock);
+        return tag(deadline_response(state, Stage::Search, &clock));
     }
 
     // -- rank stage -----------------------------------------------------
@@ -855,5 +1289,5 @@ fn handle_bulk(
     }
     out.push_str("]}");
     rank_span.finish();
-    Response::json(200, out)
+    tag(Response::json(200, out))
 }

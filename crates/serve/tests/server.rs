@@ -110,7 +110,16 @@ fn zero_capacity_queue_sheds_posts_but_serves_control_plane() {
 
     let resp = client::post_json(addr, "/lookup", "{\"q\":\"x\",\"k\":1}", &[]).unwrap();
     assert_eq!(resp.status, 429);
-    assert_eq!(resp.header("retry-after"), Some("1"));
+    // Jittered retry hints: whole seconds in the standard header, exact
+    // milliseconds (within [base/2, 3*base/2]) in the extension header.
+    let retry_s: u64 = resp.header("retry-after").unwrap().parse().unwrap();
+    assert!((1..=2).contains(&retry_s), "retry-after {retry_s}s");
+    let retry_ms: u64 = resp
+        .header("x-emblookup-retry-after-ms")
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert!((500..=1500).contains(&retry_ms), "retry-after {retry_ms}ms");
     assert!(resp.body.contains("\"error\":\"shed\""));
 
     // Shedding the data plane must not take down the control plane.
@@ -322,6 +331,7 @@ fn seeded_random_faults_never_crash_or_hang() {
             poison_prob: 0.25,
             panic_prob: 0.15,
             shed_prob: 0.0,
+            shard_fault_prob: 0.0,
             virtual_time: true,
         }),
         ..ServeConfig::default()

@@ -1,0 +1,336 @@
+//! End-to-end tests of sharded keep-alive serving: scatter-gather over
+//! hash-partitioned shards, per-shard circuit breakers, partial-result
+//! tagging, the whole-service overload pin, and shed-retry jitter.
+//!
+//! `scripts/ci.sh` runs this suite under both `EMBLOOKUP_THREADS=1`
+//! and the default thread count — the global pool the scatter fans out
+//! on — so everything asserted here must be width-independent.
+
+use emblookup_core::{EmbLookup, EmbLookupConfig, EmbLookupModel};
+use emblookup_kg::{generate, EntityId, KnowledgeGraph, SynthKgConfig};
+use emblookup_obs::{names, MetricsRegistry};
+use emblookup_serve::{client, FaultConfig, ServeConfig, Server, StageFaults};
+use std::sync::{Arc, OnceLock};
+
+fn shared_model() -> &'static (Arc<EmbLookupModel>, KnowledgeGraph) {
+    static SHARED: OnceLock<(Arc<EmbLookupModel>, KnowledgeGraph)> = OnceLock::new();
+    SHARED.get_or_init(|| {
+        let synth = generate(SynthKgConfig::tiny(77));
+        let service = EmbLookup::train_on(&synth.kg, EmbLookupConfig::tiny(77));
+        (service.model_arc(), synth.kg)
+    })
+}
+
+fn start(config: ServeConfig) -> (Server, Arc<MetricsRegistry>) {
+    let (model, kg) = shared_model();
+    let compression = model.config().compression;
+    let service = EmbLookup::from_model(Arc::clone(model), kg, compression);
+    let registry = Arc::new(MetricsRegistry::new());
+    let server = Server::start_with_registry(service, kg, config, Arc::clone(&registry))
+        .expect("server must start");
+    (server, registry)
+}
+
+fn counter(registry: &MetricsRegistry, name: &str) -> u64 {
+    registry.snapshot().counter(name).unwrap_or(0)
+}
+
+fn lookup_body(entity: u32) -> String {
+    let (_, kg) = shared_model();
+    format!("{{\"q\":\"{}\",\"k\":3}}", kg.label(EntityId(entity)))
+}
+
+/// A scripted plan injecting a panic into shard `target % shards` for
+/// the first `n` requests, then nothing for the rest of `len`.
+fn shard_panic_plan(target: u32, n: usize, len: usize) -> FaultConfig {
+    let mut plan = vec![StageFaults::default(); len];
+    for slot in plan.iter_mut().take(n) {
+        slot.shard_panic = Some(target);
+    }
+    FaultConfig::Scripted {
+        plan,
+        virtual_time: true,
+    }
+}
+
+#[test]
+fn sharded_lookup_answers_full_rung_with_full_coverage_tag() {
+    let (server, registry) = start(ServeConfig {
+        workers: 2,
+        shards: 4,
+        ..ServeConfig::default()
+    });
+    let addr = server.addr();
+    let (_, kg) = shared_model();
+
+    let resp = client::post_json(addr, "/lookup", &lookup_body(0), &[]).unwrap();
+    assert_eq!(resp.status, 200, "body: {}", resp.body);
+    assert!(resp.body.contains("\"rung\":\"full\""), "body: {}", resp.body);
+    assert_eq!(resp.header("x-emblookup-shards"), Some("4/4"));
+    let label = kg.label(EntityId(0));
+    assert!(
+        resp.body.contains(&format!("\"label\":\"{label}\"")),
+        "queried label must be found: {}",
+        resp.body
+    );
+
+    // Bulk goes through the same scatter and carries the same tag.
+    let bulk = format!(
+        "{{\"queries\":[\"{}\",\"{}\"],\"k\":2}}",
+        kg.label(EntityId(1)),
+        kg.label(EntityId(2)),
+    );
+    let resp = client::post_json(addr, "/lookup/bulk", &bulk, &[]).unwrap();
+    assert_eq!(resp.status, 200, "body: {}", resp.body);
+    assert_eq!(resp.header("x-emblookup-shards"), Some("4/4"));
+
+    assert_eq!(counter(&registry, names::SERVE_PARTIAL), 0);
+    assert_eq!(registry.snapshot().gauge(names::SERVE_SHARDS_LIVE), Some(4.0));
+}
+
+#[test]
+fn keep_alive_connection_serves_many_requests() {
+    let (server, registry) = start(ServeConfig {
+        workers: 2,
+        shards: 2,
+        ..ServeConfig::default()
+    });
+
+    let mut conn = client::Connection::open(server.addr()).unwrap();
+    for i in 0..3u32 {
+        let resp = conn.post_json("/lookup", &lookup_body(i), &[]).unwrap();
+        assert_eq!(resp.status, 200, "request {i}: {}", resp.body);
+        assert_eq!(resp.header("x-emblookup-shards"), Some("2/2"));
+    }
+    // Control plane rides the same persistent connection.
+    let health = conn.get("/healthz").unwrap();
+    assert_eq!(health.status, 200);
+    let resp = conn.post_json("/lookup", &lookup_body(3), &[]).unwrap();
+    assert_eq!(resp.status, 200);
+    drop(conn);
+
+    assert_eq!(counter(&registry, names::SERVE_CONNECTIONS), 1);
+    assert_eq!(counter(&registry, names::SERVE_ADMITTED), 4);
+}
+
+/// The breaker walk: panics eject one shard (responses degrade to
+/// partial, never fail), the cooldown admits a half-open probe, and a
+/// healthy probe re-admits the shard.
+#[test]
+fn breaker_ejects_shard_then_readmits_after_probe() {
+    let (server, registry) = start(ServeConfig {
+        workers: 1,
+        shards: 2,
+        breaker_threshold: 2,
+        breaker_cooldown: 3,
+        faults: Some(shard_panic_plan(0, 2, 8)),
+        ..ServeConfig::default()
+    });
+    let mut conn = client::Connection::open(server.addr()).unwrap();
+
+    // Requests 0–1: shard 0 panics; both answers are partial 200s and
+    // the second failure opens the breaker.
+    for i in 0..2u32 {
+        let resp = conn.post_json("/lookup", &lookup_body(i), &[]).unwrap();
+        assert_eq!(resp.status, 200, "request {i}: {}", resp.body);
+        assert_eq!(resp.header("x-emblookup-shards"), Some("1/2"), "request {i}");
+        assert!(resp.body.contains("\"rung\":\"full\""));
+    }
+    assert_eq!(counter(&registry, names::SERVE_BREAKER_OPENED), 1);
+    assert_eq!(registry.snapshot().gauge(names::SERVE_SHARDS_LIVE), Some(1.0));
+
+    // Requests 2–3: breaker open, shard skipped without being attempted.
+    for i in 2..4u32 {
+        let resp = conn.post_json("/lookup", &lookup_body(i), &[]).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.header("x-emblookup-shards"), Some("1/2"), "request {i}");
+    }
+    assert_eq!(counter(&registry, names::SERVE_BREAKER_PROBES), 0);
+
+    // Request 4: cooldown elapsed (opened at 1, cooldown 3) — the
+    // half-open probe runs against a now-healthy shard and re-admits it.
+    let resp = conn.post_json("/lookup", &lookup_body(0), &[]).unwrap();
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.header("x-emblookup-shards"), Some("2/2"));
+    assert_eq!(counter(&registry, names::SERVE_BREAKER_PROBES), 1);
+    assert_eq!(counter(&registry, names::SERVE_BREAKER_READMITTED), 1);
+    assert_eq!(registry.snapshot().gauge(names::SERVE_SHARDS_LIVE), Some(2.0));
+
+    // Request 5: steady state again.
+    let resp = conn.post_json("/lookup", &lookup_body(1), &[]).unwrap();
+    assert_eq!(resp.header("x-emblookup-shards"), Some("2/2"));
+
+    assert_eq!(counter(&registry, names::SERVE_PARTIAL), 4);
+    assert_eq!(counter(&registry, names::SERVE_PANICS), 2);
+    assert_eq!(counter(&registry, names::SERVE_ERRORS), 0, "no request failed");
+}
+
+/// With every shard ejected the full rung has nothing to scatter to:
+/// the ladder steps down to the flat fallback instead of failing.
+#[test]
+fn all_shards_ejected_falls_back_to_flat() {
+    let mut plan = vec![StageFaults::default(); 4];
+    plan[0].shard_panic = Some(0);
+    plan[1].shard_panic = Some(1);
+    let (server, registry) = start(ServeConfig {
+        workers: 1,
+        shards: 2,
+        breaker_threshold: 1,
+        breaker_cooldown: 100,
+        faults: Some(FaultConfig::Scripted {
+            plan,
+            virtual_time: true,
+        }),
+        ..ServeConfig::default()
+    });
+    let mut conn = client::Connection::open(server.addr()).unwrap();
+
+    for i in 0..2u32 {
+        let resp = conn.post_json("/lookup", &lookup_body(i), &[]).unwrap();
+        assert_eq!(resp.status, 200, "request {i}: {}", resp.body);
+    }
+    assert_eq!(counter(&registry, names::SERVE_BREAKER_OPENED), 2);
+
+    let resp = conn.post_json("/lookup", &lookup_body(2), &[]).unwrap();
+    assert_eq!(resp.status, 200, "body: {}", resp.body);
+    assert_eq!(resp.header("x-emblookup-shards"), Some("0/2"));
+    assert!(resp.body.contains("\"rung\":\"flat\""), "body: {}", resp.body);
+    assert!(resp.body.contains("\"degraded\":true"));
+    assert_eq!(registry.snapshot().gauge(names::SERVE_SHARDS_LIVE), Some(0.0));
+
+    // Bulk has no ladder: all shards gone is an honest 500, tagged.
+    let bulk = "{\"queries\":[\"x\"],\"k\":1}";
+    let resp = conn.post_json("/lookup/bulk", bulk, &[]).unwrap();
+    assert_eq!(resp.status, 500);
+    assert_eq!(resp.header("x-emblookup-shards"), Some("0/2"));
+}
+
+/// Sustained deadline misses pin the service to the string rung; the
+/// periodic probe unpins once the full pipeline beats its budget again.
+#[test]
+fn overload_pins_to_string_rung_and_probe_unpins() {
+    // Budget 100 virtual ms; encode latency 130 guarantees a miss.
+    let stall = StageFaults {
+        encode_latency_ms: 130,
+        ..StageFaults::default()
+    };
+    let mut plan = vec![stall; 5];
+    plan.extend(vec![StageFaults::default(); 5]);
+    let (server, registry) = start(ServeConfig {
+        workers: 1,
+        default_deadline_ms: 100,
+        overload_threshold: 2,
+        overload_probe_interval: 3,
+        faults: Some(FaultConfig::Scripted {
+            plan,
+            virtual_time: true,
+        }),
+        ..ServeConfig::default()
+    });
+    let mut conn = client::Connection::open(server.addr()).unwrap();
+    let mut outcomes = Vec::new();
+    for i in 0..8u32 {
+        let resp = conn.post_json("/lookup", &lookup_body(i % 4), &[]).unwrap();
+        outcomes.push((
+            resp.status,
+            resp.header("x-emblookup-overload").map(str::to_string),
+        ));
+    }
+    let pinned = Some("pinned".to_string());
+    assert_eq!(
+        outcomes,
+        vec![
+            (504, None),          // miss 1
+            (504, None),          // miss 2: pin engages (pinned_at = 1)
+            (200, pinned.clone()), // pinned: q-gram answer
+            (200, pinned.clone()), // pinned
+            (504, None),          // probe ((4-1)%3==0) still stalled
+            (200, pinned.clone()), // pinned
+            (200, pinned), // pinned
+            (200, None),   // probe ((7-1)%3==0) beats its budget: unpinned
+        ],
+        "pin walk diverged"
+    );
+    assert_eq!(counter(&registry, names::SERVE_OVERLOAD_PINNED), 4);
+}
+
+/// Shed responses spread their retry hints: deterministic per request
+/// index, bounded to [base/2, 3*base/2], and not all identical — a
+/// herd of shed clients must not stampede back in lockstep.
+#[test]
+fn shed_retry_jitter_is_bounded_spread_and_deterministic() {
+    let collect = || {
+        let (server, _registry) = start(ServeConfig {
+            workers: 1,
+            queue_cap: 0,
+            shards: 2,
+            ..ServeConfig::default()
+        });
+        let mut conn = client::Connection::open(server.addr()).unwrap();
+        let mut retries = Vec::new();
+        for i in 0..8u32 {
+            let resp = conn.post_json("/lookup", &lookup_body(i % 4), &[]).unwrap();
+            assert_eq!(resp.status, 429);
+            let ms: u64 = resp
+                .header("x-emblookup-retry-after-ms")
+                .expect("shed responses carry the exact retry hint")
+                .parse()
+                .unwrap();
+            retries.push(ms);
+        }
+        retries
+    };
+    let first = collect();
+    for &ms in &first {
+        assert!((500..=1500).contains(&ms), "retry {ms}ms out of bounds");
+    }
+    let distinct: std::collections::BTreeSet<u64> = first.iter().copied().collect();
+    assert!(
+        distinct.len() >= 4,
+        "jitter must spread the herd, got {first:?}"
+    );
+    assert_eq!(first, collect(), "same indices, same jitter, always");
+}
+
+/// The §8 determinism contract extended to shards: a serialized request
+/// stream — including shard faults, breaker transitions, and partial
+/// results — produces byte-identical responses at any worker count.
+/// (`scripts/ci.sh` re-runs this whole suite at `EMBLOOKUP_THREADS=1`
+/// and default, varying the scatter pool's width too.)
+#[test]
+fn sharded_chaos_responses_are_byte_identical_across_worker_counts() {
+    let mut plan = vec![StageFaults::default(); 10];
+    plan[0].shard_panic = Some(1);
+    plan[1].shard_latency = Some((1, 400)); // stall > slice: deadline miss
+    plan[2].shard_panic = Some(1); // third strike: breaker opens
+    plan[5].shard_latency = Some((0, 5)); // small stall, absorbed
+    let config = |workers| ServeConfig {
+        workers,
+        shards: 3,
+        breaker_threshold: 3,
+        breaker_cooldown: 4,
+        default_deadline_ms: 200,
+        faults: Some(FaultConfig::Scripted {
+            plan: plan.clone(),
+            virtual_time: true,
+        }),
+        ..ServeConfig::default()
+    };
+    let (narrow, _) = start(config(1));
+    let (wide, _) = start(config(4));
+    let mut narrow_conn = client::Connection::open(narrow.addr()).unwrap();
+    let mut wide_conn = client::Connection::open(wide.addr()).unwrap();
+
+    for i in 0..10u32 {
+        let body = lookup_body(i % 4);
+        let a = narrow_conn.post_json("/lookup", &body, &[]).unwrap();
+        let b = wide_conn.post_json("/lookup", &body, &[]).unwrap();
+        assert_eq!(a.status, b.status, "request {i} status diverged");
+        assert_eq!(a.body, b.body, "request {i} body diverged");
+        assert_eq!(
+            a.header("x-emblookup-shards"),
+            b.header("x-emblookup-shards"),
+            "request {i} shard tag diverged"
+        );
+    }
+}

@@ -21,7 +21,8 @@ done
 
 prev=$(mktemp)
 prev_ann=$(mktemp)
-trap 'rm -f "$prev" "$prev_ann"' EXIT
+prev_serve=$(mktemp)
+trap 'rm -f "$prev" "$prev_ann" "$prev_serve"' EXIT
 if [[ -f BENCH_lookup.json ]]; then
   cp BENCH_lookup.json "$prev"
 else
@@ -31,6 +32,11 @@ if [[ -f BENCH_ann.json ]]; then
   cp BENCH_ann.json "$prev_ann"
 else
   echo '{"tiers":[]}' > "$prev_ann"
+fi
+if [[ -f BENCH_serve.json ]]; then
+  cp BENCH_serve.json "$prev_serve"
+else
+  echo '{"scenarios":[]}' > "$prev_serve"
 fi
 
 echo "== cargo run --release -p emblookup-bench --bin repro -- ${repro_args[*]-} =="
@@ -132,6 +138,50 @@ rows.append(("adc batched-vs-per-code", "-", f"{sc:.2f}x" if sc else "-",
 
 widths = [max(len(r[i]) for r in rows) for i in range(5)]
 print("\n== ANN tiers vs previous BENCH_ann.json (kernel: %s) ==" % cur.get("kernel", "?"))
+for i, r in enumerate(rows):
+    print("  ".join(cell.ljust(widths[j]) for j, cell in enumerate(r)))
+    if i == 0:
+        print("  ".join("-" * w for w in widths))
+PY
+
+# Serving-layer chaos bench: open-loop load generator against a live
+# in-process server — healthy scatter-gather, one-shard-ejected, and
+# overload-pinned scenarios — regenerating BENCH_serve.json.
+echo
+echo "== cargo run --release -p emblookup-bench --bin serve_bench -- ${repro_args[*]-} =="
+cargo run --release --offline -p emblookup-bench --bin serve_bench -- ${repro_args[@]+"${repro_args[@]}"}
+
+python3 - "$prev_serve" BENCH_serve.json <<'PY'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    prev = {s["name"]: s for s in json.load(f).get("scenarios", [])}
+with open(sys.argv[2]) as f:
+    cur = {s["name"]: s for s in json.load(f).get("scenarios", [])}
+
+def fmt_us(us):
+    if us is None:
+        return "-"
+    if us >= 1000:
+        return f"{us / 1000:.2f}ms"
+    return f"{us}us"
+
+rows = [("scenario", "goodput", "prev", "p99", "prev p99", "shed", "partial", "pinned")]
+for name in cur:
+    c, p = cur[name], prev.get(name, {})
+    rows.append((
+        name,
+        f"{c['goodput_rps']:.0f}/s",
+        f"{p['goodput_rps']:.0f}/s" if p else "-",
+        fmt_us(c["p99_us"]),
+        fmt_us(p.get("p99_us")),
+        str(c["shed"]),
+        str(c["server_partial"]),
+        str(c["server_overload_pinned"]),
+    ))
+
+widths = [max(len(r[i]) for r in rows) for i in range(len(rows[0]))]
+print("\n== serve scenarios vs previous BENCH_serve.json ==")
 for i, r in enumerate(rows):
     print("  ".join(cell.ljust(widths[j]) for j, cell in enumerate(r)))
     if i == 0:

@@ -39,11 +39,19 @@ cargo run -q --release --offline -p emblookup-bench --bin ann_bench -- --smoke
 # and its assertions (statuses, rung order, counter values, response
 # bytes) must hold at any pool width, so it runs under both thread
 # configurations.
+# The shards suite adds the sharded scatter-gather cases: multi-shard
+# full-coverage serving, a chaos plan that ejects one shard (breaker
+# open -> half-open probe -> readmission, partial-result tagging), the
+# overload pin, and shed-retry jitter. EMBLOOKUP_THREADS also sets the
+# width of the global pool the scatter fans out on, so both suites run
+# at both widths.
 echo "== serve smoke (EMBLOOKUP_THREADS=1) =="
 EMBLOOKUP_THREADS=1 cargo test -q --offline -p emblookup-serve --test server
+EMBLOOKUP_THREADS=1 cargo test -q --offline -p emblookup-serve --test shards
 
 echo "== serve smoke (default threads) =="
 cargo test -q --offline -p emblookup-serve --test server
+cargo test -q --offline -p emblookup-serve --test shards
 
 echo "== cargo clippy -- -D warnings =="
 cargo clippy --offline --workspace --all-targets -- -D warnings
